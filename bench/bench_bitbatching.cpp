@@ -1,0 +1,121 @@
+// Experiment: Fig. 1 / Sec. 4 (Lemma 1, Corollaries 1-2) — BitBatching.
+//
+// Regenerates, per n:
+//   * the batch layout of Fig. 1 (sizes halving down to ~log n),
+//   * per-process TAS probes (claim: O(log^2 n) w.h.p., Lemma 1),
+//   * stage-2 entries (claim: none, w.h.p.),
+//   * total TAS operations (claim: O(n log n), Cor. 2),
+//   * per-process steps with unit-cost TAS slots and growth-shape fit.
+#include <cstring>
+
+#include "bench_common.h"
+#include "renaming/bit_batching.h"
+#include "renaming/validate.h"
+
+namespace renamelib {
+namespace {
+
+void batch_layout() {
+  bench::print_header("Fig. 1: batch layout",
+                      "Batch B_i sizes: n/2, n/4, ..., with the tail batch of "
+                      "size ~log n (paper Sec. 4).");
+  stats::Table table({"n", "batches", "sizes (first..last)"});
+  for (std::uint64_t n : {64u, 256u, 1024u, 4096u}) {
+    renaming::BitBatching bb(n, renaming::SlotTasKind::kHardware);
+    std::string sizes;
+    for (std::size_t i = 1; i <= bb.batch_count(); ++i) {
+      if (!sizes.empty()) sizes += ", ";
+      sizes += std::to_string(bb.batch_end(i) - bb.batch_begin(i));
+    }
+    table.add_row({std::to_string(n), std::to_string(bb.batch_count()), sizes});
+  }
+  table.print(std::cout);
+}
+
+void probe_complexity(bool simulated) {
+  bench::print_header(
+      simulated ? "Lemma 1 / Cor. 1 (adversarial simulation)"
+                : "Lemma 1 / Cor. 1 (hardware threads)",
+      "Per-process TAS probes vs n; claim O(log^2 n) w.h.p., stage 2 never "
+      "entered. probes/log^2(n) should stay bounded.");
+  stats::Table table({"n", "k", "mean probes", "p99 probes", "max", "stage2",
+                      "probes/log^2 n", "total TAS ops", "total/(n log n)"});
+  std::vector<double> xs, ys;
+  const std::vector<std::uint64_t> ns =
+      simulated ? std::vector<std::uint64_t>{16, 32, 64, 128}
+                : std::vector<std::uint64_t>{16, 64, 256, 1024, 4096};
+  for (std::uint64_t n : ns) {
+    const int k = static_cast<int>(n);  // full participation
+    renaming::BitBatching bb(n, renaming::SlotTasKind::kHardware);
+    std::vector<renaming::BitBatching::Outcome> outs(k);
+    auto body = [&](Ctx& ctx) { outs[ctx.pid()] = bb.rename_instrumented(ctx); };
+    if (simulated) {
+      (void)bench::run_simulated(k, n, body);
+    } else {
+      (void)bench::run_hardware(k, n, body);
+    }
+    std::vector<double> probes;
+    double total = 0;
+    int stage2 = 0;
+    std::vector<std::uint64_t> names;
+    for (const auto& o : outs) {
+      probes.push_back(static_cast<double>(o.probes));
+      total += static_cast<double>(o.probes);
+      stage2 += o.entered_stage2 ? 1 : 0;
+      names.push_back(o.name);
+    }
+    const auto check = renaming::check_tight(names, n);
+    if (!check.ok) {
+      std::cerr << "VALIDATION FAILED: " << check.error << "\n";
+      std::exit(1);
+    }
+    const auto s = stats::summarize(probes);
+    const double log2n = std::log2(static_cast<double>(n));
+    table.add_row({std::to_string(n), std::to_string(k),
+                   stats::Table::num(s.mean), stats::Table::num(s.p99),
+                   stats::Table::num(s.max), std::to_string(stage2),
+                   stats::Table::num(s.mean / (log2n * log2n), 3),
+                   stats::Table::num(total, 0),
+                   stats::Table::num(total / (n * log2n), 3)});
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(s.mean);
+  }
+  table.print(std::cout);
+  const auto fit = stats::fit_growth(xs, ys);
+  std::cout << "growth fit for mean probes: " << fit.model
+            << " (constant " << stats::Table::num(fit.constant, 2)
+            << ", R^2 " << stats::Table::num(fit.r2, 3) << ")\n";
+}
+
+void ratrace_slots() {
+  bench::print_header(
+      "Cor. 1 full stack (RatRace slots, adversarial simulation)",
+      "Per-process *steps* (register ops + coin batches) with randomized "
+      "RatRace TAS slots as in the paper; claim O(log^3 n loglog n) w.h.p.");
+  stats::Table table({"n=k", "mean steps", "p99 steps", "max steps",
+                      "steps/log^3 n"});
+  for (std::uint64_t n : {16u, 32u, 64u}) {
+    const int k = static_cast<int>(n);
+    renaming::BitBatching bb(n, renaming::SlotTasKind::kRatRace);
+    auto steps = bench::run_simulated(
+        k, n + 1, [&](Ctx& ctx) { (void)bb.rename(ctx, 0); });
+    const auto s = stats::summarize(steps);
+    const double lg = std::log2(static_cast<double>(n));
+    table.add_row({std::to_string(n), stats::Table::num(s.mean),
+                   stats::Table::num(s.p99), stats::Table::num(s.max),
+                   stats::Table::num(s.mean / (lg * lg * lg), 3)});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace renamelib
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  renamelib::batch_layout();
+  renamelib::probe_complexity(/*simulated=*/true);
+  if (!quick) renamelib::probe_complexity(/*simulated=*/false);
+  renamelib::ratrace_slots();
+  return 0;
+}

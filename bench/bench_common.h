@@ -1,0 +1,63 @@
+// Shared helpers for the experiment benches.
+//
+// Each bench binary regenerates one of the paper's figures / complexity
+// claims as a table (see DESIGN.md's per-experiment index). Step counts come
+// from two sources:
+//   * simulated mode (adversarial scheduler, exact counts) for k <= ~128,
+//   * hardware mode (real threads) for larger sweeps and throughput.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "core/ctx.h"
+#include "sim/executor.h"
+#include "stats/fit.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace renamelib::bench {
+
+/// Runs `body` on `nproc` real threads (hardware mode) and returns the
+/// per-process paper-model step counts.
+inline std::vector<double> run_hardware(int nproc, std::uint64_t seed,
+                                        const std::function<void(Ctx&)>& body) {
+  std::vector<double> steps(nproc, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(nproc);
+  for (int p = 0; p < nproc; ++p) {
+    threads.emplace_back([&, p] {
+      Ctx ctx(p, Rng::derive(seed, static_cast<std::uint64_t>(p)));
+      body(ctx);
+      steps[p] = static_cast<double>(ctx.steps());
+    });
+  }
+  for (auto& t : threads) t.join();
+  return steps;
+}
+
+/// Runs `body` under the adversarial simulator and returns per-process
+/// paper-model step counts (finished processes only).
+inline std::vector<double> run_simulated(int nproc, std::uint64_t seed,
+                                         const std::function<void(Ctx&)>& body) {
+  sim::RandomAdversary adversary(seed * 7919 + 13);
+  sim::RunOptions options;
+  options.seed = seed;
+  const auto result = sim::run_simulation(nproc, body, adversary, options);
+  std::vector<double> steps;
+  steps.reserve(nproc);
+  for (const auto& p : result.procs) {
+    if (p.finished) steps.push_back(static_cast<double>(p.steps));
+  }
+  return steps;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+}  // namespace renamelib::bench

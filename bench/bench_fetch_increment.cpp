@@ -1,0 +1,120 @@
+// Experiment: Sec. 8.2 (Lemma 5, Theorem 6) — l-test-and-set and the
+// m-valued fetch-and-increment.
+//
+// Regenerates:
+//   * l-TAS winner counts (exactly min(l,k)) and O(log k) expected cost,
+//   * the O(log k log m) fetch-and-increment surface: per-op steps swept
+//     over both m and k, with the steps/(log k * log m) ratio that should
+//     stay bounded,
+//   * comparison against the 1-step atomic fetch-and-add reference.
+#include "bench_common.h"
+#include "counting/baselines.h"
+#include "counting/bounded_fai.h"
+#include "counting/l_test_and_set.h"
+
+namespace renamelib {
+namespace {
+
+void ltas_table() {
+  bench::print_header(
+      "Lemma 5: l-test-and-set (adversarial simulation)",
+      "Exactly min(l, k) winners in every execution; expected O(log k) steps.");
+  stats::Table table({"l", "k", "winners", "mean steps", "p99 steps"});
+  for (int l : {1, 2, 8}) {
+    for (int k : {4, 16, 48}) {
+      counting::LTestAndSet ltas(static_cast<std::uint64_t>(l));
+      std::vector<int> won(k, 0);
+      auto steps = bench::run_simulated(
+          k, static_cast<std::uint64_t>(l * 100 + k),
+          [&](Ctx& ctx) { won[ctx.pid()] = ltas.test_and_set(ctx) ? 1 : 0; });
+      int winners = 0;
+      for (int w : won) winners += w;
+      const auto s = stats::summarize(steps);
+      table.add_row({std::to_string(l), std::to_string(k),
+                     std::to_string(winners), stats::Table::num(s.mean),
+                     stats::Table::num(s.p99)});
+      if (winners != std::min(l, k)) {
+        std::cerr << "VALIDATION FAILED: winners=" << winners << " l=" << l
+                  << " k=" << k << "\n";
+        std::exit(1);
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void fai_surface() {
+  bench::print_header(
+      "Thm. 6: m-valued fetch-and-increment cost surface",
+      "Per-op steps vs (m, k); claim O(log k log m) expected. The ratio "
+      "steps/(log2 k * log2 m) should stay bounded across the sweep.");
+  stats::Table table({"m", "k", "mean steps", "p99 steps",
+                      "steps/(log k*log m)", "values 0..k-1"});
+  for (std::uint64_t m : {8u, 64u, 1024u}) {
+    for (int k : {2, 8, 24}) {
+      counting::BoundedFetchAndIncrement fai(m);
+      std::vector<std::uint64_t> values(k, 0);
+      auto steps = bench::run_simulated(
+          k, m * 13 + static_cast<std::uint64_t>(k),
+          [&](Ctx& ctx) { values[ctx.pid()] = fai.fetch_and_increment(ctx); });
+      std::vector<std::uint64_t> sorted = values;
+      std::sort(sorted.begin(), sorted.end());
+      // k <= m: values must be exactly {0..k-1}. k > m: the first m ops take
+      // {0..m-1} and the object saturates, returning m-1 for the rest.
+      bool prefix = true;
+      for (int i = 0; i < k; ++i) {
+        const std::uint64_t expected =
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(i), m - 1);
+        prefix &= sorted[i] == expected;
+      }
+      const auto s = stats::summarize(steps);
+      const double denom =
+          std::log2(static_cast<double>(k) + 1) * std::log2(static_cast<double>(m));
+      table.add_row({std::to_string(m), std::to_string(k),
+                     stats::Table::num(s.mean), stats::Table::num(s.p99),
+                     stats::Table::num(s.mean / denom, 3),
+                     prefix ? "yes" : "NO"});
+      if (!prefix) {
+        std::cerr << "VALIDATION FAILED: non-prefix values (m=" << m
+                  << " k=" << k << ")\n";
+        std::exit(1);
+      }
+    }
+  }
+  table.print(std::cout);
+}
+
+void saturation_and_baseline() {
+  bench::print_header(
+      "Thm. 6 extras: saturation semantics + atomic reference",
+      "After m operations the object pins at m-1; an atomic fetch-and-add "
+      "costs exactly 1 step/op (the hardware reference point).");
+  {
+    counting::BoundedFetchAndIncrement fai(8);
+    Ctx ctx(0, 5);
+    stats::Table table({"op #", "value"});
+    for (int i = 1; i <= 10; ++i) {
+      table.add_row({std::to_string(i),
+                     std::to_string(fai.fetch_and_increment(ctx))});
+    }
+    table.print(std::cout);
+  }
+  {
+    counting::AtomicCounter atomic;
+    Ctx ctx(0, 6);
+    const std::uint64_t before = ctx.steps();
+    for (int i = 0; i < 100; ++i) (void)atomic.fetch_and_increment(ctx);
+    std::cout << "atomic f&i steps/op: "
+              << (static_cast<double>(ctx.steps() - before) / 100) << "\n";
+  }
+}
+
+}  // namespace
+}  // namespace renamelib
+
+int main() {
+  renamelib::ltas_table();
+  renamelib::fai_surface();
+  renamelib::saturation_and_baseline();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Experiment: Sec. 2 substrate claims — the test-and-set implementations the
+// paper builds on.
+//
+// Regenerates:
+//   * Tromp-Vitanyi-style 2-process TAS: expected O(1) steps, geometric tail
+//     (distribution table),
+//   * RatRace adaptive TAS: steps vs k with the O(log^2 k) w.h.p. claim,
+//   * hardware TAS: unit cost.
+#include "bench_common.h"
+#include "tas/hardware_tas.h"
+#include "tas/rat_race_tas.h"
+#include "tas/two_process_tas.h"
+
+namespace renamelib {
+namespace {
+
+void two_process_distribution() {
+  bench::print_header(
+      "Sec. 2: two-process TAS step distribution",
+      "Contended pairs under adversarial simulation; expected O(1), w.h.p. "
+      "O(log n) (geometric tail).");
+  std::vector<double> winner_steps, loser_steps, all;
+  const int kRuns = 400;
+  for (int run = 0; run < kRuns; ++run) {
+    tas::TwoProcessTas t;
+    std::vector<std::uint64_t> steps(2, 0);
+    std::vector<int> won(2, 0);
+    sim::RandomAdversary adversary(static_cast<std::uint64_t>(run) * 3 + 1);
+    sim::RunOptions options;
+    options.seed = static_cast<std::uint64_t>(run) + 1;
+    auto result = sim::run_simulation(
+        2,
+        [&](Ctx& ctx) {
+          won[ctx.pid()] = t.compete(ctx, ctx.pid()) ? 1 : 0;
+        },
+        adversary, options);
+    for (int p = 0; p < 2; ++p) {
+      const double s = static_cast<double>(result.procs[p].steps);
+      (won[p] ? winner_steps : loser_steps).push_back(s);
+      all.push_back(s);
+    }
+  }
+  const auto w = stats::summarize(winner_steps);
+  const auto l = stats::summarize(loser_steps);
+  const auto a = stats::summarize(all);
+  stats::Table table({"role", "mean", "p50", "p90", "p99", "max"});
+  auto row = [&](const char* name, const stats::Summary& s) {
+    table.add_row({name, stats::Table::num(s.mean), stats::Table::num(s.p50),
+                   stats::Table::num(s.p90), stats::Table::num(s.p99),
+                   stats::Table::num(s.max, 0)});
+  };
+  row("winner", w);
+  row("loser", l);
+  row("all", a);
+  table.print(std::cout);
+}
+
+void ratrace_scaling() {
+  bench::print_header(
+      "Sec. 2: RatRace adaptive TAS scaling",
+      "Steps per process vs k under adversarial simulation; claim O(log^2 k) "
+      "w.h.p. — the ratio column should stay bounded.");
+  stats::Table table({"k", "mean steps", "p99 steps", "max steps",
+                      "mean/log^2 k"});
+  std::vector<double> xs, ys;
+  for (int k : {2, 4, 8, 16, 32, 64, 128}) {
+    std::vector<double> all;
+    const int kRuns = 5;
+    for (int run = 0; run < kRuns; ++run) {
+      tas::RatRaceTas t;
+      auto steps = bench::run_simulated(
+          k, static_cast<std::uint64_t>(run) * 1000 + k,
+          [&](Ctx& ctx) { (void)t.test_and_set(ctx); });
+      all.insert(all.end(), steps.begin(), steps.end());
+    }
+    const auto s = stats::summarize(all);
+    const double lg = std::log2(static_cast<double>(k) + 1);
+    table.add_row({std::to_string(k), stats::Table::num(s.mean),
+                   stats::Table::num(s.p99), stats::Table::num(s.max, 0),
+                   stats::Table::num(s.mean / (lg * lg), 3)});
+    xs.push_back(static_cast<double>(k));
+    ys.push_back(s.mean);
+  }
+  table.print(std::cout);
+  const auto fit = stats::fit_growth(xs, ys);
+  std::cout << "growth fit: " << fit.model << " (R^2 "
+            << stats::Table::num(fit.r2, 3) << ")\n";
+}
+
+void hardware_unit_cost() {
+  bench::print_header("Sec. 2: hardware TAS", "Unit cost per operation.");
+  tas::HardwareTas t;
+  Ctx ctx(0, 1);
+  (void)t.test_and_set(ctx);
+  std::cout << "steps for one test_and_set: " << ctx.steps() << "\n";
+}
+
+}  // namespace
+}  // namespace renamelib
+
+int main() {
+  renamelib::two_process_distribution();
+  renamelib::ratrace_scaling();
+  renamelib::hardware_unit_cost();
+  return 0;
+}

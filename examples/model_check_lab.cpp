@@ -1,0 +1,77 @@
+// Model-check lab: exhaustively verify a safety property over EVERY
+// schedule, then watch the explorer catch a deliberately broken protocol.
+//
+// The simulator's explorer enumerates all adversarial interleavings of a
+// small execution (coin flips fixed per seed). Here: (1) the two-process
+// test-and-set's "at most one winner" over every schedule, (2) a buggy
+// check-then-act "lock" where the explorer finds and prints the exact
+// interleaving that breaks it.
+#include <atomic>
+#include <cstdio>
+#include <memory>
+
+#include "sim/explore.h"
+#include "tas/two_process_tas.h"
+
+int main() {
+  using namespace renamelib;
+
+  std::printf("— exhaustive check: 2-process TAS, at most one winner —\n");
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    struct State {
+      tas::TwoProcessTas tas;
+      std::atomic<int> wins{0};
+    };
+    auto state = std::make_shared<State>();
+    sim::ExploreOptions options;
+    options.seed = seed;
+    options.max_depth = 14;
+    options.max_executions = 3000;
+    const auto result = sim::explore_schedules(
+        2,
+        [&] {
+          state = std::make_shared<State>();
+          auto s = state;
+          return [s](Ctx& ctx) {
+            if (s->tas.compete(ctx, ctx.pid())) s->wins.fetch_add(1);
+          };
+        },
+        [&](const sim::SimResult&) { return state->wins.load() <= 1; },
+        options);
+    std::printf("  seed %llu: %llu executions explored, %s\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(result.executions),
+                result.invariant_violated ? "VIOLATION (bug!)" : "all safe");
+  }
+
+  std::printf("\n— the same tool on a broken check-then-act lock —\n");
+  struct Broken {
+    Register<int> flag{0};
+    std::atomic<int> inside{0};
+  };
+  auto broken = std::make_shared<Broken>();
+  const auto result = sim::explore_schedules(
+      2,
+      [&] {
+        broken = std::make_shared<Broken>();
+        auto s = broken;
+        return [s](Ctx& ctx) {
+          if (s->flag.load(ctx) == 0) {  // check ...
+            s->flag.store(ctx, 1);       // ... then act: classic race
+            s->inside.fetch_add(1);
+          }
+        };
+      },
+      [&](const sim::SimResult&) { return broken->inside.load() <= 1; });
+  if (result.invariant_violated) {
+    std::printf("  violation found after %llu executions; schedule: ",
+                static_cast<unsigned long long>(result.executions));
+    for (int pid : result.counterexample) std::printf("p%d ", pid);
+    std::printf("\n  (both processes passed the check before either wrote — "
+                "the explorer hands you the exact interleaving.)\n");
+  } else {
+    std::printf("  unexpectedly found no violation\n");
+    return 1;
+  }
+  return 0;
+}

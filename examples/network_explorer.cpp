@@ -1,0 +1,82 @@
+// Explorer: visualize sorting networks and watch a renaming network route.
+//
+// Prints a Knuth-style ASCII diagram of small sorting networks, the stage
+// geometry of the Sec. 6.1 adaptive construction, and then traces one
+// process's path through a renaming network comparator by comparator.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adaptive/sandwich.h"
+#include "renaming/renaming_network.h"
+#include "sortnet/bitonic.h"
+#include "sortnet/comparator_network.h"
+#include "sortnet/insertion.h"
+#include "sortnet/odd_even_merge.h"
+#include "sortnet/verify.h"
+
+namespace {
+
+/// Knuth diagram: one row per wire, one column per layer; '|' marks a
+/// comparator between its two wires.
+void draw(const renamelib::sortnet::ComparatorNetwork& net, const char* title) {
+  const auto layers = net.layer_of_comparators();
+  const std::size_t depth = net.depth();
+  std::vector<std::string> rows(net.width(), std::string(3 * depth, ' '));
+  // Track how many comparators already drawn per layer column to offset
+  // overlapping comparators within one layer.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    const auto& c = net.comparator(i);
+    const std::size_t col = 3 * layers[i];
+    for (std::uint32_t w = c.lo; w <= c.hi; ++w) {
+      rows[w][col] = (w == c.lo) ? 'x' : (w == c.hi ? 'x' : '|');
+    }
+  }
+  std::printf("%s  (width %zu, size %zu, depth %zu, sorts: %s)\n", title,
+              net.width(), net.size(), net.depth(),
+              renamelib::sortnet::is_sorting_network_exhaustive(net) ? "yes"
+                                                                     : "no");
+  for (std::size_t w = 0; w < rows.size(); ++w) {
+    std::printf("  w%-2zu --%s--\n", w, rows[w].c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace renamelib;
+
+  draw(sortnet::insertion_sort(4), "insertion sort, n=4");
+  draw(sortnet::odd_even_merge_sort(8), "Batcher odd-even mergesort, n=8");
+  draw(sortnet::bitonic_sort(8), "bitonic (standardized), n=8");
+
+  std::printf("adaptive construction stages (Sec. 6.1):\n");
+  std::printf("  %-6s %-12s %-8s %-14s\n", "stage", "width w_j", "l_j",
+              "A_j/C_j width");
+  for (int j = 1; j <= adaptive::StageGeometry::kMaxStage; ++j) {
+    std::printf("  %-6d %-12llu %-8llu %-14llu\n", j,
+                static_cast<unsigned long long>(adaptive::StageGeometry::width(j)),
+                static_cast<unsigned long long>(adaptive::StageGeometry::ell(j)),
+                static_cast<unsigned long long>(
+                    adaptive::StageGeometry::sandwich_width(j)));
+  }
+
+  std::printf("\nrouting trace through a width-8 renaming network:\n");
+  renaming::RenamingNetwork net(sortnet::odd_even_merge_sort(8),
+                                renaming::ComparatorKind::kHardware);
+  // Pre-occupy ports 2 and 5 so our traced process meets competition.
+  Ctx other1(1, 2), other2(2, 3);
+  (void)net.rename(other1, 2);
+  (void)net.rename(other2, 5);
+
+  Ctx mine(0, 1);
+  const auto routed = net.rename_counted(mine, 7);
+  std::printf("  process on input port 7 with 2 processes already renamed:\n");
+  std::printf("  traversed %llu comparators, exited on port %llu (name %llu)\n",
+              static_cast<unsigned long long>(routed.comparators),
+              static_cast<unsigned long long>(routed.name),
+              static_cast<unsigned long long>(routed.name));
+  std::printf("  (the two earlier arrivals hold names 1 and 2; ours is 3)\n");
+  return routed.name == 3 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+// Quickstart: adaptive strong renaming in five minutes.
+//
+// Eight threads arrive with sparse 64-bit identifiers (addresses, hashes,
+// OS thread ids — anything unique) and leave with the names 1..8. Build &
+// run:
+//
+//   cmake -B build -G Ninja && cmake --build build --target quickstart
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "renaming/adaptive_strong.h"
+
+int main() {
+  using namespace renamelib;
+
+  // One shared renaming object. Hardware comparators make it deterministic
+  // and fast on real machines (the paper's Sec. 1 Discussion); drop the
+  // options for the registers-only randomized variant.
+  renaming::AdaptiveStrongRenaming::Options options;
+  options.comparators = renaming::AdaptiveComparatorKind::kHardware;
+  renaming::AdaptiveStrongRenaming renaming(options);
+
+  std::mutex print_mu;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 8;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each participant needs a Ctx: its step counter + private randomness.
+      Ctx ctx(t, /*seed=*/0xC0FFEE + t);
+
+      // A sparse, unique "initial name" — here a hash of the index; in real
+      // code std::hash<std::thread::id> works too.
+      const std::uint64_t sparse_id = 0x9e3779b97f4a7c15ULL * (t + 1);
+
+      const std::uint64_t name = renaming.rename(ctx, sparse_id);
+
+      std::scoped_lock lock{print_mu};
+      std::printf("thread %d: initial id %016llx  ->  name %llu  (%llu steps)\n",
+                  t, static_cast<unsigned long long>(sparse_id),
+                  static_cast<unsigned long long>(name),
+                  static_cast<unsigned long long>(ctx.steps()));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::printf(
+      "\nAll %d threads received unique names in 1..%d — a tight, adaptive\n"
+      "namespace, independent of how sparse the initial ids were.\n",
+      kThreads, kThreads);
+  return 0;
+}

@@ -1,0 +1,92 @@
+#include "adaptive/adaptive_network.h"
+
+#include "core/assert.h"
+
+namespace renamelib::adaptive {
+
+AdaptiveNetwork::AdaptiveNetwork() {
+  wings_.reserve(StageGeometry::kMaxStage + 1);
+  wings_.emplace_back(2);  // index 0: unused placeholder
+  for (int j = 1; j <= StageGeometry::kMaxStage; ++j) {
+    wings_.emplace_back(StageGeometry::sandwich_width(j));
+  }
+}
+
+const sortnet::LazyOddEven& AdaptiveNetwork::wing(int stage) const {
+  RENAMELIB_ENSURE(stage >= 1 && stage <= StageGeometry::kMaxStage,
+                   "wing stage out of range");
+  return wings_[static_cast<std::size_t>(stage)];
+}
+
+std::uint64_t AdaptiveNetwork::run_wing(std::uint32_t component, int stage,
+                                        std::uint64_t local, const Decide& decide,
+                                        std::uint64_t* count) const {
+  // `local` is 1-based within the wing; LazyOddEven wires are 0-based.
+  const sortnet::LazyOddEven& net = wings_[static_cast<std::size_t>(stage)];
+  RENAMELIB_ENSURE(local >= 1 && local <= net.width(), "wing wire out of range");
+  std::uint64_t wire = local - 1;
+  for (std::uint32_t phase = 0; phase < net.phase_count(); ++phase) {
+    const auto hit = net.hit(wire, phase);
+    if (!hit) continue;
+    const std::uint64_t lo = hit->is_lo ? wire : hit->partner;
+    if (count != nullptr) ++*count;
+    const bool up = decide(CompRef{component, phase, lo}, hit->is_lo);
+    wire = up ? lo : (hit->is_lo ? hit->partner : wire);
+    // If the value goes down and it entered on the hi side, it stays; if it
+    // entered on the lo side and lost, it moves to the partner (hi) wire.
+  }
+  return wire + 1;
+}
+
+std::uint64_t AdaptiveNetwork::walk_s(int stage, std::uint64_t wire,
+                                      const Decide& decide,
+                                      std::uint64_t* count) const {
+  if (stage == 0) {
+    RENAMELIB_ENSURE(wire >= 1 && wire <= 2, "S_0 wire out of range");
+    if (count != nullptr) ++*count;
+    const bool up = decide(CompRef{CompRef::base_component(), 0, 0}, wire == 1);
+    return up ? 1 : 2;
+  }
+  const std::uint64_t l = StageGeometry::ell(stage);
+  const std::uint64_t w_prev = StageGeometry::width(stage - 1);
+  RENAMELIB_ENSURE(wire >= 1 && wire <= StageGeometry::width(stage),
+                   "S_j wire out of range");
+  if (wire > l) {
+    wire = l + run_wing(CompRef::a_component(stage), stage, wire - l, decide, count);
+  }
+  if (wire <= w_prev) {
+    wire = walk_s(stage - 1, wire, decide, count);
+  }
+  if (wire > l) {
+    wire = l + run_wing(CompRef::c_component(stage), stage, wire - l, decide, count);
+  }
+  return wire;
+}
+
+std::uint64_t AdaptiveNetwork::route_counting(std::uint64_t port,
+                                              const Decide& decide,
+                                              std::uint64_t* count) const {
+  int stage = StageGeometry::owning_stage(port);
+  std::uint64_t wire = walk_s(stage, port, decide, count);
+  while (wire > StageGeometry::width(stage) / 2) {
+    ++stage;
+    RENAMELIB_ENSURE(stage <= StageGeometry::kMaxStage,
+                     "value escaped beyond the maximum stage");
+    const std::uint64_t l = StageGeometry::ell(stage);
+    wire = l + run_wing(CompRef::c_component(stage), stage, wire - l, decide, count);
+  }
+  return wire;
+}
+
+std::uint64_t AdaptiveNetwork::route(std::uint64_t port, const Decide& decide) const {
+  return route_counting(port, decide, nullptr);
+}
+
+std::uint64_t AdaptiveNetwork::path_length(std::uint64_t port,
+                                           const Decide& decide) const {
+  std::uint64_t count = 0;
+  (void)route_counting(port, decide, &count);
+  return count;
+}
+
+}  // namespace renamelib::adaptive

@@ -1,0 +1,95 @@
+// Lazy traversal of the unbounded adaptive sorting network (Sec. 6.1).
+//
+// AdaptiveNetwork never materializes comparators. It decomposes the infinite
+// network S_inf into components — the base S_0 plus the sandwich wings A_j
+// and C_j (Batcher networks, addressed through LazyOddEven's O(1) per-phase
+// wire queries) — and walks one value's path through them:
+//
+//   route(p):  J := owning_stage(p); wire := walk_S(J, p);
+//              while wire > w_J/2:  J += 1; wire := l_J + run(C_J, wire-l_J)
+//   walk_S(j, wire):                              // wire is an input of S_j
+//     j = 0:  run the single base comparator
+//     else:   if wire > l_j:      wire := l_j + run(A_j, wire - l_j)
+//             if wire <= w_{j-1}: wire := walk_S(j-1, wire)
+//             if wire > l_j:      wire := l_j + run(C_j, wire - l_j)
+//
+// Each comparator met is decided by a caller-supplied callback; for renaming
+// the callback competes in a two-process test-and-set (renaming/), for
+// verification it compares values. Comparators have stable canonical
+// identities (component, phase, lo-wire), so concurrent walkers agree on
+// which shared object arbitrates each comparator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "adaptive/sandwich.h"
+#include "sortnet/odd_even_merge.h"
+
+namespace renamelib::adaptive {
+
+/// Canonical identity of one comparator of the infinite network.
+struct CompRef {
+  /// Component id: 0 = base S_0; stage j >= 1: A_j = 2j-1, C_j = 2j.
+  std::uint32_t component = 0;
+  std::uint32_t phase = 0;  ///< phase within the component's Batcher network
+  std::uint64_t lo = 0;     ///< component-local lo wire (0-based)
+
+  friend bool operator==(const CompRef&, const CompRef&) = default;
+
+  /// Stable 64-bit key (phase < 2^11, lo < 2^33 at kMaxStage).
+  std::uint64_t key() const noexcept {
+    return (static_cast<std::uint64_t>(phase) << 40) | lo;
+  }
+
+  static std::uint32_t base_component() { return 0; }
+  static std::uint32_t a_component(int stage) {
+    return static_cast<std::uint32_t>(2 * stage - 1);
+  }
+  static std::uint32_t c_component(int stage) {
+    return static_cast<std::uint32_t>(2 * stage);
+  }
+  /// Total number of distinct component ids (for per-component tables).
+  static constexpr std::uint32_t component_limit() {
+    return 2 * StageGeometry::kMaxStage + 1;
+  }
+};
+
+class AdaptiveNetwork {
+ public:
+  /// Decides a comparator on behalf of the walking value: return true if the
+  /// value goes up (to the comparator's lo wire). `entered_lo` tells the
+  /// callback which side the value arrived on — in a renaming network the lo
+  /// side plays side 0 of the two-process TAS.
+  using Decide = std::function<bool(const CompRef& comp, bool entered_lo)>;
+
+  AdaptiveNetwork();
+
+  /// Walks a value entering external input port `port` (1-based) to its
+  /// output port (1-based). Every comparator met on the way is decided by
+  /// `decide`. Thread-safe: all state is immutable after construction.
+  std::uint64_t route(std::uint64_t port, const Decide& decide) const;
+
+  /// Number of comparators on the path (same walk, counting only).
+  /// `decide` semantics as in route().
+  std::uint64_t path_length(std::uint64_t port, const Decide& decide) const;
+
+  /// Lazy Batcher view for component A_j/C_j (width m_j).
+  const sortnet::LazyOddEven& wing(int stage) const;
+
+ private:
+  std::uint64_t walk_s(int stage, std::uint64_t wire, const Decide& decide,
+                       std::uint64_t* count) const;
+  std::uint64_t run_wing(std::uint32_t component, int stage, std::uint64_t local,
+                         const Decide& decide, std::uint64_t* count) const;
+
+  std::uint64_t route_counting(std::uint64_t port, const Decide& decide,
+                               std::uint64_t* count) const;
+
+  // One LazyOddEven per stage, index 1..kMaxStage (A_j and C_j share the
+  // geometry, not identity; index 0 is an unused placeholder).
+  std::vector<sortnet::LazyOddEven> wings_;
+};
+
+}  // namespace renamelib::adaptive

@@ -1,0 +1,60 @@
+#include "adaptive/sandwich.h"
+
+#include "core/assert.h"
+#include "sortnet/odd_even_merge.h"
+
+namespace renamelib::adaptive {
+
+std::uint64_t StageGeometry::width(int stage) {
+  RENAMELIB_ENSURE(stage >= 0 && stage <= kMaxStage, "stage out of range");
+  std::uint64_t w = 2;
+  for (int j = 0; j < stage; ++j) w *= w;
+  return w;
+}
+
+std::uint64_t StageGeometry::ell(int stage) {
+  RENAMELIB_ENSURE(stage >= 1 && stage <= kMaxStage, "stage out of range");
+  return width(stage - 1) / 2;
+}
+
+std::uint64_t StageGeometry::sandwich_width(int stage) {
+  return width(stage) - ell(stage);
+}
+
+int StageGeometry::owning_stage(std::uint64_t port) {
+  RENAMELIB_ENSURE(port >= 1, "ports are 1-based");
+  for (int j = 0; j <= kMaxStage; ++j) {
+    if (port <= width(j) / 2) return j;
+  }
+  RENAMELIB_ENSURE(false, "port exceeds w_maxstage/2 = 2^31");
+}
+
+sortnet::ComparatorNetwork sandwich(const sortnet::ComparatorNetwork& a,
+                                    const sortnet::ComparatorNetwork& b,
+                                    const sortnet::ComparatorNetwork& c,
+                                    std::size_t ell) {
+  RENAMELIB_ENSURE(a.width() == c.width(), "A and C must have equal width");
+  RENAMELIB_ENSURE(ell <= b.width() / 2, "ell must be <= B.width/2 (Lemma 2)");
+  RENAMELIB_ENSURE(b.width() <= ell + a.width(), "B must fit in the sandwich");
+  sortnet::ComparatorNetwork net(ell + a.width());
+  net.append(a, static_cast<std::uint32_t>(ell));
+  net.append(b, 0);
+  net.append(c, static_cast<std::uint32_t>(ell));
+  return net;
+}
+
+sortnet::ComparatorNetwork materialize_stage(int stage) {
+  RENAMELIB_ENSURE(stage >= 0 && stage <= 3,
+                   "materializing beyond stage 3 (width 256) is impractical");
+  if (stage == 0) {
+    sortnet::ComparatorNetwork base(2);
+    base.add(0, 1);
+    return base;
+  }
+  const auto m = static_cast<std::size_t>(StageGeometry::sandwich_width(stage));
+  const auto l = static_cast<std::size_t>(StageGeometry::ell(stage));
+  const sortnet::ComparatorNetwork wing = sortnet::odd_even_merge_sort(m);
+  return sandwich(wing, materialize_stage(stage - 1), wing, l);
+}
+
+}  // namespace renamelib::adaptive

@@ -1,0 +1,57 @@
+// The paper's Sec. 6.1 recursive "sandwich" construction.
+//
+// Stage geometry: w_0 = 2 and w_j = w_{j-1}^2; stage j >= 1 sandwiches the
+// previous network S_{j-1} (as B) between two sorting networks A_j and C_j
+// of width m_j = w_j - l_j, with l_j = w_{j-1}/2.
+//
+// Because of the composition's wiring (paper Fig. 2), the flat form is
+// simply:  S_j = shift(A_j, l_j) ++ S_{j-1} ++ shift(C_j, l_j)  on w_j wires
+// — no rewiring is needed, which Lemma 2's proof depends on and which makes
+// both materialization (here, for verification) and lazy traversal
+// (adaptive_network.h) straightforward.
+//
+// We use Batcher odd-even networks for A_j and C_j (the paper's constructible
+// alternative to AKS; c = 2 in Theorem 2).
+#pragma once
+
+#include <cstdint>
+
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::adaptive {
+
+/// Stage geometry helpers. Stages above 5 would need w_6 = 2^64 wires;
+/// kMaxStage = 5 supports input ports up to w_5/2 = 2^31, far beyond any
+/// feasible contention.
+struct StageGeometry {
+  static constexpr int kMaxStage = 5;
+
+  /// w_j: width of stage j (w_0 = 2, squaring each stage).
+  static std::uint64_t width(int stage);
+
+  /// l_j = w_{j-1}/2: ports of S_{j-1} exposed directly by stage j.
+  static std::uint64_t ell(int stage);
+
+  /// m_j = w_j - l_j: width of the A_j and C_j sandwich networks.
+  static std::uint64_t sandwich_width(int stage);
+
+  /// Smallest stage J with port <= w_J / 2 (1-based port). A value entering
+  /// there never leaves S_J while it remains among the l smallest
+  /// (paper Lemma 3), which caps its traversal at depth(S_J) — the source of
+  /// the O(log^c max(n,m)) bound of Theorem 2.
+  static int owning_stage(std::uint64_t port);
+};
+
+/// Generic sandwich composition (paper Fig. 2): B between A and C with B's
+/// top `ell` ports exposed. Requires A.width == C.width and ell <= B.width/2;
+/// result width = ell + A.width.
+sortnet::ComparatorNetwork sandwich(const sortnet::ComparatorNetwork& a,
+                                    const sortnet::ComparatorNetwork& b,
+                                    const sortnet::ComparatorNetwork& c,
+                                    std::size_t ell);
+
+/// Materializes S_j as a flat comparator network (verification/benches only;
+/// feasible for j <= 3, width 256).
+sortnet::ComparatorNetwork materialize_stage(int stage);
+
+}  // namespace renamelib::adaptive

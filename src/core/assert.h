@@ -1,0 +1,28 @@
+// Lightweight invariant checking used across renamelib.
+//
+// RENAMELIB_ENSURE is active in all build types: protocol invariants (name
+// uniqueness, gate handshake states, ...) are cheap relative to the shared
+// memory operations they guard, and silent corruption in a concurrency
+// library is far worse than the cost of a predictable branch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace renamelib::detail {
+
+[[noreturn]] inline void ensure_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "renamelib: invariant violated: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace renamelib::detail
+
+#define RENAMELIB_ENSURE(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::renamelib::detail::ensure_fail(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,27 @@
+#include "core/ctx.h"
+
+#include "core/step.h"
+
+namespace renamelib {
+
+const char* to_string(OpKind kind) noexcept {
+  switch (kind) {
+    case OpKind::kLoad:
+      return "load";
+    case OpKind::kStore:
+      return "store";
+    case OpKind::kCas:
+      return "cas";
+    case OpKind::kExchange:
+      return "exchange";
+    case OpKind::kFetchAdd:
+      return "fetch_add";
+    case OpKind::kFetchOr:
+      return "fetch_or";
+    case OpKind::kTestAndSet:
+      return "test_and_set";
+  }
+  return "?";
+}
+
+}  // namespace renamelib

@@ -1,0 +1,130 @@
+// Per-process execution context.
+//
+// Every shared-memory operation in renamelib goes through a Ctx, which
+//   (a) counts steps exactly as the paper does (shared-memory operations;
+//       all coin flips between two shared operations count as one step),
+//   (b) supplies the process's private randomness, and
+//   (c) in simulated mode, defers to the adversarial scheduler via SchedGate.
+//
+// In hardware mode (gate == nullptr) the overhead is one branch and two
+// counter increments per operation, so the same algorithm code serves both
+// real-thread benchmarks and deterministic adversarial simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "core/sched_gate.h"
+#include "core/step.h"
+
+namespace renamelib {
+
+/// Execution context handed to every operation of every shared object.
+class Ctx {
+ public:
+  /// Hardware-mode context: steps are counted but never blocked.
+  Ctx(int pid, std::uint64_t seed) : pid_(pid), rng_(seed) {}
+
+  /// Simulated-mode context: each shared step must be granted through `gate`.
+  Ctx(int pid, std::uint64_t seed, SchedGate* gate)
+      : pid_(pid), rng_(seed), gate_(gate) {}
+
+  Ctx(const Ctx&) = delete;
+  Ctx& operator=(const Ctx&) = delete;
+
+  int pid() const noexcept { return pid_; }
+
+  /// Process-private randomness. Draws between two shared operations are
+  /// charged to the step counter as (at most) one step, per the paper's cost
+  /// model: we count them via coin_batches_.
+  Rng& rng() noexcept {
+    if (!coin_drawn_since_step_) {
+      coin_drawn_since_step_ = true;
+      ++coin_batches_;
+    }
+    ++coin_flips_;
+    return rng_;
+  }
+
+  /// Number of shared-memory operations performed so far.
+  std::uint64_t shared_steps() const noexcept { return shared_steps_; }
+
+  /// Steps in the paper's cost model: shared operations plus one step per
+  /// batch of coin flips between consecutive shared operations.
+  std::uint64_t steps() const noexcept { return shared_steps_ + coin_batches_; }
+
+  /// Raw number of random draws (for diagnostics).
+  std::uint64_t coin_flips() const noexcept { return coin_flips_; }
+
+  /// Resets counters; used by harnesses measuring a single operation.
+  void reset_counters() noexcept {
+    shared_steps_ = 0;
+    coin_flips_ = 0;
+    coin_batches_ = 0;
+    coin_drawn_since_step_ = false;
+  }
+
+  /// Called by Register/HardwareTas before each shared operation.
+  /// In simulated mode this blocks until the adversary grants the step.
+  void before_shared_op(OpKind kind, const void* object) {
+    if (gate_ != nullptr) {
+      // May throw ProcessCrashed: a step killed at the gate was never
+      // performed and is not counted.
+      gate_->begin_step(StepInfo{kind, object, label_, shared_steps_ + 1});
+    }
+  }
+
+  /// Called by Register/HardwareTas right after the shared operation; only
+  /// completed operations count toward step complexity.
+  void after_shared_op() {
+    ++shared_steps_;
+    coin_drawn_since_step_ = false;
+    if (gate_ != nullptr) gate_->end_step();
+  }
+
+  /// Mints a process-locally unique 64-bit identity (pid in the high bits,
+  /// a local sequence number in the low bits). Counters use this to issue a
+  /// fresh initial name per operation — the paper's "unbounded initial
+  /// namespace". Purely local: not a shared-memory step.
+  std::uint64_t mint_token() noexcept {
+    return ((static_cast<std::uint64_t>(pid_) + 1) << 32) | ++token_seq_;
+  }
+
+  /// Innermost algorithm annotation; see LabelScope.
+  const char* label() const noexcept { return label_; }
+
+  SchedGate* gate() const noexcept { return gate_; }
+
+ private:
+  friend class LabelScope;
+
+  int pid_;
+  Rng rng_;
+  SchedGate* gate_ = nullptr;
+  const char* label_ = "";
+  std::uint64_t shared_steps_ = 0;
+  std::uint64_t coin_flips_ = 0;
+  std::uint64_t coin_batches_ = 0;
+  std::uint64_t token_seq_ = 0;
+  bool coin_drawn_since_step_ = false;
+};
+
+/// RAII annotation of the protocol phase a process is in; the adversary can
+/// read it via StepInfo::label and target specific phases (e.g. delay
+/// processes about to win a test-and-set).
+class LabelScope {
+ public:
+  LabelScope(Ctx& ctx, const char* label) noexcept
+      : ctx_(ctx), saved_(ctx.label_) {
+    ctx_.label_ = label;
+  }
+  ~LabelScope() { ctx_.label_ = saved_; }
+  LabelScope(const LabelScope&) = delete;
+  LabelScope& operator=(const LabelScope&) = delete;
+
+ private:
+  Ctx& ctx_;
+  const char* saved_;
+};
+
+}  // namespace renamelib

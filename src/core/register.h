@@ -1,0 +1,104 @@
+// Multi-writer multi-reader atomic registers, the paper's base primitive.
+//
+// Register<T> wraps std::atomic<T> but routes every access through a Ctx so
+// that (a) step complexity is measured exactly and (b) in simulated mode the
+// adversary chooses the linearization order. Because the simulator grants one
+// step at a time, the underlying std::atomic operation executes while the
+// process holds the grant, making the grant order the linearization order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+
+#include "core/assert.h"
+#include "core/ctx.h"
+
+namespace renamelib {
+
+template <typename T>
+class Register {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "registers hold trivially copyable values");
+
+ public:
+  Register() : value_{} {}
+  explicit Register(T initial) : value_{initial} {}
+  Register(const Register&) = delete;
+  Register& operator=(const Register&) = delete;
+
+  T load(Ctx& ctx) const {
+    ctx.before_shared_op(OpKind::kLoad, this);
+    T v = value_.load(std::memory_order_seq_cst);
+    ctx.after_shared_op();
+    return v;
+  }
+
+  void store(Ctx& ctx, T v) {
+    ctx.before_shared_op(OpKind::kStore, this);
+    value_.store(v, std::memory_order_seq_cst);
+    ctx.after_shared_op();
+  }
+
+  /// Single-shot strong CAS; returns true iff the swap happened. `expected`
+  /// is updated with the observed value on failure, like std::atomic.
+  bool compare_exchange(Ctx& ctx, T& expected, T desired) {
+    ctx.before_shared_op(OpKind::kCas, this);
+    bool ok = value_.compare_exchange_strong(expected, desired,
+                                             std::memory_order_seq_cst);
+    ctx.after_shared_op();
+    return ok;
+  }
+
+  T exchange(Ctx& ctx, T v) {
+    ctx.before_shared_op(OpKind::kExchange, this);
+    T old = value_.exchange(v, std::memory_order_seq_cst);
+    ctx.after_shared_op();
+    return old;
+  }
+
+  template <typename U = T>
+  std::enable_if_t<std::is_integral_v<U>, T> fetch_add(Ctx& ctx, T delta) {
+    ctx.before_shared_op(OpKind::kFetchAdd, this);
+    T old = value_.fetch_add(delta, std::memory_order_seq_cst);
+    ctx.after_shared_op();
+    return old;
+  }
+
+  /// Initialization-time access, NOT a process step (e.g. building objects
+  /// before an execution starts). Must not race with ongoing executions.
+  T peek() const { return value_.load(std::memory_order_seq_cst); }
+  void poke(T v) { value_.store(v, std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<T> value_;
+};
+
+/// Fixed-size array of registers (registers are not copyable/movable, so
+/// vector<Register<T>> does not work).
+template <typename T>
+class RegisterArray {
+ public:
+  explicit RegisterArray(std::size_t n, T initial = T{})
+      : size_(n), regs_(std::make_unique<Register<T>[]>(n)) {
+    for (std::size_t i = 0; i < n; ++i) regs_[i].poke(initial);
+  }
+
+  std::size_t size() const noexcept { return size_; }
+
+  Register<T>& operator[](std::size_t i) {
+    RENAMELIB_ENSURE(i < size_, "register index out of range");
+    return regs_[i];
+  }
+  const Register<T>& operator[](std::size_t i) const {
+    RENAMELIB_ENSURE(i < size_, "register index out of range");
+    return regs_[i];
+  }
+
+ private:
+  std::size_t size_;
+  std::unique_ptr<Register<T>[]> regs_;
+};
+
+}  // namespace renamelib

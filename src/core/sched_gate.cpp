@@ -1,0 +1,81 @@
+#include "core/sched_gate.h"
+
+#include "core/assert.h"
+
+namespace renamelib {
+
+void SchedGate::begin_step(const StepInfo& info) {
+  std::unique_lock lock{mu_};
+  if (kill_requested_) {
+    state_ = State::kCrashed;
+    cv_.notify_all();
+    throw ProcessCrashed{};
+  }
+  RENAMELIB_ENSURE(state_ == State::kRunning, "begin_step from non-running state");
+  info_ = info;
+  state_ = State::kAtGate;
+  granted_ = false;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return granted_ || kill_requested_; });
+  if (kill_requested_ && !granted_) {
+    state_ = State::kCrashed;
+    cv_.notify_all();
+    throw ProcessCrashed{};
+  }
+  state_ = State::kExecuting;
+}
+
+void SchedGate::end_step() {
+  std::unique_lock lock{mu_};
+  RENAMELIB_ENSURE(state_ == State::kExecuting, "end_step without grant");
+  state_ = State::kRunning;
+  cv_.notify_all();
+}
+
+void SchedGate::finish(bool crashed) {
+  std::unique_lock lock{mu_};
+  state_ = crashed ? State::kCrashed : State::kDone;
+  cv_.notify_all();
+}
+
+SchedGate::State SchedGate::wait_ready() {
+  std::unique_lock lock{mu_};
+  cv_.wait(lock, [&] {
+    return (state_ == State::kAtGate && !granted_) || state_ == State::kDone ||
+           state_ == State::kCrashed;
+  });
+  return state_;
+}
+
+void SchedGate::grant_and_wait() {
+  std::unique_lock lock{mu_};
+  RENAMELIB_ENSURE(state_ == State::kAtGate, "grant for process not at gate");
+  granted_ = true;
+  cv_.notify_all();
+  // Wait until the process performed the step and came back to a stable
+  // observation point: next gate, done, or crashed. `granted_` is reset only
+  // when the process arrives at its *next* gate, which distinguishes that
+  // gate from the one we just granted.
+  cv_.wait(lock, [&] {
+    return (state_ == State::kAtGate && !granted_) || state_ == State::kDone ||
+           state_ == State::kCrashed;
+  });
+}
+
+void SchedGate::kill() {
+  std::unique_lock lock{mu_};
+  kill_requested_ = true;
+  cv_.notify_all();
+}
+
+SchedGate::State SchedGate::state() const {
+  std::unique_lock lock{mu_};
+  return state_;
+}
+
+StepInfo SchedGate::info() const {
+  std::unique_lock lock{mu_};
+  return info_;
+}
+
+}  // namespace renamelib

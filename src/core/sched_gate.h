@@ -1,0 +1,79 @@
+// The handshake between a simulated process and the adversarial scheduler.
+//
+// In simulated mode every shared-memory operation is bracketed by
+// begin_step()/end_step() on the process's SchedGate. The scheduler grants
+// exactly one outstanding step at a time, so the grant order is a total order
+// on shared-memory operations — i.e. the linearization the adversary chose.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/step.h"
+
+namespace renamelib {
+
+/// Thrown inside a simulated process when the adversary crashes it. The
+/// executor catches it at the top of the process body; algorithms just need
+/// to be exception-safe (RAII), which they are.
+struct ProcessCrashed {};
+
+/// One gate per simulated process. Process-side calls come from the process
+/// thread; scheduler-side calls come from the executor thread.
+class SchedGate {
+ public:
+  enum class State : int {
+    kRunning,    ///< executing local code (not visible to scheduling)
+    kAtGate,     ///< blocked, requesting a shared step (info() is valid)
+    kExecuting,  ///< granted; performing the shared operation
+    kDone,       ///< process body returned
+    kCrashed,    ///< adversary killed it (or it observed the kill)
+  };
+
+  SchedGate() = default;
+  SchedGate(const SchedGate&) = delete;
+  SchedGate& operator=(const SchedGate&) = delete;
+
+  // --- process side ---------------------------------------------------
+
+  /// Announces `info` and blocks until the scheduler grants the step.
+  /// Throws ProcessCrashed if the adversary killed this process.
+  void begin_step(const StepInfo& info);
+
+  /// Marks the granted step complete and wakes the scheduler.
+  void end_step();
+
+  /// Called once when the process body returns (normally or by crash).
+  void finish(bool crashed);
+
+  // --- scheduler side --------------------------------------------------
+
+  /// Blocks until the process is at the gate, done, or crashed.
+  /// Returns the state reached.
+  State wait_ready();
+
+  /// Grants the pending step and blocks until the process completes it and
+  /// either reaches the next gate, finishes, or crashes.
+  void grant_and_wait();
+
+  /// Marks the process crashed. If it is blocked at the gate it wakes and
+  /// throws ProcessCrashed; if it is running local code it dies at its next
+  /// begin_step(). Returns immediately.
+  void kill();
+
+  /// Snapshot of the current state (scheduler side).
+  State state() const;
+
+  /// The pending step description; only meaningful in State::kAtGate.
+  StepInfo info() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  State state_ = State::kRunning;
+  bool kill_requested_ = false;
+  bool granted_ = false;
+  StepInfo info_{};
+};
+
+}  // namespace renamelib

@@ -1,0 +1,35 @@
+// Description of a single shared-memory step, as observed by the adversary.
+#pragma once
+
+#include <cstdint>
+
+namespace renamelib {
+
+/// Kind of shared-memory primitive about to be executed.
+enum class OpKind : std::uint8_t {
+  kLoad,
+  kStore,
+  kCas,
+  kExchange,
+  kFetchAdd,
+  kFetchOr,
+  kTestAndSet,  // hardware unit-cost TAS (std::atomic_flag)
+};
+
+const char* to_string(OpKind kind) noexcept;
+
+/// Metadata published by a process right before it performs a shared step.
+///
+/// A strong adaptive adversary is allowed to inspect everything about a
+/// process — including the coin flips it has already drawn — before deciding
+/// whom to schedule. `label` is an algorithm-supplied annotation (e.g.
+/// "ratrace/tournament") that lets adversary strategies target protocol
+/// phases without parsing internals.
+struct StepInfo {
+  OpKind kind = OpKind::kLoad;
+  const void* object = nullptr;  ///< identity of the register being accessed
+  const char* label = "";        ///< innermost algorithm annotation
+  std::uint64_t seq = 0;         ///< per-process shared-step sequence number
+};
+
+}  // namespace renamelib

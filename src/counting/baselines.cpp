@@ -1,0 +1,50 @@
+#include "counting/baselines.h"
+
+#include <bit>
+
+#include "core/assert.h"
+
+namespace renamelib::counting {
+
+MaxRegTreeCounter::MaxRegTreeCounter(std::size_t n, std::uint64_t capacity)
+    : leaves_(std::bit_ceil(std::max<std::size_t>(n, 2))), capacity_(capacity) {
+  RENAMELIB_ENSURE(n >= 1, "need at least one process");
+  leaf_counts_ = std::make_unique<RegisterArray<std::uint64_t>>(leaves_, 0);
+  nodes_.resize(leaves_);  // index 0 unused; 1..leaves_-1 internal
+  for (std::size_t i = 1; i < leaves_; ++i) {
+    nodes_[i] = std::make_unique<MaxRegister>(capacity_);
+  }
+}
+
+void MaxRegTreeCounter::increment(Ctx& ctx) {
+  LabelScope label{ctx, "maxreg_tree_counter/inc"};
+  const std::size_t leaf = static_cast<std::size_t>(ctx.pid());
+  RENAMELIB_ENSURE(leaf < leaves_, "pid exceeds counter width");
+
+  // Single-writer exact count at the leaf.
+  auto& mine = (*leaf_counts_)[leaf];
+  mine.store(ctx, mine.load(ctx) + 1);
+
+  // Refresh the path to the root: each node's value is the sum of its two
+  // children's current values, pushed through a max register ([17]).
+  std::size_t node = (leaves_ + leaf) / 2;
+  while (node >= 1) {
+    const std::size_t left = 2 * node;
+    const std::size_t right = 2 * node + 1;
+    auto child_value = [&](std::size_t c) -> std::uint64_t {
+      if (c >= leaves_) return (*leaf_counts_)[c - leaves_].load(ctx);
+      return nodes_[c]->read(ctx);
+    };
+    const std::uint64_t sum = child_value(left) + child_value(right);
+    nodes_[node]->write_max(ctx, std::min<std::uint64_t>(sum, capacity_ - 1));
+    node /= 2;
+  }
+}
+
+std::uint64_t MaxRegTreeCounter::read(Ctx& ctx) {
+  LabelScope label{ctx, "maxreg_tree_counter/read"};
+  if (leaves_ == 1) return (*leaf_counts_)[0].load(ctx);
+  return nodes_[1]->read(ctx);
+}
+
+}  // namespace renamelib::counting

@@ -1,0 +1,62 @@
+#include "counting/bounded_fai.h"
+
+#include <bit>
+#include <vector>
+
+#include "core/assert.h"
+
+namespace renamelib::counting {
+
+BoundedFetchAndIncrement::BoundedFetchAndIncrement(
+    std::uint64_t m, renaming::AdaptiveStrongRenaming::Options options)
+    : m_(m), options_(options), root_(std::make_unique<Node>(m, options)) {
+  RENAMELIB_ENSURE(m >= 1 && std::has_single_bit(m), "m must be a power of two");
+}
+
+BoundedFetchAndIncrement::~BoundedFetchAndIncrement() {
+  std::vector<Node*> stack;
+  for (int dir = 0; dir < 2; ++dir) {
+    if (Node* c = root_->child[dir].load()) stack.push_back(c);
+  }
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (int dir = 0; dir < 2; ++dir) {
+      if (Node* c = n->child[dir].load()) stack.push_back(c);
+    }
+    delete n;
+  }
+}
+
+BoundedFetchAndIncrement::Node* BoundedFetchAndIncrement::child_of(
+    Node* parent, int dir, std::uint64_t child_l) {
+  Node* existing = parent->child[dir].load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  auto fresh = std::make_unique<Node>(child_l, options_);
+  Node* expected = nullptr;
+  if (parent->child[dir].compare_exchange_strong(expected, fresh.get(),
+                                                 std::memory_order_acq_rel)) {
+    node_count_.fetch_add(1, std::memory_order_relaxed);
+    return fresh.release();
+  }
+  return expected;
+}
+
+std::uint64_t BoundedFetchAndIncrement::fetch_and_increment(Ctx& ctx) {
+  LabelScope label{ctx, "bounded_fai/op"};
+  Node* node = root_.get();
+  std::uint64_t l = m_;
+  std::uint64_t acc = 0;
+  while (l > 1) {
+    if (node->test.test_and_set(ctx)) {
+      node = child_of(node, 0, l / 2);
+    } else {
+      acc += l / 2;
+      node = child_of(node, 1, l / 2);
+    }
+    l /= 2;
+  }
+  return acc;  // the 1-valued leaf always contributes 0
+}
+
+}  // namespace renamelib::counting

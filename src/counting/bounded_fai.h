@@ -1,0 +1,58 @@
+// Linearizable m-valued fetch-and-increment (Sec. 8.2, Algorithm 2).
+//
+// Recursive tree: an l-valued object is an l/2-test-and-set plus two
+// l/2-valued children. Winners of the test go left (values 0..l/2-1);
+// losers go right and add l/2. Leaves are 0-valued objects that always
+// return 0. Once m operations have completed the object keeps returning
+// m-1 (the paper's saturating sequential specification).
+//
+// Theorem 6: linearizable, O(log k log m) steps in expectation. Nodes (each
+// containing a full adaptive renaming object) are materialized on first
+// touch, so memory is proportional to the values actually handed out.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "counting/l_test_and_set.h"
+
+namespace renamelib::counting {
+
+class BoundedFetchAndIncrement {
+ public:
+  /// `m` must be a power of two (the paper reduces general m to this case).
+  explicit BoundedFetchAndIncrement(std::uint64_t m)
+      : BoundedFetchAndIncrement(m, renaming::AdaptiveStrongRenaming::Options{}) {}
+  BoundedFetchAndIncrement(std::uint64_t m,
+                           renaming::AdaptiveStrongRenaming::Options options);
+  ~BoundedFetchAndIncrement();
+  BoundedFetchAndIncrement(const BoundedFetchAndIncrement&) = delete;
+  BoundedFetchAndIncrement& operator=(const BoundedFetchAndIncrement&) = delete;
+
+  std::uint64_t m() const noexcept { return m_; }
+
+  /// Returns the next counter value (0, 1, 2, ..., saturating at m-1).
+  std::uint64_t fetch_and_increment(Ctx& ctx);
+
+  /// Nodes materialized so far (quiescent diagnostic).
+  std::size_t materialized_nodes() const noexcept { return node_count_.load(); }
+
+ private:
+  struct Node {
+    explicit Node(std::uint64_t l,
+                  const renaming::AdaptiveStrongRenaming::Options& options)
+        : test(l / 2, options) {}
+    LTestAndSet test;  ///< l/2-test-and-set for an l-valued node
+    std::atomic<Node*> child[2] = {nullptr, nullptr};
+  };
+
+  Node* child_of(Node* parent, int dir, std::uint64_t child_l);
+
+  std::uint64_t m_;
+  renaming::AdaptiveStrongRenaming::Options options_;
+  std::unique_ptr<Node> root_;
+  std::atomic<std::size_t> node_count_{1};
+};
+
+}  // namespace renamelib::counting

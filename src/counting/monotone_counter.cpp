@@ -1,0 +1,26 @@
+#include "counting/monotone_counter.h"
+
+namespace renamelib::counting {
+
+void MonotoneCounter::increment(Ctx& ctx) {
+  LabelScope label{ctx, "monotone_counter/inc"};
+  const std::uint64_t name = renaming_.rename(ctx, ctx.mint_token());
+  max_.write_max(ctx, name);
+}
+
+MonotoneCounter::IncrementStats MonotoneCounter::increment_instrumented(Ctx& ctx) {
+  const std::uint64_t before = ctx.steps();
+  LabelScope label{ctx, "monotone_counter/inc"};
+  IncrementStats stats;
+  stats.name = renaming_.rename(ctx, ctx.mint_token());
+  max_.write_max(ctx, stats.name);
+  stats.steps = ctx.steps() - before;
+  return stats;
+}
+
+std::uint64_t MonotoneCounter::read(Ctx& ctx) {
+  LabelScope label{ctx, "monotone_counter/read"};
+  return max_.read(ctx);
+}
+
+}  // namespace renamelib::counting

@@ -1,0 +1,129 @@
+#include "countnet/counting_network.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/assert.h"
+#include "sortnet/odd_even_merge.h"
+
+namespace renamelib::countnet {
+
+namespace {
+
+/// Recursive AHS bitonic construction over explicit wire subsets. Appends
+/// balancer positions to `net` and returns the output wire order (step
+/// property: excess tokens on earlier wires of this order).
+class BitonicBuilder {
+ public:
+  explicit BitonicBuilder(sortnet::ComparatorNetwork& net) : net_(net) {}
+
+  std::vector<std::uint32_t> bitonic(std::vector<std::uint32_t> wires) {
+    RENAMELIB_ENSURE(std::has_single_bit(wires.size()), "width must be 2^k");
+    if (wires.size() == 1) return wires;
+    const std::size_t half = wires.size() / 2;
+    std::vector<std::uint32_t> lo(wires.begin(), wires.begin() + half);
+    std::vector<std::uint32_t> hi(wires.begin() + half, wires.end());
+    return merger(bitonic(std::move(lo)), bitonic(std::move(hi)));
+  }
+
+  /// Merger[2k] per Aspnes–Herlihy–Shavit: two sequences with the step
+  /// property in, one combined step-property sequence out.
+  std::vector<std::uint32_t> merger(std::vector<std::uint32_t> x,
+                                    std::vector<std::uint32_t> y) {
+    RENAMELIB_ENSURE(x.size() == y.size(), "merger halves must match");
+    const std::size_t k = x.size();
+    if (k == 1) {
+      net_.add(x[0], y[0]);
+      // The balancer's top output is its lo wire.
+      return {std::min(x[0], y[0]), std::max(x[0], y[0])};
+    }
+    std::vector<std::uint32_t> x_even, x_odd, y_even, y_odd;
+    for (std::size_t i = 0; i < k; ++i) {
+      ((i % 2 == 0) ? x_even : x_odd).push_back(x[i]);
+      ((i % 2 == 0) ? y_even : y_odd).push_back(y[i]);
+    }
+    const auto z = merger(std::move(x_even), std::move(y_odd));
+    const auto zp = merger(std::move(x_odd), std::move(y_even));
+    std::vector<std::uint32_t> out;
+    out.reserve(2 * k);
+    for (std::size_t i = 0; i < k; ++i) {
+      net_.add(z[i], zp[i]);
+      out.push_back(std::min(z[i], zp[i]));
+      out.push_back(std::max(z[i], zp[i]));
+    }
+    return out;
+  }
+
+ private:
+  sortnet::ComparatorNetwork& net_;
+};
+
+}  // namespace
+
+CountingNetwork::CountingNetwork(sortnet::ComparatorNetwork wiring)
+    : wiring_(std::move(wiring)),
+      per_wire_(wiring_.per_wire()),
+      balancers_(std::make_unique<Balancer[]>(wiring_.size())),
+      exit_counts_(std::make_unique<Register<std::uint64_t>[]>(wiring_.width())) {}
+
+CountingNetwork CountingNetwork::bitonic(std::size_t width) {
+  RENAMELIB_ENSURE(width >= 1 && std::has_single_bit(width),
+                   "bitonic counting network width must be a power of two");
+  sortnet::ComparatorNetwork net(width);
+  BitonicBuilder builder(net);
+  std::vector<std::uint32_t> wires(width);
+  for (std::size_t i = 0; i < width; ++i) wires[i] = static_cast<std::uint32_t>(i);
+  const auto order = builder.bitonic(std::move(wires));
+  // The AHS output order coincides with wire order for this construction
+  // (each balancer lists its lo wire first); assert rather than assume.
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    RENAMELIB_ENSURE(order[i] == i, "unexpected bitonic output order");
+  }
+  return CountingNetwork(std::move(net));
+}
+
+std::size_t CountingNetwork::traverse(Ctx& ctx, std::size_t wire) {
+  RENAMELIB_ENSURE(wire < wiring_.width(), "input wire out of range");
+  LabelScope label{ctx, "counting_network/traverse"};
+  std::size_t next_index = 0;
+  std::uint32_t w = static_cast<std::uint32_t>(wire);
+  for (;;) {
+    const auto& list = per_wire_[w];
+    const auto it = std::lower_bound(list.begin(), list.end(),
+                                     static_cast<std::uint32_t>(next_index));
+    if (it == list.end()) break;
+    const auto& c = wiring_.comparator(*it);
+    const int port = balancers_[*it].traverse(ctx);
+    w = (port == 0) ? c.lo : c.hi;
+    next_index = *it + 1;
+  }
+  return w;
+}
+
+std::uint64_t CountingNetwork::next_value(Ctx& ctx, std::size_t enter_wire) {
+  const std::size_t out = traverse(ctx, enter_wire);
+  const std::uint64_t visits = exit_counts_[out].fetch_add(ctx, 1);
+  return out + wiring_.width() * visits;
+}
+
+std::vector<std::uint64_t> CountingNetwork::output_counts() const {
+  std::vector<std::uint64_t> counts(wiring_.width());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = exit_counts_[i].peek();
+  }
+  return counts;
+}
+
+bool CountingNetwork::has_step_property() const {
+  const auto counts = output_counts();
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    for (std::size_t j = i + 1; j < counts.size(); ++j) {
+      const std::int64_t diff = static_cast<std::int64_t>(counts[i]) -
+                                static_cast<std::int64_t>(counts[j]);
+      if (diff < 0 || diff > 1) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace renamelib::countnet

@@ -1,0 +1,79 @@
+// Counting networks (Aspnes, Herlihy, Shavit [26]) — the sibling object the
+// paper's related-work section contrasts with renaming networks (Sec. 3):
+// same wiring as a sorting/balancing network, but comparators are replaced
+// by *balancers* (toggle bits) that route an unbounded stream of tokens
+// alternately up/down, balancing the counts on the output wires.
+//
+// The paper notes (citing Attiya et al. [27] / Aspnes et al. [26]) that any
+// sorting network used as a counting network with at most one token per
+// input wire behaves exactly like our non-adaptive renaming use in Sec. 5.
+// This module makes the connection executable:
+//   * BitonicCountingNetwork — the classic width-2^k bitonic counting
+//     network with the step property,
+//   * a sorting-network-as-counting-network adapter used by tests to verify
+//     the [27] observation against our renaming networks.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/register.h"
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::countnet {
+
+/// A balancer: tokens leave alternately on the top (0) and bottom (1) port.
+/// fetch_or-free implementation: an atomic toggle via fetch_add parity.
+class Balancer {
+ public:
+  /// Passes one token; returns the output port (0 = top, 1 = bottom).
+  int traverse(Ctx& ctx) {
+    return static_cast<int>(toggle_.fetch_add(ctx, 1) & 1);
+  }
+
+  /// Tokens seen so far (quiescent).
+  std::uint64_t tokens() const { return toggle_.peek(); }
+
+ private:
+  Register<std::uint64_t> toggle_{0};
+};
+
+/// A counting network over an arbitrary balancing-network wiring (we reuse
+/// ComparatorNetwork wirings: comparator (lo, hi) = balancer between those
+/// wires; token on lo enters "top", token on hi enters "bottom" — for
+/// balancers entry side is irrelevant).
+class CountingNetwork {
+ public:
+  /// `wiring` must be a balancing network with the step property for the
+  /// intended use; bitonic() builds the classic one.
+  explicit CountingNetwork(sortnet::ComparatorNetwork wiring);
+
+  /// The classic bitonic counting network of the given width (power of 2).
+  static CountingNetwork bitonic(std::size_t width);
+
+  std::size_t width() const noexcept { return wiring_.width(); }
+
+  /// Shepherds one token from input wire `wire` (0-based; callers typically
+  /// spray tokens across wires round-robin) to an output wire, toggling the
+  /// balancers on the way. Returns the output wire.
+  std::size_t traverse(Ctx& ctx, std::size_t wire);
+
+  /// Takes the next counter value: traverse + per-wire local counter, the
+  /// standard "counting" use (value = wire + width * visits).
+  std::uint64_t next_value(Ctx& ctx, std::size_t enter_wire);
+
+  /// Quiescent check of the step property: output-wire token counts must
+  /// differ by at most one, with excess on lower wires.
+  bool has_step_property() const;
+
+  /// Tokens that exited on each output wire (quiescent).
+  std::vector<std::uint64_t> output_counts() const;
+
+ private:
+  sortnet::ComparatorNetwork wiring_;
+  std::vector<std::vector<std::uint32_t>> per_wire_;
+  std::unique_ptr<Balancer[]> balancers_;
+  std::unique_ptr<Register<std::uint64_t>[]> exit_counts_;
+};
+
+}  // namespace renamelib::countnet

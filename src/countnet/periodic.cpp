@@ -1,0 +1,58 @@
+#include "countnet/periodic.h"
+
+#include <bit>
+
+#include "core/assert.h"
+
+namespace renamelib::countnet {
+
+namespace {
+
+/// Block[w] on an explicit wire subset: split into even/odd-indexed wires
+/// (the "untangled" AHS form), recurse, then a final layer of balancers
+/// between neighbors 2i and 2i+1.
+void build_block(sortnet::ComparatorNetwork& net,
+                 const std::vector<std::uint32_t>& wires) {
+  const std::size_t w = wires.size();
+  if (w <= 1) return;
+  if (w == 2) {
+    net.add(wires[0], wires[1]);
+    return;
+  }
+  std::vector<std::uint32_t> even, odd;
+  for (std::size_t i = 0; i < w; ++i) {
+    ((i % 2 == 0) ? even : odd).push_back(wires[i]);
+  }
+  build_block(net, even);
+  build_block(net, odd);
+  for (std::size_t i = 0; i + 1 < w; i += 2) {
+    net.add(wires[i], wires[i + 1]);
+  }
+}
+
+}  // namespace
+
+sortnet::ComparatorNetwork periodic_block(std::size_t width) {
+  RENAMELIB_ENSURE(width >= 1 && std::has_single_bit(width),
+                   "periodic width must be a power of two");
+  sortnet::ComparatorNetwork net(width);
+  std::vector<std::uint32_t> wires(width);
+  for (std::size_t i = 0; i < width; ++i) wires[i] = static_cast<std::uint32_t>(i);
+  build_block(net, wires);
+  return net;
+}
+
+CountingNetwork periodic_counting_network(std::size_t width) {
+  RENAMELIB_ENSURE(width >= 1 && std::has_single_bit(width),
+                   "periodic width must be a power of two");
+  sortnet::ComparatorNetwork net(width);
+  const auto block = periodic_block(width);
+  std::size_t stages = 0;
+  for (std::size_t w = width; w > 1; w /= 2) ++stages;
+  for (std::size_t s = 0; s < std::max<std::size_t>(stages, 1); ++s) {
+    net.append(block, 0);
+  }
+  return CountingNetwork(std::move(net));
+}
+
+}  // namespace renamelib::countnet

@@ -1,0 +1,17 @@
+// The periodic counting network (Aspnes–Herlihy–Shavit [26]): log w
+// identical Block[w] stages. Same O(log^2 w) depth as the bitonic network
+// but a uniform, pipelinable structure; included for completeness of the
+// counting-network substrate the paper's related work discusses.
+#pragma once
+
+#include "countnet/counting_network.h"
+
+namespace renamelib::countnet {
+
+/// Wiring of one Block[width] (width a power of two).
+sortnet::ComparatorNetwork periodic_block(std::size_t width);
+
+/// The full periodic counting network: log2(width) blocks in sequence.
+CountingNetwork periodic_counting_network(std::size_t width);
+
+}  // namespace renamelib::countnet

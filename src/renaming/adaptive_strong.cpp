@@ -1,0 +1,75 @@
+#include "renaming/adaptive_strong.h"
+
+#include "core/assert.h"
+
+namespace renamelib::renaming {
+
+AdaptiveStrongRenaming::AdaptiveStrongRenaming(Options options)
+    : options_(options) {
+  RENAMELIB_ENSURE(options_.max_temp_name >= 2 &&
+                       options_.max_temp_name <= (1ULL << 31),
+                   "max_temp_name must be in [2, 2^31]");
+}
+
+bool AdaptiveStrongRenaming::compete(Ctx& ctx, const adaptive::CompRef& comp,
+                                     bool entered_lo) {
+  Shard& shard = shards_[comp.component];
+  const std::uint64_t key = comp.key();
+  if (options_.comparators == AdaptiveComparatorKind::kRandomized) {
+    tas::TwoProcessTas* arbiter;
+    {
+      std::scoped_lock lock{shard.mu};
+      auto& slot = shard.rnd[key];
+      if (!slot) slot = std::make_unique<tas::TwoProcessTas>();
+      arbiter = slot.get();
+    }
+    return arbiter->compete(ctx, entered_lo ? 0 : 1);
+  }
+  tas::HardwareTas* arbiter;
+  {
+    std::scoped_lock lock{shard.mu};
+    auto& slot = shard.hw[key];
+    if (!slot) slot = std::make_unique<tas::HardwareTas>();
+    arbiter = slot.get();
+  }
+  return arbiter->test_and_set(ctx);
+}
+
+AdaptiveStrongRenaming::Outcome AdaptiveStrongRenaming::rename_instrumented(
+    Ctx& ctx, std::uint64_t initial_id) {
+  RENAMELIB_ENSURE(initial_id != 0, "initial ids must be nonzero");
+  LabelScope label{ctx, "adaptive_strong/rename"};
+  Outcome out;
+
+  // Stage 1: temporary name from the splitter tree; re-descend in the
+  // (w.h.p. negligible) case the name exceeds the supported port range.
+  for (;;) {
+    out.temp_name = temp_name_.get_name(ctx, initial_id);
+    if (out.temp_name <= options_.max_temp_name) break;
+    ++out.temp_retries;
+  }
+
+  // Stage 2: route through the adaptive renaming network.
+  LabelScope route{ctx, "adaptive_strong/route"};
+  out.name = network_.route(
+      out.temp_name, [&](const adaptive::CompRef& comp, bool entered_lo) {
+        ++out.comparators;
+        return compete(ctx, comp, entered_lo);
+      });
+  return out;
+}
+
+std::uint64_t AdaptiveStrongRenaming::rename(Ctx& ctx, std::uint64_t initial_id) {
+  return rename_instrumented(ctx, initial_id).name;
+}
+
+std::size_t AdaptiveStrongRenaming::materialized_comparators() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::scoped_lock lock{shard.mu};
+    total += shard.rnd.size() + shard.hw.size();
+  }
+  return total;
+}
+
+}  // namespace renamelib::renaming

@@ -1,0 +1,62 @@
+#include "renaming/long_lived.h"
+
+#include "core/assert.h"
+
+namespace renamelib::renaming {
+
+LongLivedRenaming::LongLivedRenaming(std::uint64_t capacity)
+    : capacity_(capacity), slots_(capacity, 0) {
+  RENAMELIB_ENSURE(capacity >= 2, "capacity must be >= 2");
+}
+
+LongLivedRenaming::Outcome LongLivedRenaming::acquire_instrumented(Ctx& ctx) {
+  LabelScope label{ctx, "long_lived/acquire"};
+  Outcome out;
+  // Geometrically growing probe prefixes; within each prefix size, a few
+  // random probes. Once the prefix dominates 2x the holder count, each probe
+  // succeeds with probability >= 1/2.
+  for (std::uint64_t prefix = 2;; prefix = std::min(prefix * 2, capacity_)) {
+    const int tries = 3;
+    for (int t = 0; t < tries; ++t) {
+      const std::uint64_t slot = ctx.rng().below(prefix);
+      ++out.probes;
+      std::uint8_t expected = 0;
+      if (slots_[slot].compare_exchange(ctx, expected, 1)) {
+        out.name = slot + 1;
+        return out;
+      }
+    }
+    if (prefix == capacity_) {
+      // Saturated randomized phase: deterministic sweep guarantees progress
+      // whenever holders < capacity (the bounded-capacity contract).
+      for (std::uint64_t slot = 0; slot < capacity_; ++slot) {
+        ++out.probes;
+        std::uint8_t expected = 0;
+        if (slots_[slot].compare_exchange(ctx, expected, 1)) {
+          out.name = slot + 1;
+          return out;
+        }
+      }
+      RENAMELIB_ENSURE(false, "long-lived capacity exhausted (holders == capacity)");
+    }
+  }
+}
+
+std::uint64_t LongLivedRenaming::acquire(Ctx& ctx) {
+  return acquire_instrumented(ctx).name;
+}
+
+void LongLivedRenaming::release(Ctx& ctx, std::uint64_t name) {
+  RENAMELIB_ENSURE(name >= 1 && name <= capacity_, "release of invalid name");
+  LabelScope label{ctx, "long_lived/release"};
+  RENAMELIB_ENSURE(slots_[name - 1].peek() == 1, "release of a free name");
+  slots_[name - 1].store(ctx, 0);
+}
+
+std::uint64_t LongLivedRenaming::holders() const {
+  std::uint64_t taken = 0;
+  for (std::uint64_t i = 0; i < capacity_; ++i) taken += slots_[i].peek();
+  return taken;
+}
+
+}  // namespace renamelib::renaming

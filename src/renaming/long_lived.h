@@ -1,0 +1,54 @@
+// Long-lived adaptive renaming — the paper's first "future work" direction
+// (Sec. 9: "apply our techniques to ... long-lived renaming [24]").
+//
+// In the long-lived problem a process repeatedly *acquires* a name and
+// *releases* it; the namespace must track the number of concurrent holders,
+// not the all-time total. This extension follows the BitBatching idea turned
+// inside out: a process probes uniformly random slots in geometrically
+// growing prefixes [0, 2), [0, 4), [0, 8), ... of a slot vector, claiming
+// the first FREE slot with a CAS. With at most k concurrent holders, once
+// the prefix reaches size >= 2k every probe hits a free slot with
+// probability >= 1/2, so acquisition costs O(log k) probes in expectation
+// and names stay O(k) w.h.p. — adaptivity that survives arbitrarily many
+// acquire/release cycles. Release is a single store.
+//
+// Uniqueness among concurrent holders is immediate from the CAS; there is no
+// ABA hazard because only the unique holder of a slot may release it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/register.h"
+#include "renaming/renaming.h"
+
+namespace renamelib::renaming {
+
+class LongLivedRenaming {
+ public:
+  /// `capacity` bounds the slot vector (and thus max concurrent holders).
+  explicit LongLivedRenaming(std::uint64_t capacity);
+
+  std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Acquires a name in 1..capacity; names of concurrent holders are
+  /// distinct and O(max concurrent holders) w.h.p.
+  std::uint64_t acquire(Ctx& ctx);
+
+  /// Releases a name previously acquired by this process.
+  void release(Ctx& ctx, std::uint64_t name);
+
+  struct Outcome {
+    std::uint64_t name = 0;
+    std::uint64_t probes = 0;
+  };
+  Outcome acquire_instrumented(Ctx& ctx);
+
+  /// Number of currently taken slots (quiescent diagnostic).
+  std::uint64_t holders() const;
+
+ private:
+  std::uint64_t capacity_;
+  RegisterArray<std::uint8_t> slots_;  ///< 0 = free, 1 = taken
+};
+
+}  // namespace renamelib::renaming

@@ -1,0 +1,26 @@
+// Renaming interfaces (problem statement of Sec. 2).
+//
+// A renaming object assigns each participating process a unique name.
+//   * tight:          names are in 1..n (n = max processes),
+//   * adaptive tight: names are in 1..k (k = participants in the execution).
+// Each process requests at most one name per (process, request-id) identity;
+// counters (Sec. 8) issue multiple requests by minting fresh identities.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ctx.h"
+
+namespace renamelib::renaming {
+
+class IRenaming {
+ public:
+  virtual ~IRenaming() = default;
+
+  /// Returns this requester's unique name (>= 1). `initial_id` is the
+  /// requester's identity from the (possibly unbounded) initial namespace;
+  /// it must be nonzero and unique across requests.
+  virtual std::uint64_t rename(Ctx& ctx, std::uint64_t initial_id) = 0;
+};
+
+}  // namespace renamelib::renaming

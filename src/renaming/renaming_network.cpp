@@ -1,0 +1,57 @@
+#include "renaming/renaming_network.h"
+
+#include <algorithm>
+
+#include "core/assert.h"
+
+namespace renamelib::renaming {
+
+RenamingNetwork::RenamingNetwork(sortnet::ComparatorNetwork net,
+                                 ComparatorKind kind)
+    : net_(std::move(net)), kind_(kind), per_wire_(net_.per_wire()) {
+  const std::size_t n = net_.size();
+  if (kind_ == ComparatorKind::kRandomized) {
+    randomized_ = std::make_unique<tas::TwoProcessTas[]>(n);
+  } else {
+    hardware_ = std::make_unique<tas::HardwareTas[]>(n);
+  }
+}
+
+bool RenamingNetwork::compete(Ctx& ctx, std::size_t comparator_index, int side) {
+  if (kind_ == ComparatorKind::kRandomized) {
+    return randomized_[comparator_index].compete(ctx, side);
+  }
+  return hardware_[comparator_index].test_and_set(ctx);
+}
+
+RenamingNetwork::Routed RenamingNetwork::rename_counted(Ctx& ctx,
+                                                        std::uint64_t initial_id) {
+  RENAMELIB_ENSURE(initial_id >= 1 && initial_id <= net_.width(),
+                   "initial name out of the network's input range");
+  LabelScope label{ctx, "renaming_network/route"};
+
+  std::uint32_t wire = static_cast<std::uint32_t>(initial_id - 1);
+  std::uint64_t traversed = 0;
+  std::size_t next_index = 0;  // first comparator position not yet passed
+  for (;;) {
+    // First comparator on `wire` at position >= next_index.
+    const auto& list = per_wire_[wire];
+    const auto it = std::lower_bound(list.begin(), list.end(),
+                                     static_cast<std::uint32_t>(next_index));
+    if (it == list.end()) break;  // reached an output port
+    const std::uint32_t ci = *it;
+    const sortnet::Comparator& c = net_.comparator(ci);
+    const int side = (c.lo == wire) ? 0 : 1;
+    ++traversed;
+    const bool won = compete(ctx, ci, side);
+    wire = won ? c.lo : c.hi;
+    next_index = ci + 1;
+  }
+  return Routed{wire + 1, traversed};
+}
+
+std::uint64_t RenamingNetwork::rename(Ctx& ctx, std::uint64_t initial_id) {
+  return rename_counted(ctx, initial_id).name;
+}
+
+}  // namespace renamelib::renaming

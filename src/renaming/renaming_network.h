@@ -1,0 +1,66 @@
+// Renaming networks (Sec. 5): a sorting network whose comparators are
+// replaced by two-process test-and-set objects.
+//
+// A process enters on the input wire matching its initial name (1..M),
+// competes at each comparator it meets — winning moves it to the lo wire
+// ("up"), losing to the hi wire — and returns 1 + its final wire as its
+// name. Theorem 1: with k participants the outputs are exactly unique names
+// in 1..k, in every execution, and the number of comparators a process
+// traverses is at most the network depth.
+//
+// Comparator objects come in two flavors (Sec. 1 Discussion):
+//   * randomized TwoProcessTas — registers only, expected O(1) per
+//     comparator, termination with probability 1;
+//   * HardwareTas — deterministic unit-cost arbitration, making the whole
+//     renaming network deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "renaming/renaming.h"
+#include "sortnet/comparator_network.h"
+#include "tas/hardware_tas.h"
+#include "tas/two_process_tas.h"
+
+namespace renamelib::renaming {
+
+enum class ComparatorKind { kRandomized, kHardware };
+
+class RenamingNetwork final : public IRenaming {
+ public:
+  /// Builds the renaming network over a *sorting* network `net`; the caller
+  /// is responsible for `net` actually sorting (verify.h).
+  explicit RenamingNetwork(sortnet::ComparatorNetwork net,
+                           ComparatorKind kind = ComparatorKind::kRandomized);
+
+  /// Initial namespace size M (number of input ports).
+  std::uint64_t initial_namespace() const noexcept { return net_.width(); }
+
+  /// Runs the network from input port `initial_id` (1..M); returns the
+  /// 1-based output port = the acquired name.
+  std::uint64_t rename(Ctx& ctx, std::uint64_t initial_id) override;
+
+  /// Comparators traversed by the most recent rename() of this ctx cannot be
+  /// tracked statelessly; use rename_counted for instrumentation.
+  struct Routed {
+    std::uint64_t name = 0;
+    std::uint64_t comparators = 0;  ///< TAS objects competed in
+  };
+  Routed rename_counted(Ctx& ctx, std::uint64_t initial_id);
+
+  const sortnet::ComparatorNetwork& network() const noexcept { return net_; }
+
+ private:
+  bool compete(Ctx& ctx, std::size_t comparator_index, int side);
+
+  sortnet::ComparatorNetwork net_;
+  ComparatorKind kind_;
+  std::vector<std::vector<std::uint32_t>> per_wire_;
+  // One arbiter per comparator (index-aligned with net_.comparators()).
+  std::unique_ptr<tas::TwoProcessTas[]> randomized_;
+  std::unique_ptr<tas::HardwareTas[]> hardware_;
+};
+
+}  // namespace renamelib::renaming

@@ -1,0 +1,38 @@
+#include "renaming/validate.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace renamelib::renaming {
+
+ValidationResult check_unique(const std::vector<std::uint64_t>& names) {
+  std::vector<std::uint64_t> sorted = names;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] == 0) {
+      return {false, "name 0 assigned (names are 1-based)"};
+    }
+    if (i > 0 && sorted[i] == sorted[i - 1]) {
+      std::ostringstream os;
+      os << "duplicate name " << sorted[i];
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+ValidationResult check_tight(const std::vector<std::uint64_t>& names,
+                             std::uint64_t bound) {
+  ValidationResult unique = check_unique(names);
+  if (!unique.ok) return unique;
+  for (std::uint64_t name : names) {
+    if (name > bound) {
+      std::ostringstream os;
+      os << "name " << name << " exceeds tight bound " << bound;
+      return {false, os.str()};
+    }
+  }
+  return {};
+}
+
+}  // namespace renamelib::renaming

@@ -1,0 +1,24 @@
+// Output validators for renaming executions — the invariants of Sec. 2:
+// uniqueness (no two processes share a name) and namespace tightness
+// (names within 1..bound; bound = k for adaptive tight, n for tight).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace renamelib::renaming {
+
+struct ValidationResult {
+  bool ok = true;
+  std::string error;  ///< empty when ok
+};
+
+/// Checks uniqueness of all assigned names (>= 1 each).
+ValidationResult check_unique(const std::vector<std::uint64_t>& names);
+
+/// Checks uniqueness and that every name is in [1, bound].
+ValidationResult check_tight(const std::vector<std::uint64_t>& names,
+                             std::uint64_t bound);
+
+}  // namespace renamelib::renaming

@@ -1,0 +1,100 @@
+#include "sim/adversary.h"
+
+#include <cstring>
+
+#include "core/assert.h"
+
+namespace renamelib::sim {
+
+namespace {
+
+/// pids of all pending processes, in pid order.
+std::vector<int> pending_pids(const std::vector<ProcView>& views) {
+  std::vector<int> out;
+  out.reserve(views.size());
+  for (const auto& v : views) {
+    if (v.pending) out.push_back(v.pid);
+  }
+  return out;
+}
+
+}  // namespace
+
+Decision RoundRobinAdversary::pick(const std::vector<ProcView>& views) {
+  const int n = static_cast<int>(views.size());
+  for (int off = 0; off < n; ++off) {
+    const int pid = (cursor_ + off) % n;
+    if (views[pid].pending) {
+      cursor_ = (pid + 1) % n;
+      return Decision::step(pid);
+    }
+  }
+  RENAMELIB_ENSURE(false, "pick() called with no pending process");
+}
+
+Decision RandomAdversary::pick(const std::vector<ProcView>& views) {
+  const auto pending = pending_pids(views);
+  RENAMELIB_ENSURE(!pending.empty(), "pick() called with no pending process");
+  return Decision::step(pending[rng_.below(pending.size())]);
+}
+
+Decision ObstructionAdversary::pick(const std::vector<ProcView>& views) {
+  const int n = static_cast<int>(views.size());
+  // Rotate favor until it points at a live process.
+  for (int tries = 0; tries < n; ++tries) {
+    const auto& fav = views[favored_];
+    if (fav.pending) {
+      if (used_ < budget_) {
+        ++used_;
+        return Decision::step(favored_);
+      }
+      // Budget exhausted: move favor on.
+    } else if (!fav.done && !fav.crashed) {
+      // Favored process is running local code; it will be pending soon, but
+      // pick() requires a decision now — fall through to any pending process
+      // only after rotating past it.
+    }
+    favored_ = (favored_ + 1) % n;
+    used_ = 0;
+  }
+  const auto pending = pending_pids(views);
+  RENAMELIB_ENSURE(!pending.empty(), "pick() called with no pending process");
+  return Decision::step(pending.front());
+}
+
+Decision LabelStarvingAdversary::pick(const std::vector<ProcView>& views) {
+  std::vector<int> preferred;
+  std::vector<int> starved;
+  for (const auto& v : views) {
+    if (!v.pending) continue;
+    const bool hit = v.info.label != nullptr &&
+                     std::strstr(v.info.label, target_.c_str()) != nullptr;
+    (hit ? starved : preferred).push_back(v.pid);
+  }
+  const auto& pool = preferred.empty() ? starved : preferred;
+  RENAMELIB_ENSURE(!pool.empty(), "pick() called with no pending process");
+  return Decision::step(pool[rng_.below(pool.size())]);
+}
+
+CrashAdversary::CrashAdversary(std::unique_ptr<Adversary> inner,
+                               std::vector<std::int64_t> crash_at,
+                               std::size_t max_crashes)
+    : inner_(std::move(inner)),
+      crash_at_(std::move(crash_at)),
+      max_crashes_(max_crashes) {}
+
+Decision CrashAdversary::pick(const std::vector<ProcView>& views) {
+  if (crashes_done_ < max_crashes_) {
+    for (const auto& v : views) {
+      if (v.crashed || v.done) continue;
+      if (v.pid < static_cast<int>(crash_at_.size()) && crash_at_[v.pid] >= 0 &&
+          v.shared_steps >= static_cast<std::uint64_t>(crash_at_[v.pid])) {
+        ++crashes_done_;
+        return Decision::crash(v.pid);
+      }
+    }
+  }
+  return inner_->pick(views);
+}
+
+}  // namespace renamelib::sim

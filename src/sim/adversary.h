@@ -1,0 +1,126 @@
+// Adversary strategies driving the simulated scheduler.
+//
+// The paper's model is a *strong adaptive* adversary: it controls scheduling
+// and crashes and may observe everything, including coin-flip outcomes,
+// before each decision. Here the adversary sees, for every process, whether
+// it is pending a shared step, the step's metadata (operation kind, target
+// register identity, protocol-phase label) and its counters, and returns a
+// decision: schedule one pending process, or crash one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/step.h"
+
+namespace renamelib::sim {
+
+/// Snapshot of one simulated process, exposed to the adversary.
+struct ProcView {
+  int pid = 0;
+  bool pending = false;  ///< blocked at the gate with `info` valid
+  bool done = false;
+  bool crashed = false;
+  StepInfo info{};
+  std::uint64_t shared_steps = 0;
+  std::uint64_t coin_flips = 0;
+};
+
+/// One scheduling decision.
+struct Decision {
+  enum class Kind { kStep, kCrash };
+  Kind kind = Kind::kStep;
+  int pid = -1;
+
+  static Decision step(int pid) { return {Kind::kStep, pid}; }
+  static Decision crash(int pid) { return {Kind::kCrash, pid}; }
+};
+
+/// Strategy interface. `pick` is called whenever at least one process is
+/// pending; it must return a step decision for a pending process or a crash
+/// decision for a live (pending or running) process within the crash budget.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  /// Chooses the next decision. `views` has one entry per process, indexed by
+  /// pid. At least one entry has pending == true.
+  virtual Decision pick(const std::vector<ProcView>& views) = 0;
+
+  /// Human-readable strategy name (for traces and test diagnostics).
+  virtual std::string name() const = 0;
+};
+
+/// Schedules pending processes in cyclic pid order — the "fair" schedule.
+class RoundRobinAdversary final : public Adversary {
+ public:
+  Decision pick(const std::vector<ProcView>& views) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  int cursor_ = 0;
+};
+
+/// Schedules a uniformly random pending process. Deterministic in the seed.
+class RandomAdversary final : public Adversary {
+ public:
+  explicit RandomAdversary(std::uint64_t seed) : rng_(seed) {}
+  Decision pick(const std::vector<ProcView>& views) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  Rng rng_;
+};
+
+/// Runs one favored process solo for `budget` of its steps, then rotates the
+/// favor to the next live process. Approximates obstruction/solo executions
+/// and produces highly skewed schedules.
+class ObstructionAdversary final : public Adversary {
+ public:
+  explicit ObstructionAdversary(std::uint64_t budget) : budget_(budget) {}
+  Decision pick(const std::vector<ProcView>& views) override;
+  std::string name() const override { return "obstruction"; }
+
+ private:
+  std::uint64_t budget_;
+  std::uint64_t used_ = 0;
+  int favored_ = 0;
+};
+
+/// Adaptive strategy: any process whose pending step carries a label
+/// containing `target_label` is starved (scheduled only when no other pending
+/// process exists). This exploits the strong-adaptive power: e.g. stall
+/// processes that are about to win a test-and-set.
+class LabelStarvingAdversary final : public Adversary {
+ public:
+  LabelStarvingAdversary(std::string target_label, std::uint64_t seed)
+      : target_(std::move(target_label)), rng_(seed) {}
+  Decision pick(const std::vector<ProcView>& views) override;
+  std::string name() const override { return "label-starving(" + target_ + ")"; }
+
+ private:
+  std::string target_;
+  Rng rng_;
+};
+
+/// Wraps another adversary and injects crashes: process p is crashed as soon
+/// as its shared-step count reaches `crash_at[p]` (entries < 0 mean never).
+/// At most `max_crashes` crashes are performed (the paper's t < n).
+class CrashAdversary final : public Adversary {
+ public:
+  CrashAdversary(std::unique_ptr<Adversary> inner, std::vector<std::int64_t> crash_at,
+                 std::size_t max_crashes);
+  Decision pick(const std::vector<ProcView>& views) override;
+  std::string name() const override { return "crash+" + inner_->name(); }
+
+ private:
+  std::unique_ptr<Adversary> inner_;
+  std::vector<std::int64_t> crash_at_;
+  std::size_t max_crashes_;
+  std::size_t crashes_done_ = 0;
+};
+
+}  // namespace renamelib::sim

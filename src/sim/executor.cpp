@@ -1,0 +1,123 @@
+#include "sim/executor.h"
+
+#include <memory>
+#include <thread>
+
+#include "core/assert.h"
+#include "core/sched_gate.h"
+
+namespace renamelib::sim {
+
+std::uint64_t SimResult::max_proc_steps() const {
+  std::uint64_t m = 0;
+  for (const auto& p : procs) m = std::max(m, p.steps);
+  return m;
+}
+
+std::uint64_t SimResult::total_proc_steps() const {
+  std::uint64_t t = 0;
+  for (const auto& p : procs) t += p.steps;
+  return t;
+}
+
+std::size_t SimResult::finished_count() const {
+  std::size_t n = 0;
+  for (const auto& p : procs) n += p.finished ? 1 : 0;
+  return n;
+}
+
+std::size_t SimResult::crashed_count() const {
+  std::size_t n = 0;
+  for (const auto& p : procs) n += p.crashed ? 1 : 0;
+  return n;
+}
+
+SimResult run_simulation(int nproc, const std::function<void(Ctx&)>& body,
+                         Adversary& adversary, const RunOptions& options) {
+  RENAMELIB_ENSURE(nproc > 0, "need at least one process");
+
+  std::vector<std::unique_ptr<SchedGate>> gates;
+  std::vector<std::unique_ptr<Ctx>> ctxs;
+  gates.reserve(nproc);
+  ctxs.reserve(nproc);
+  for (int p = 0; p < nproc; ++p) {
+    gates.push_back(std::make_unique<SchedGate>());
+    ctxs.push_back(std::make_unique<Ctx>(p, Rng::derive(options.seed, p),
+                                         gates.back().get()));
+  }
+
+  SimResult result;
+  result.procs.resize(nproc);
+
+  std::vector<std::thread> threads;
+  threads.reserve(nproc);
+  for (int p = 0; p < nproc; ++p) {
+    threads.emplace_back([&, p] {
+      bool crashed = false;
+      try {
+        body(*ctxs[p]);
+      } catch (const ProcessCrashed&) {
+        crashed = true;
+      }
+      gates[p]->finish(crashed);
+    });
+  }
+
+  // Scheduler loop (runs on the calling thread). One decision per iteration.
+  std::vector<ProcView> views(nproc);
+  for (;;) {
+    // Wait for every live process to reach a stable point: pending at its
+    // gate, done, or crashed. Processes running local code will arrive.
+    bool any_pending = false;
+    for (int p = 0; p < nproc; ++p) {
+      const SchedGate::State st = gates[p]->wait_ready();
+      auto& view = views[p];
+      view.pid = p;
+      view.pending = (st == SchedGate::State::kAtGate);
+      view.done = (st == SchedGate::State::kDone);
+      view.crashed = (st == SchedGate::State::kCrashed);
+      view.shared_steps = ctxs[p]->shared_steps();
+      view.coin_flips = ctxs[p]->coin_flips();
+      view.info = view.pending ? gates[p]->info() : StepInfo{};
+      any_pending |= view.pending;
+    }
+    if (!any_pending) break;  // all processes done or crashed
+
+    if (result.total_granted_steps >= options.max_total_steps) {
+      result.hit_step_limit = true;
+      for (int p = 0; p < nproc; ++p) {
+        if (views[p].pending) gates[p]->kill();
+      }
+      continue;  // loop again until everyone is done/crashed
+    }
+
+    const Decision d = adversary.pick(views);
+    RENAMELIB_ENSURE(d.pid >= 0 && d.pid < nproc, "adversary picked bad pid");
+    if (d.kind == Decision::Kind::kCrash) {
+      RENAMELIB_ENSURE(!views[d.pid].done && !views[d.pid].crashed,
+                       "adversary crashed a dead process");
+      if (options.record_trace) result.trace.record_crash(d.pid);
+      gates[d.pid]->kill();
+      continue;
+    }
+
+    RENAMELIB_ENSURE(views[d.pid].pending, "adversary scheduled a non-pending process");
+    if (options.record_trace) result.trace.record_step(d.pid, views[d.pid].info);
+    ++result.total_granted_steps;
+    gates[d.pid]->grant_and_wait();
+  }
+
+  for (auto& t : threads) t.join();
+
+  for (int p = 0; p < nproc; ++p) {
+    auto& pr = result.procs[p];
+    pr.crashed = (gates[p]->state() == SchedGate::State::kCrashed);
+    pr.finished = (gates[p]->state() == SchedGate::State::kDone);
+    pr.shared_steps = ctxs[p]->shared_steps();
+    pr.steps = ctxs[p]->steps();
+    pr.coin_flips = ctxs[p]->coin_flips();
+  }
+  return result;
+}
+
+}  // namespace renamelib::sim

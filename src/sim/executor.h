@@ -1,0 +1,65 @@
+// Deterministic adversarial executor for asynchronous shared memory.
+//
+// Executor runs k process bodies, each on its own OS thread, but serializes
+// their shared-memory operations: a process blocks at its SchedGate before
+// every shared step and proceeds only when the Adversary schedules it. The
+// result is a faithful, deterministic implementation of the paper's
+// asynchronous model with a strong adaptive adversary:
+//
+//   * any interleaving the model allows is some grant sequence,
+//   * the adversary observes pending operations (incl. labels and coin
+//     counters) before deciding,
+//   * crashes are modeled by killing a process between its steps,
+//   * given (process seeds, adversary), the execution is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/ctx.h"
+#include "sim/adversary.h"
+#include "sim/trace.h"
+
+namespace renamelib::sim {
+
+/// Knobs for one simulated execution.
+struct RunOptions {
+  std::uint64_t seed = 1;  ///< base seed; process p uses derive(seed, p)
+  /// Abort the run after this many granted steps. Randomized algorithms have
+  /// probability-0 infinite executions; a generous bound keeps tests finite.
+  std::uint64_t max_total_steps = 50'000'000;
+  bool record_trace = false;
+};
+
+/// Per-process outcome of a simulated run.
+struct ProcResult {
+  bool finished = false;  ///< body returned normally
+  bool crashed = false;   ///< killed by the adversary
+  std::uint64_t shared_steps = 0;
+  std::uint64_t steps = 0;  ///< paper cost model: shared + coin-flip batches
+  std::uint64_t coin_flips = 0;
+};
+
+/// Outcome of a simulated run.
+struct SimResult {
+  std::vector<ProcResult> procs;
+  std::uint64_t total_granted_steps = 0;
+  bool hit_step_limit = false;
+  Trace trace;  ///< empty unless RunOptions::record_trace
+
+  std::uint64_t max_proc_steps() const;
+  std::uint64_t total_proc_steps() const;
+  std::size_t finished_count() const;
+  std::size_t crashed_count() const;
+};
+
+/// Runs `body(ctx)` for pids 0..nproc-1 under `adversary`.
+///
+/// The body may use any renamelib shared objects; all of their operations are
+/// scheduled by the adversary. Throws nothing; crashed processes simply stop.
+SimResult run_simulation(int nproc, const std::function<void(Ctx&)>& body,
+                         Adversary& adversary, const RunOptions& options = {});
+
+}  // namespace renamelib::sim

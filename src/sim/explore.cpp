@@ -1,0 +1,121 @@
+#include "sim/explore.h"
+
+#include <optional>
+
+#include "core/assert.h"
+
+namespace renamelib::sim {
+
+Decision ReplayAdversary::pick(const std::vector<ProcView>& views) {
+  if (cursor_ < schedule_.size()) {
+    const int pid = schedule_[cursor_];
+    if (pid >= 0 && pid < static_cast<int>(views.size()) && views[pid].pending) {
+      ++cursor_;
+      return Decision::step(pid);
+    }
+    on_script_ = false;
+  }
+  for (const auto& v : views) {
+    if (v.pending) return Decision::step(v.pid);
+  }
+  RENAMELIB_ENSURE(false, "pick() called with no pending process");
+}
+
+namespace {
+
+/// Follows a prefix, records the pending set at the first decision past it,
+/// then completes the run deterministically (lowest pending pid).
+class ProbeAdversary final : public Adversary {
+ public:
+  explicit ProbeAdversary(const std::vector<int>& prefix) : prefix_(prefix) {}
+
+  Decision pick(const std::vector<ProcView>& views) override {
+    if (cursor_ < prefix_.size()) {
+      const int pid = prefix_[cursor_++];
+      RENAMELIB_ENSURE(pid >= 0 && pid < static_cast<int>(views.size()) &&
+                           views[pid].pending,
+                       "explore(): prefix no longer valid — nondeterminism?");
+      return Decision::step(pid);
+    }
+    if (cursor_ == prefix_.size() && !branch_recorded_) {
+      branch_recorded_ = true;
+      for (const auto& v : views) {
+        if (v.pending) branch_.push_back(v.pid);
+      }
+    }
+    for (const auto& v : views) {
+      if (v.pending) return Decision::step(v.pid);
+    }
+    RENAMELIB_ENSURE(false, "pick() called with no pending process");
+  }
+
+  std::string name() const override { return "probe"; }
+
+  /// Pending pids at the first unconstrained decision; empty if the
+  /// execution finished within the prefix.
+  const std::vector<int>& branch() const noexcept { return branch_; }
+
+ private:
+  const std::vector<int>& prefix_;
+  std::size_t cursor_ = 0;
+  bool branch_recorded_ = false;
+  std::vector<int> branch_;
+};
+
+struct SearchState {
+  const std::function<std::function<void(Ctx&)>()>* make_body;
+  const std::function<bool(const SimResult&)>* invariant;
+  const ExploreOptions* options;
+  int nproc = 0;
+  ExploreResult result;
+};
+
+// Depth-first over schedule prefixes; each node performs one execution.
+// Returns false to abort the search (violation or budget exhausted).
+bool dfs(SearchState& state, std::vector<int>& prefix) {
+  if (state.result.executions >= state.options->max_executions) return false;
+
+  ProbeAdversary probe(prefix);
+  RunOptions run_options;
+  run_options.seed = state.options->seed;
+  auto body = (*state.make_body)();
+  const SimResult run = run_simulation(state.nproc, body, probe, run_options);
+  ++state.result.executions;
+  if (!(*state.invariant)(run)) {
+    state.result.invariant_violated = true;
+    state.result.counterexample = prefix;
+    return false;
+  }
+
+  const auto& branch = probe.branch();
+  if (branch.empty()) return true;  // execution ended within the prefix
+  if (prefix.size() >= state.options->max_depth) {
+    ++state.result.truncated;
+    return true;  // checked with the deterministic completion only
+  }
+  for (int pid : branch) {
+    prefix.push_back(pid);
+    const bool keep_going = dfs(state, prefix);
+    prefix.pop_back();
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ExploreResult explore_schedules(
+    int nproc, const std::function<std::function<void(Ctx&)>()>& make_body,
+    const std::function<bool(const SimResult&)>& invariant,
+    const ExploreOptions& options) {
+  SearchState state;
+  state.make_body = &make_body;
+  state.invariant = &invariant;
+  state.options = &options;
+  state.nproc = nproc;
+  std::vector<int> prefix;
+  (void)dfs(state, prefix);
+  return state.result;
+}
+
+}  // namespace renamelib::sim

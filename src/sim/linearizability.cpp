@@ -1,0 +1,121 @@
+#include "sim/linearizability.h"
+
+#include <algorithm>
+
+#include "core/assert.h"
+
+namespace renamelib::sim {
+
+void HistoryRecorder::respond(int pid, std::string kind, std::uint64_t arg,
+                              std::uint64_t result, std::uint64_t invoke_token) {
+  const std::uint64_t now = clock_.fetch_add(1) + 1;
+  std::scoped_lock lock{mu_};
+  Operation op;
+  op.pid = pid;
+  op.kind = std::move(kind);
+  op.arg = arg;
+  op.result = result;
+  op.invoked = invoke_token;
+  op.responded = now;
+  ops_.push_back(std::move(op));
+}
+
+std::vector<Operation> HistoryRecorder::history() const {
+  std::scoped_lock lock{mu_};
+  return ops_;
+}
+
+namespace {
+
+/// Recursive Wing–Gong search over the remaining operations.
+bool search(std::vector<const Operation*>& pending, SequentialSpec& spec) {
+  if (pending.empty()) return true;
+  // Minimal response among pending ops: any operation linearized first must
+  // have invoked before that response (otherwise real-time order is broken).
+  std::uint64_t min_response = UINT64_MAX;
+  for (const Operation* op : pending) {
+    min_response = std::min(min_response, op->responded);
+  }
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    const Operation* op = pending[i];
+    if (op->invoked > min_response) continue;  // would violate real time
+    if (!spec.apply(*op)) continue;
+    std::swap(pending[i], pending.back());
+    pending.pop_back();
+    if (search(pending, spec)) {
+      // Leave state unwound for the caller anyway (not needed on success).
+      pending.push_back(op);
+      std::swap(pending[i], pending.back());
+      spec.undo(*op);
+      return true;
+    }
+    pending.push_back(op);
+    std::swap(pending[i], pending.back());
+    spec.undo(*op);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_linearizable(const std::vector<Operation>& history,
+                     SequentialSpec& spec) {
+  spec.reset();
+  std::vector<const Operation*> pending;
+  pending.reserve(history.size());
+  for (const Operation& op : history) pending.push_back(&op);
+  return search(pending, spec);
+}
+
+// ---------------------------------------------------------------- specs ---
+
+bool LTasSpec::apply(const Operation& op) {
+  RENAMELIB_ENSURE(op.kind == "tas", "LTasSpec only handles 'tas' ops");
+  const bool should_win = granted_ < l_;
+  if ((op.result == 1) != should_win) return false;
+  if (should_win) ++granted_;
+  return true;
+}
+
+void LTasSpec::undo(const Operation& op) {
+  if (op.result == 1) --granted_;
+}
+
+bool BoundedFaiSpec::apply(const Operation& op) {
+  RENAMELIB_ENSURE(op.kind == "fai", "BoundedFaiSpec only handles 'fai' ops");
+  const std::uint64_t expected = std::min(next_, m_ - 1);
+  if (op.result != expected) return false;
+  ++next_;
+  return true;
+}
+
+void BoundedFaiSpec::undo(const Operation&) { --next_; }
+
+bool MaxRegisterSpec::apply(const Operation& op) {
+  const std::uint64_t current = stack_.empty() ? 0 : stack_.back();
+  if (op.kind == "write_max") {
+    stack_.push_back(std::max(current, op.arg));
+    return true;
+  }
+  RENAMELIB_ENSURE(op.kind == "read", "MaxRegisterSpec: unknown op");
+  if (op.result != current) return false;
+  stack_.push_back(current);  // uniform undo
+  return true;
+}
+
+void MaxRegisterSpec::undo(const Operation&) { stack_.pop_back(); }
+
+bool CounterSpec::apply(const Operation& op) {
+  if (op.kind == "inc") {
+    ++count_;
+    return true;
+  }
+  RENAMELIB_ENSURE(op.kind == "read", "CounterSpec: unknown op");
+  return op.result == count_;
+}
+
+void CounterSpec::undo(const Operation& op) {
+  if (op.kind == "inc") --count_;
+}
+
+}  // namespace renamelib::sim

@@ -1,0 +1,123 @@
+// Trace-based linearizability checking (Herlihy–Wing).
+//
+// The paper *proves* linearizability for the l-test-and-set (Lemma 5) and
+// the bounded fetch-and-increment (Theorem 6); this module lets the tests
+// *check* it on recorded concurrent histories: operations are recorded with
+// real-time intervals [invoke, respond] from a global logical clock, and the
+// checker searches for a total order that (a) respects real time and (b) is
+// legal for a sequential specification, using Wing & Gong's backtracking
+// algorithm.
+//
+// Histories of up to a few dozen operations check in microseconds; tests
+// keep histories small and run many seeds/schedules instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace renamelib::sim {
+
+/// One completed operation in a concurrent history.
+struct Operation {
+  int pid = -1;
+  std::string kind;        ///< e.g. "tas", "fai", "write_max", "read"
+  std::uint64_t arg = 0;   ///< input value (0 if none)
+  std::uint64_t result = 0;///< returned value
+  std::uint64_t invoked = 0;
+  std::uint64_t responded = 0;
+};
+
+/// Thread-safe recorder with a global logical clock. Usable in both hardware
+/// and simulated mode (the clock is meta-level instrumentation, not part of
+/// the protocol's step count).
+class HistoryRecorder {
+ public:
+  /// Marks an invocation; returns a token to pass to respond().
+  std::uint64_t invoke() { return clock_.fetch_add(1) + 1; }
+
+  /// Records the completed operation.
+  void respond(int pid, std::string kind, std::uint64_t arg,
+               std::uint64_t result, std::uint64_t invoke_token);
+
+  /// Snapshot of all completed operations (call after threads joined).
+  std::vector<Operation> history() const;
+
+ private:
+  std::atomic<std::uint64_t> clock_{0};
+  mutable std::mutex mu_;
+  std::vector<Operation> ops_;
+};
+
+/// A sequential specification: given the state (opaque to the checker) it
+/// must apply an operation and say whether its recorded result is legal.
+/// Implementations are given below for the paper's objects.
+class SequentialSpec {
+ public:
+  virtual ~SequentialSpec() = default;
+  virtual void reset() = 0;
+  /// Attempts to apply `op` to the current state; returns false if the
+  /// recorded result is illegal in this state (the checker will backtrack).
+  virtual bool apply(const Operation& op) = 0;
+  /// Undoes the most recent successful apply (stack discipline).
+  virtual void undo(const Operation& op) = 0;
+};
+
+/// Wing–Gong linearizability check: is there a permutation of `history`
+/// respecting real-time order that `spec` accepts?
+bool is_linearizable(const std::vector<Operation>& history, SequentialSpec& spec);
+
+// ---------------------------------------------------------------- specs ---
+
+/// l-test-and-set: the first l "tas" ops return 1, the rest 0.
+class LTasSpec final : public SequentialSpec {
+ public:
+  explicit LTasSpec(std::uint64_t l) : l_(l) {}
+  void reset() override { granted_ = 0; }
+  bool apply(const Operation& op) override;
+  void undo(const Operation& op) override;
+
+ private:
+  std::uint64_t l_;
+  std::uint64_t granted_ = 0;
+};
+
+/// m-valued fetch-and-increment: returns 0,1,...,m-1 then sticks at m-1.
+class BoundedFaiSpec final : public SequentialSpec {
+ public:
+  explicit BoundedFaiSpec(std::uint64_t m) : m_(m) {}
+  void reset() override { next_ = 0; }
+  bool apply(const Operation& op) override;
+  void undo(const Operation& op) override;
+
+ private:
+  std::uint64_t m_;
+  std::uint64_t next_ = 0;
+};
+
+/// Max register: "write_max" (arg) and "read" (result = max written so far).
+class MaxRegisterSpec final : public SequentialSpec {
+ public:
+  void reset() override { stack_.clear(); }
+  bool apply(const Operation& op) override;
+  void undo(const Operation& op) override;
+
+ private:
+  std::vector<std::uint64_t> stack_;  ///< max value history for undo
+};
+
+/// Plain counter: "inc" and "read" (result = number of incs so far).
+class CounterSpec final : public SequentialSpec {
+ public:
+  void reset() override { count_ = 0; }
+  bool apply(const Operation& op) override;
+  void undo(const Operation& op) override;
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace renamelib::sim

@@ -1,0 +1,61 @@
+#include "sim/trace.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace renamelib::sim {
+
+void Trace::record_step(int pid, const StepInfo& info) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kStep;
+  ev.pid = pid;
+  ev.info = info;
+  ev.global_seq = events_.size();
+  events_.push_back(ev);
+}
+
+void Trace::record_crash(int pid) {
+  TraceEvent ev;
+  ev.kind = TraceEvent::Kind::kCrash;
+  ev.pid = pid;
+  ev.global_seq = events_.size();
+  events_.push_back(ev);
+}
+
+void Trace::clear() { events_.clear(); }
+
+std::uint64_t Trace::steps_of(int pid) const {
+  std::uint64_t n = 0;
+  for (const auto& ev : events_) {
+    if (ev.kind == TraceEvent::Kind::kStep && ev.pid == pid) ++n;
+  }
+  return n;
+}
+
+std::string Trace::to_string(std::size_t max_events) const {
+  std::ostringstream os;
+  std::size_t shown = 0;
+  for (const auto& ev : events_) {
+    if (shown++ >= max_events) {
+      os << "... (" << (events_.size() - max_events) << " more)\n";
+      break;
+    }
+    os << ev.global_seq << ": p" << ev.pid;
+    if (ev.kind == TraceEvent::Kind::kCrash) {
+      os << " CRASH\n";
+    } else {
+      os << ' ' << renamelib::to_string(ev.info.kind) << " @" << ev.info.object;
+      if (ev.info.label != nullptr && ev.info.label[0] != '\0') {
+        os << " [" << ev.info.label << ']';
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Trace& trace) {
+  return os << trace.to_string();
+}
+
+}  // namespace renamelib::sim

@@ -1,0 +1,50 @@
+// Execution traces: the totally ordered sequence of granted shared steps.
+//
+// Because the simulator grants one shared-memory operation at a time, an
+// execution trace is simultaneously (a) a replayable log, (b) the
+// linearization order of all operations, and (c) the raw material for
+// checking linearizability/monotone-consistency in tests.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/step.h"
+
+namespace renamelib::sim {
+
+/// One granted shared step (or a crash event).
+struct TraceEvent {
+  enum class Kind { kStep, kCrash };
+  Kind kind = Kind::kStep;
+  int pid = -1;
+  StepInfo info{};           ///< valid for kStep
+  std::uint64_t global_seq = 0;  ///< position in the total order
+};
+
+/// Append-only trace. Recording is optional (see RunOptions::record_trace);
+/// traces of long executions can be large.
+class Trace {
+ public:
+  void record_step(int pid, const StepInfo& info);
+  void record_crash(int pid);
+  void clear();
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Number of steps taken by `pid` within this trace.
+  std::uint64_t steps_of(int pid) const;
+
+  /// Renders a human-readable listing (pid, op, label) for debugging.
+  std::string to_string(std::size_t max_events = 200) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Trace& trace);
+
+}  // namespace renamelib::sim

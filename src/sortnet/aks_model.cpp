@@ -1,0 +1,26 @@
+#include "sortnet/aks_model.h"
+
+#include <cmath>
+#include <cstdint>
+
+namespace renamelib::sortnet {
+
+double AksModel::depth(std::size_t n) const {
+  if (n < 2) return 0;
+  return depth_constant * std::log2(static_cast<double>(n));
+}
+
+double batcher_depth(std::size_t n) {
+  if (n < 2) return 0;
+  const double t = std::ceil(std::log2(static_cast<double>(n)));
+  return t * (t + 1) / 2;
+}
+
+std::size_t AksModel::batcher_crossover() const {
+  // Smallest power of two 2^t with t(t+1)/2 > a*t, i.e. t > 2a - 1.
+  const double t = std::ceil(2 * depth_constant - 1);
+  if (t >= 63) return SIZE_MAX;  // astronomically beyond addressable widths
+  return static_cast<std::size_t>(1) << static_cast<unsigned>(t);
+}
+
+}  // namespace renamelib::sortnet

@@ -1,0 +1,56 @@
+#include "sortnet/bitonic.h"
+
+#include <bit>
+#include <numeric>
+
+#include "core/assert.h"
+
+namespace renamelib::sortnet {
+
+std::vector<DirectedComparator> bitonic_directed(std::size_t width) {
+  RENAMELIB_ENSURE(width >= 1 && std::has_single_bit(width),
+                   "bitonic width must be a power of two");
+  std::vector<DirectedComparator> comps;
+  const std::uint32_t n = static_cast<std::uint32_t>(width);
+  for (std::uint32_t k = 2; k <= n; k *= 2) {
+    for (std::uint32_t j = k / 2; j >= 1; j /= 2) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const std::uint32_t l = i ^ j;
+        if (l <= i) continue;
+        if ((i & k) == 0) {
+          comps.push_back(DirectedComparator{i, l});  // ascending
+        } else {
+          comps.push_back(DirectedComparator{l, i});  // descending
+        }
+      }
+    }
+  }
+  return comps;
+}
+
+ComparatorNetwork standardize(std::size_t width,
+                              const std::vector<DirectedComparator>& comps) {
+  // Knuth's untangling: walk the sequence maintaining a wire relabeling pi.
+  // Each comparator (first, second) acts on current labels; emit it in
+  // min-up orientation, and if it was "reversed" under the relabeling, swap
+  // the labels of its two wires from here on.
+  ComparatorNetwork net(width);
+  std::vector<std::uint32_t> pi(width);
+  std::iota(pi.begin(), pi.end(), 0);
+
+  for (const DirectedComparator& c : comps) {
+    RENAMELIB_ENSURE(c.first < width && c.second < width && c.first != c.second,
+                     "bad directed comparator");
+    const std::uint32_t x = pi[c.first];   // wire receiving the min
+    const std::uint32_t y = pi[c.second];  // wire receiving the max
+    net.add(std::min(x, y), std::max(x, y));
+    if (x > y) std::swap(pi[c.first], pi[c.second]);
+  }
+  return net;
+}
+
+ComparatorNetwork bitonic_sort(std::size_t width) {
+  return standardize(width, bitonic_directed(width));
+}
+
+}  // namespace renamelib::sortnet

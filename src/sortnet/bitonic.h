@@ -1,0 +1,36 @@
+// Bitonic sorting networks (Batcher), with Knuth standardization.
+//
+// The textbook bitonic network contains "descending" comparators (max to the
+// lower wire). A renaming network needs standard min-up form; Knuth (TAOCP
+// 5.3.4 ex. 16) shows any sorting network converts to standard form with the
+// same size and depth. We implement that transformation and expose only the
+// standardized network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::sortnet {
+
+/// A possibly non-standard comparator: routes min to `first` — which may be
+/// the higher wire (a "descending" comparator).
+struct DirectedComparator {
+  std::uint32_t first = 0;   ///< receives the min
+  std::uint32_t second = 0;  ///< receives the max
+};
+
+/// Knuth standardization: rewires a directed comparator sequence into
+/// min-up standard form with identical size and depth; the result sorts
+/// ascending iff the input sorted ascending.
+ComparatorNetwork standardize(std::size_t width,
+                              const std::vector<DirectedComparator>& comps);
+
+/// The textbook bitonic sequence for width a power of two (directed form).
+std::vector<DirectedComparator> bitonic_directed(std::size_t width);
+
+/// Standard-form bitonic sorting network; width must be a power of two.
+ComparatorNetwork bitonic_sort(std::size_t width);
+
+}  // namespace renamelib::sortnet

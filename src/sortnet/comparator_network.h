@@ -1,0 +1,86 @@
+// Comparator networks in standard (min-up) form.
+//
+// A comparator network is an ordered sequence of comparators (lo, hi) with
+// lo < hi; applying a comparator routes the smaller value to wire `lo`
+// ("up", toward smaller indices) and the larger to `hi`. This is exactly the
+// object the paper turns into a renaming network by replacing each
+// comparator with a two-process test-and-set (Sec. 5).
+//
+// Wires are 0-based internally; the paper's 1-based port numbers appear only
+// at the renaming API level.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/assert.h"
+
+namespace renamelib::sortnet {
+
+struct Comparator {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  friend bool operator==(const Comparator&, const Comparator&) = default;
+};
+
+class ComparatorNetwork {
+ public:
+  explicit ComparatorNetwork(std::size_t width);
+
+  std::size_t width() const noexcept { return width_; }
+  std::size_t size() const noexcept { return comps_.size(); }
+  const std::vector<Comparator>& comparators() const noexcept { return comps_; }
+  const Comparator& comparator(std::size_t i) const { return comps_[i]; }
+
+  /// Appends a comparator. `a` and `b` may be given in either order but must
+  /// be distinct and within the width.
+  void add(std::uint32_t a, std::uint32_t b);
+
+  /// Appends every comparator of `other`, with its wires shifted by
+  /// `wire_offset`. This implements the paper's Fig. 2 composition, where
+  /// the sandwich ABC is exactly shift(A, l) ++ B ++ shift(C, l).
+  void append(const ComparatorNetwork& other, std::uint32_t wire_offset = 0);
+
+  /// Applies the network to `values` in place (values.size() == width()).
+  template <typename T>
+  void apply(std::vector<T>& values) const {
+    RENAMELIB_ENSURE(values.size() == width_, "value count != width");
+    for (const Comparator& c : comps_) {
+      if (values[c.hi] < values[c.lo]) std::swap(values[c.lo], values[c.hi]);
+    }
+  }
+
+  /// Greedy ASAP layering: number of parallel stages (the network's depth,
+  /// i.e. the paper's bound on renaming step complexity).
+  std::size_t depth() const;
+
+  /// Layer index of each comparator under ASAP scheduling.
+  std::vector<std::size_t> layer_of_comparators() const;
+
+  /// For each wire, the indices (into comparators()) of the comparators
+  /// touching it, in network order. This is the routing table a renaming
+  /// network uses: a process on wire w next competes at the first untraversed
+  /// comparator in per_wire()[w].
+  std::vector<std::vector<std::uint32_t>> per_wire() const;
+
+  /// Number of comparators a value traverses when entering on `wire` with
+  /// every comparator decided by value order of `values` (diagnostics).
+  std::size_t trace_path_length(std::size_t wire) const;
+
+  /// Knuth's standardization (TAOCP 5.3.4 ex. 16): converts any comparator
+  /// sequence that may contain "reversed" intentions into min-up form while
+  /// preserving the multiset of output sequences; used to import bitonic
+  /// networks whose textbook form contains descending comparators.
+  /// (Implemented in bitonic.cpp where it is needed.)
+
+  /// GraphViz rendering for the examples/visualizer.
+  std::string to_dot() const;
+
+ private:
+  std::size_t width_;
+  std::vector<Comparator> comps_;
+};
+
+}  // namespace renamelib::sortnet

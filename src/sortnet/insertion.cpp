@@ -1,0 +1,26 @@
+#include "sortnet/insertion.h"
+
+namespace renamelib::sortnet {
+
+ComparatorNetwork insertion_sort(std::size_t width) {
+  ComparatorNetwork net(width);
+  for (std::uint32_t i = 1; i < width; ++i) {
+    for (std::uint32_t j = i; j >= 1; --j) {
+      net.add(j - 1, j);
+    }
+  }
+  return net;
+}
+
+ComparatorNetwork odd_even_transposition(std::size_t width) {
+  ComparatorNetwork net(width);
+  for (std::size_t round = 0; round < width; ++round) {
+    for (std::uint32_t i = static_cast<std::uint32_t>(round % 2); i + 1 < width;
+         i += 2) {
+      net.add(i, i + 1);
+    }
+  }
+  return net;
+}
+
+}  // namespace renamelib::sortnet

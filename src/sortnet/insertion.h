@@ -1,0 +1,16 @@
+// Quadratic-size baseline networks (insertion/bubble), used for tiny widths
+// and as test oracles — their correctness is obvious by construction.
+#pragma once
+
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::sortnet {
+
+/// Insertion-sort network: O(width^2) comparators, depth 2*width - 3.
+ComparatorNetwork insertion_sort(std::size_t width);
+
+/// Odd-even transposition ("brick wall") network: width layers of
+/// alternating adjacent comparators.
+ComparatorNetwork odd_even_transposition(std::size_t width);
+
+}  // namespace renamelib::sortnet

@@ -1,0 +1,101 @@
+#include "sortnet/odd_even_merge.h"
+
+#include <bit>
+
+#include "core/assert.h"
+
+namespace renamelib::sortnet {
+
+namespace {
+
+std::uint64_t next_pow2(std::uint64_t v) {
+  RENAMELIB_ENSURE(v >= 1, "width must be >= 1");
+  return std::bit_ceil(v);
+}
+
+/// Calls fn(lo, hi) for every comparator of phase (p, k) over padded width n
+/// in increasing lo order. Batcher's classic formulation.
+template <typename Fn>
+void phase_comparators(std::uint64_t n, std::uint64_t p, std::uint64_t k, Fn&& fn) {
+  for (std::uint64_t j = k % p; j + k < n; j += 2 * k) {
+    const std::uint64_t imax = std::min(k, n - j - k);
+    for (std::uint64_t i = 0; i < imax; ++i) {
+      if ((i + j) / (2 * p) == (i + j + k) / (2 * p)) {
+        fn(i + j, i + j + k);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+ComparatorNetwork odd_even_merge_sort(std::size_t width) {
+  ComparatorNetwork net(width);
+  if (width < 2) return net;
+  const std::uint64_t n = next_pow2(width);
+  for (std::uint64_t p = 1; p < n; p *= 2) {
+    for (std::uint64_t k = p; k >= 1; k /= 2) {
+      phase_comparators(n, p, k, [&](std::uint64_t lo, std::uint64_t hi) {
+        if (hi < width) {
+          net.add(static_cast<std::uint32_t>(lo), static_cast<std::uint32_t>(hi));
+        }
+      });
+    }
+  }
+  return net;
+}
+
+LazyOddEven::LazyOddEven(std::uint64_t width)
+    : width_(width), padded_(next_pow2(std::max<std::uint64_t>(width, 2))) {
+  const std::uint32_t t = static_cast<std::uint32_t>(std::countr_zero(padded_));
+  phase_count_ = t * (t + 1) / 2;
+}
+
+LazyOddEven::Phase LazyOddEven::phase_params(std::uint32_t phase) const {
+  RENAMELIB_ENSURE(phase < phase_count_, "phase out of range");
+  // Phases enumerate p = 1, 2, 4, ... and for each p, k = p, p/2, ..., 1.
+  std::uint64_t p = 1;
+  std::uint32_t count_for_p = 1;  // p = 2^a contributes a+1 phases
+  std::uint32_t remaining = phase;
+  while (remaining >= count_for_p) {
+    remaining -= count_for_p;
+    p *= 2;
+    ++count_for_p;
+  }
+  // remaining-th k for this p: k = p >> remaining.
+  return Phase{p, p >> remaining};
+}
+
+std::optional<LazyOddEven::Hit> LazyOddEven::hit(std::uint64_t wire,
+                                                 std::uint32_t phase) const {
+  if (wire >= width_) return std::nullopt;
+  const auto [p, k] = phase_params(phase);
+  const std::uint64_t n = padded_;
+
+  // Is `x` the lo end of a comparator in phase (p, k)?
+  auto lo_partner = [&](std::uint64_t x) -> std::optional<std::uint64_t> {
+    const std::uint64_t jbase = k % p;
+    if (x < jbase) return std::nullopt;
+    const std::uint64_t s = (x - jbase) / (2 * k);
+    const std::uint64_t j = jbase + 2 * k * s;
+    const std::uint64_t i = x - j;
+    if (i >= k) return std::nullopt;               // x falls in partner range
+    if (j + k >= n) return std::nullopt;           // j loop bound
+    if (i >= n - j - k) return std::nullopt;       // i loop bound
+    if (x / (2 * p) != (x + k) / (2 * p)) return std::nullopt;
+    return x + k;
+  };
+
+  if (auto partner = lo_partner(wire)) {
+    if (*partner < width_) return Hit{*partner, true};
+    return std::nullopt;  // comparator dropped by truncation
+  }
+  if (wire >= k) {
+    if (auto partner = lo_partner(wire - k); partner && *partner == wire) {
+      return Hit{wire - k, false};
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace renamelib::sortnet

@@ -1,0 +1,62 @@
+// Batcher odd-even mergesort networks, materialized and lazy.
+//
+// Batcher's network is the paper's recommended *constructible* base
+// (Sec. 1 Discussion: using constructible networks instead of AKS "trades
+// constructibility for a logarithmic increase in running time", i.e. c = 2
+// in Theorem 2). Its comparators are already in standard min-up form.
+//
+// Widths need not be powers of two: the network is generated for the next
+// power of two and comparators touching wires >= width are dropped. Dropped
+// comparators would only ever see the implicit +inf padding values, which
+// never move up, so the truncated network still sorts.
+//
+// The lazy interface answers "which comparator touches wire w in phase t?"
+// in O(1) without materializing anything. This is what lets the adaptive
+// renaming network of Sec. 6 span an effectively unbounded namespace: a
+// process traverses its own path through an astronomically wide network,
+// materializing only the test-and-set objects it actually meets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::sortnet {
+
+/// Materializes the Batcher odd-even mergesort network for `width` wires.
+ComparatorNetwork odd_even_merge_sort(std::size_t width);
+
+/// Lazy view of the same network (identical comparators and phase order —
+/// tested against the materialized generator).
+class LazyOddEven {
+ public:
+  explicit LazyOddEven(std::uint64_t width);
+
+  std::uint64_t width() const noexcept { return width_; }
+
+  /// Number of phases (parallel layers); comparators within a phase are
+  /// wire-disjoint. Equals t(t+1)/2 for padded width 2^t.
+  std::uint32_t phase_count() const noexcept { return phase_count_; }
+
+  /// The comparator touching `wire` in phase `phase`, if any.
+  struct Hit {
+    std::uint64_t partner = 0;  ///< the other wire of the comparator
+    bool is_lo = false;         ///< true iff `wire` is the comparator's lo end
+  };
+  std::optional<Hit> hit(std::uint64_t wire, std::uint32_t phase) const;
+
+  /// Phase parameters (Batcher's p and k) for a phase index.
+  struct Phase {
+    std::uint64_t p = 0;
+    std::uint64_t k = 0;
+  };
+  Phase phase_params(std::uint32_t phase) const;
+
+ private:
+  std::uint64_t width_;
+  std::uint64_t padded_;  ///< next power of two >= width_
+  std::uint32_t phase_count_;
+};
+
+}  // namespace renamelib::sortnet

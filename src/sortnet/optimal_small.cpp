@@ -1,0 +1,103 @@
+#include "sortnet/optimal_small.h"
+
+#include <initializer_list>
+
+#include "core/assert.h"
+
+namespace renamelib::sortnet {
+
+namespace {
+
+ComparatorNetwork build(std::size_t width,
+                        std::initializer_list<std::pair<int, int>> comps) {
+  ComparatorNetwork net(width);
+  for (const auto& [a, b] : comps) {
+    net.add(static_cast<std::uint32_t>(a), static_cast<std::uint32_t>(b));
+  }
+  return net;
+}
+
+}  // namespace
+
+ComparatorNetwork optimal_small_sort(std::size_t width) {
+  switch (width) {
+    case 1:
+      return ComparatorNetwork(1);
+    case 2:
+      return build(2, {{0, 1}});
+    case 3:  // size 3, depth 3
+      return build(3, {{0, 2}, {0, 1}, {1, 2}});
+    case 4:  // size 5, depth 3
+      return build(4, {{0, 2}, {1, 3}, {0, 1}, {2, 3}, {1, 2}});
+    case 5:  // size 9, depth 5
+      return build(5, {{0, 3}, {1, 4}, {0, 2}, {1, 3}, {0, 1}, {2, 4}, {1, 2},
+                       {3, 4}, {2, 3}});
+    case 6:  // size 12, depth 5
+      return build(6, {{0, 5}, {1, 3}, {2, 4}, {1, 2}, {3, 4}, {0, 3}, {2, 5},
+                       {0, 1}, {2, 3}, {4, 5}, {1, 2}, {3, 4}});
+    case 7:  // size 16, depth 6
+      return build(7, {{0, 6}, {2, 3}, {4, 5}, {0, 2}, {1, 4}, {3, 6}, {0, 1},
+                       {2, 5}, {3, 4}, {1, 2}, {4, 6}, {2, 3}, {4, 5}, {1, 2},
+                       {3, 4}, {5, 6}});
+    case 8:  // Batcher's size-19, depth-6 network (size-optimal)
+      return build(8, {{0, 2}, {1, 3}, {4, 6}, {5, 7}, {0, 4}, {1, 5}, {2, 6},
+                       {3, 7}, {0, 1}, {2, 3}, {4, 5}, {6, 7}, {2, 4}, {3, 5},
+                       {1, 4}, {3, 6}, {1, 2}, {3, 4}, {5, 6}});
+    case 9:  // size 25, depth 7 (best known)
+      return build(9, {{0, 3}, {1, 7}, {2, 5}, {4, 8}, {0, 7}, {2, 4}, {3, 8},
+                       {5, 6}, {0, 2}, {1, 3}, {4, 5}, {7, 8}, {1, 4}, {3, 6},
+                       {5, 7}, {0, 1}, {2, 4}, {3, 5}, {6, 8}, {2, 3}, {4, 5},
+                       {6, 7}, {1, 2}, {3, 4}, {5, 6}});
+    case 10:  // size 29, depth 8 (best known size)
+      return build(10, {{0, 8}, {1, 9}, {2, 7}, {3, 5}, {4, 6}, {0, 2}, {1, 4},
+                        {5, 8}, {7, 9}, {0, 3}, {2, 4}, {5, 7}, {6, 9}, {0, 1},
+                        {3, 6}, {8, 9}, {1, 5}, {2, 3}, {4, 8}, {6, 7}, {1, 2},
+                        {3, 5}, {4, 6}, {7, 8}, {2, 3}, {4, 5}, {6, 7}, {3, 4},
+                        {5, 6}});
+    case 11:  // size 35 (best known)
+      return build(11, {{0, 9}, {1, 6},  {2, 4},  {3, 7},  {5, 8},  {0, 1},
+                        {3, 5}, {4, 10}, {6, 9},  {7, 8},  {1, 3},  {2, 5},
+                        {4, 7}, {8, 10}, {0, 4},  {1, 2},  {3, 7},  {5, 9},
+                        {6, 8}, {0, 1},  {2, 6},  {4, 5},  {7, 8},  {9, 10},
+                        {2, 4}, {3, 6},  {5, 7},  {8, 9},  {1, 2},  {3, 4},
+                        {5, 6}, {7, 8},  {2, 3},  {4, 5},  {6, 7}});
+    case 12:  // size 39 (best known)
+      return build(12, {{0, 8},  {1, 7},  {2, 6},  {3, 11}, {4, 10}, {5, 9},
+                        {0, 1},  {2, 5},  {3, 4},  {6, 9},  {7, 8},  {10, 11},
+                        {0, 2},  {1, 6},  {5, 10}, {9, 11}, {0, 3},  {1, 2},
+                        {4, 6},  {5, 7},  {8, 11}, {9, 10}, {1, 4},  {3, 5},
+                        {6, 8},  {7, 10}, {1, 3},  {2, 5},  {6, 9},  {8, 10},
+                        {2, 3},  {4, 5},  {6, 7},  {8, 9},  {4, 6},  {5, 7},
+                        {3, 4},  {5, 6},  {7, 8}});
+    default:
+      RENAMELIB_ENSURE(false, "optimal_small_sort supports widths 1..12");
+  }
+}
+
+std::size_t optimal_small_depth(std::size_t width) {
+  switch (width) {
+    case 1:
+      return 0;
+    case 2:
+      return 1;
+    case 3:
+    case 4:
+      return 3;
+    case 5:
+    case 6:
+      return 5;
+    case 7:
+    case 8:
+      return 6;
+    case 9:
+    case 10:
+      return optimal_small_sort(width).depth();
+    case 11:
+    case 12:
+      return optimal_small_sort(width).depth();
+    default:
+      RENAMELIB_ENSURE(false, "optimal_small_depth supports widths 1..12");
+  }
+}
+
+}  // namespace renamelib::sortnet

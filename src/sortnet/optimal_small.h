@@ -1,0 +1,20 @@
+// Depth- or size-optimal sorting networks for small widths.
+//
+// For widths up to 12 the best known (and for most widths proven optimal)
+// networks beat the generic constructions; a renaming network built on them
+// gives the cheapest possible arbitration for small namespaces, and they
+// serve as independent oracles in tests. Sources: Knuth TAOCP vol. 3
+// (n <= 8 classics) and the catalog of best known networks (Codish et al.).
+#pragma once
+
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::sortnet {
+
+/// Best known sorting network for `width` in [1, 12].
+ComparatorNetwork optimal_small_sort(std::size_t width);
+
+/// Best known depth for widths 1..12 (for tests/benches).
+std::size_t optimal_small_depth(std::size_t width);
+
+}  // namespace renamelib::sortnet

@@ -1,0 +1,60 @@
+#include "sortnet/pairwise.h"
+
+#include <bit>
+
+#include "core/assert.h"
+
+namespace renamelib::sortnet {
+
+ComparatorNetwork pairwise_sort(std::size_t width) {
+  RENAMELIB_ENSURE(width >= 1 && std::has_single_bit(width),
+                   "pairwise width must be a power of two");
+  ComparatorNetwork net(width);
+  const std::uint32_t n = static_cast<std::uint32_t>(width);
+  if (n < 2) return net;
+
+  // Parberry's pairwise network, iterative form. Phase 1: recursively sort
+  // the pairs (distance a = 1, 2, 4, ...).
+  std::uint32_t a = 1;
+  while (a < n) {
+    std::uint32_t b = a;
+    std::uint32_t c = 0;
+    while (b < n) {
+      net.add(b - a, b);
+      ++b;
+      ++c;
+      if (c >= a) {
+        c = 0;
+        b += a;
+      }
+    }
+    a *= 2;
+  }
+
+  // Phase 2: merge with comparators at odd multiples d of the stride a
+  // (d = 2e+1 pattern, a halving).
+  a /= 4;
+  std::uint32_t e = 1;
+  while (a > 0) {
+    std::uint32_t d = e;
+    while (d > 0) {
+      std::uint32_t b = (d + 1) * a;
+      std::uint32_t c = 0;
+      while (b < n) {
+        net.add(b - d * a, b);
+        ++b;
+        ++c;
+        if (c >= a) {
+          c = 0;
+          b += a;
+        }
+      }
+      d /= 2;
+    }
+    a /= 2;
+    e = 2 * e + 1;
+  }
+  return net;
+}
+
+}  // namespace renamelib::sortnet

@@ -1,0 +1,15 @@
+// Pairwise sorting network (Parberry 1992) — a third constructible base with
+// the same O(log^2 n) depth as Batcher's networks but a different structure
+// (sort pairs first, then merge the "winner"/"loser" subsequences). Useful
+// as an ablation base for renaming networks: same asymptotics, different
+// constants and wire locality.
+#pragma once
+
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::sortnet {
+
+/// Pairwise sorting network; width must be a power of two.
+ComparatorNetwork pairwise_sort(std::size_t width);
+
+}  // namespace renamelib::sortnet

@@ -1,0 +1,69 @@
+#include "sortnet/verify.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/assert.h"
+
+namespace renamelib::sortnet {
+
+namespace {
+
+bool sorts_mask(const ComparatorNetwork& net, std::uint64_t mask) {
+  std::vector<std::uint8_t> v(net.width());
+  for (std::size_t i = 0; i < net.width(); ++i) v[i] = (mask >> i) & 1;
+  net.apply(v);
+  return std::is_sorted(v.begin(), v.end());
+}
+
+}  // namespace
+
+bool is_sorting_network_exhaustive(const ComparatorNetwork& net) {
+  RENAMELIB_ENSURE(net.width() <= 22, "exhaustive check is 2^width; width too big");
+  const std::uint64_t limit = 1ULL << net.width();
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (!sorts_mask(net, mask)) return false;
+  }
+  return true;
+}
+
+std::uint64_t find_unsorted_witness(const ComparatorNetwork& net) {
+  RENAMELIB_ENSURE(net.width() <= 22, "witness search is 2^width; width too big");
+  const std::uint64_t limit = 1ULL << net.width();
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    if (!sorts_mask(net, mask)) return mask;
+  }
+  return UINT64_MAX;
+}
+
+bool is_sorting_network_randomized(const ComparatorNetwork& net,
+                                   std::size_t trials, std::uint64_t seed) {
+  const std::size_t w = net.width();
+  std::vector<std::uint8_t> v(w);
+
+  // Threshold vectors: exactly t ones placed at the top wires (worst case for
+  // truncation bugs), plus t ones at the bottom wires.
+  for (std::size_t t = 0; t <= w; ++t) {
+    std::fill(v.begin(), v.end(), 0);
+    for (std::size_t i = 0; i < t; ++i) v[i] = 1;
+    auto u = v;
+    net.apply(u);
+    if (!std::is_sorted(u.begin(), u.end())) return false;
+    std::fill(v.begin(), v.end(), 0);
+    for (std::size_t i = 0; i < t; ++i) v[w - 1 - i] = 1;
+    u = v;
+    net.apply(u);
+    if (!std::is_sorted(u.begin(), u.end())) return false;
+  }
+
+  Rng rng(seed);
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    for (std::size_t i = 0; i < w; ++i) v[i] = rng.coin() ? 1 : 0;
+    auto u = v;
+    net.apply(u);
+    if (!std::is_sorted(u.begin(), u.end())) return false;
+  }
+  return true;
+}
+
+}  // namespace renamelib::sortnet

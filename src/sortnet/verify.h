@@ -1,0 +1,28 @@
+// Sorting-network verification via the Zero-One Principle (Knuth): a
+// comparator network sorts every input iff it sorts every 0-1 input. The
+// paper's Lemma 2 proof is exactly a zero-one argument, and these checkers
+// are the test oracle for every network we construct.
+#pragma once
+
+#include <cstdint>
+
+#include "core/rng.h"
+#include "sortnet/comparator_network.h"
+
+namespace renamelib::sortnet {
+
+/// Exhaustive zero-one check: 2^width applications. Practical for width <= ~22.
+bool is_sorting_network_exhaustive(const ComparatorNetwork& net);
+
+/// Randomized zero-one check over `trials` random 0-1 vectors plus all
+/// "threshold" vectors (sorted-descending prefixes of ones), which catch
+/// off-by-one truncation errors. A false return is definitive; true means
+/// "no counterexample found".
+bool is_sorting_network_randomized(const ComparatorNetwork& net,
+                                   std::size_t trials, std::uint64_t seed);
+
+/// Returns a failing 0-1 input if one exists within the exhaustive search,
+/// encoded as a bitmask, or UINT64_MAX if none (width must be <= 63).
+std::uint64_t find_unsorted_witness(const ComparatorNetwork& net);
+
+}  // namespace renamelib::sortnet

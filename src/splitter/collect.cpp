@@ -1,0 +1,64 @@
+#include "splitter/collect.h"
+
+#include "core/assert.h"
+
+namespace renamelib::splitter {
+
+AdaptiveCollect::Cell& AdaptiveCollect::cell_for(std::uint64_t bfs_index) {
+  std::scoped_lock lock{alloc_mu_};
+  auto& slot = cells_[bfs_index];
+  if (!slot) slot = std::make_unique<Cell>();
+  return *slot;
+}
+
+AdaptiveCollect::Cell* AdaptiveCollect::find_cell(std::uint64_t bfs_index) {
+  std::scoped_lock lock{alloc_mu_};
+  const auto it = cells_.find(bfs_index);
+  return it == cells_.end() ? nullptr : it->second.get();
+}
+
+AdaptiveCollect::Handle AdaptiveCollect::register_process(Ctx& ctx,
+                                                          std::uint64_t id) {
+  RENAMELIB_ENSURE(id != 0, "ids must be nonzero");
+  LabelScope label{ctx, "collect/register"};
+  const Acquisition acq = tree_.acquire(ctx, id);
+  Cell& cell = cell_for(acq.node_index);
+  cell.id.store(ctx, id);
+  return Handle{acq.node_index};
+}
+
+void AdaptiveCollect::store(Ctx& ctx, const Handle& handle, std::uint64_t value) {
+  RENAMELIB_ENSURE(handle.bfs != 0, "store before register_process");
+  LabelScope label{ctx, "collect/store"};
+  Cell& cell = cell_for(handle.bfs);
+  cell.value.store(ctx, value);
+  cell.valid.store(ctx, 1);  // value before valid: readers see complete cells
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> AdaptiveCollect::collect(
+    Ctx& ctx) {
+  LabelScope label{ctx, "collect/collect"};
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  // Walk the materialized tree (allocator-level pointers; the per-cell reads
+  // are counted protocol steps).
+  std::vector<std::pair<const SplitterTree::Node*, std::uint64_t>> stack{
+      {tree_.node_at(1), 1}};
+  while (!stack.empty()) {
+    const auto [node, bfs] = stack.back();
+    stack.pop_back();
+    if (node == nullptr) continue;
+    if (Cell* cell = find_cell(bfs)) {
+      if (cell->valid.load(ctx) != 0) {
+        const std::uint64_t id = cell->id.load(ctx);
+        const std::uint64_t value = cell->value.load(ctx);
+        if (id != 0) out.emplace_back(id, value);
+      }
+    }
+    for (int dir = 0; dir < 2; ++dir) {
+      stack.push_back({node->child[dir].load(), 2 * bfs + dir});
+    }
+  }
+  return out;
+}
+
+}  // namespace renamelib::splitter

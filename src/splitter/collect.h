@@ -1,0 +1,61 @@
+// Adaptive collect (Attiya, Kuhn, Plaxton, Wattenhofer, Wattenhofer [25] —
+// the paper's reference for the randomized splitter tree).
+//
+// A collect object lets each process STORE a value and lets any process
+// COLLECT the latest values of all processes that ever stored. The adaptive
+// construction: each process acquires a node of the randomized splitter tree
+// (exactly TempName's acquisition) and thereafter writes into that node's
+// cell; a collect walks the materialized tree — O(k) nodes w.h.p. — instead
+// of scanning an array sized for the maximum process count.
+//
+// This makes the [25] substrate behind TempName concrete and independently
+// usable (adaptive participant snapshots).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "splitter/splitter_tree.h"
+
+namespace renamelib::splitter {
+
+class AdaptiveCollect {
+ public:
+  AdaptiveCollect() = default;
+
+  /// Per-process slot handle returned by register_process.
+  struct Handle {
+    std::uint64_t bfs = 0;  ///< acquired tree node (1-based BFS index)
+  };
+
+  /// One-time registration: acquires a splitter-tree node (O(log k) steps
+  /// w.h.p.) and claims its value cell. `id` must be nonzero and unique.
+  Handle register_process(Ctx& ctx, std::uint64_t id);
+
+  /// Publishes `value` in the registered slot: O(1) register writes.
+  void store(Ctx& ctx, const Handle& handle, std::uint64_t value);
+
+  /// Gathers (id, latest value) for every registered process whose store is
+  /// visible. Cost proportional to the materialized tree: O(k) w.h.p.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> collect(Ctx& ctx);
+
+ private:
+  struct Cell {
+    Register<std::uint64_t> id{0};
+    Register<std::uint64_t> value{0};
+    Register<std::uint8_t> valid{0};
+  };
+
+  Cell& cell_for(std::uint64_t bfs_index);
+  Cell* find_cell(std::uint64_t bfs_index);
+
+  SplitterTree tree_;
+  std::mutex alloc_mu_;  ///< guards lazy cell allocation only
+  std::unordered_map<std::uint64_t, std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace renamelib::splitter

@@ -1,0 +1,21 @@
+#include "splitter/splitter.h"
+
+#include "core/assert.h"
+
+namespace renamelib::splitter {
+
+SplitterOutcome Splitter::acquire(Ctx& ctx, std::uint64_t id) {
+  RENAMELIB_ENSURE(id != 0, "splitter ids must be nonzero");
+  LabelScope label{ctx, "splitter/acquire"};
+
+  door_.store(ctx, id);
+  if (closed_.load(ctx) != 0) return SplitterOutcome::kRight;
+  closed_.store(ctx, 1);
+  if (door_.load(ctx) == id) {
+    owner_.store(ctx, id);
+    return SplitterOutcome::kStop;
+  }
+  return SplitterOutcome::kDown;
+}
+
+}  // namespace renamelib::splitter

@@ -1,0 +1,42 @@
+// Lamport/Moir–Anderson splitter.
+//
+// A splitter is a wait-free gadget built from two registers with the
+// guarantees (for any number of concurrent acquirers):
+//   * at most one process STOPs (acquires the splitter),
+//   * if a process runs solo, it STOPs,
+//   * not every process can receive the same non-STOP outcome: at most k-1
+//     of k processes see RIGHT, and at most k-1 see DOWN.
+//
+// Randomized splitter trees (Attiya et al. [25]) send non-stopping processes
+// to a uniformly random child, which yields acquisition depth O(log k)
+// w.h.p.; this is the paper's TempName building block (Sec. 6.2 stage 1) and
+// the backbone of the RatRace test-and-set [12].
+#pragma once
+
+#include <cstdint>
+
+#include "core/register.h"
+
+namespace renamelib::splitter {
+
+enum class SplitterOutcome : std::uint8_t { kStop, kRight, kDown };
+
+class Splitter {
+ public:
+  Splitter() = default;
+
+  /// Runs the splitter protocol. `id` must be distinct per process (use
+  /// pid + 1; 0 is reserved for "empty").
+  SplitterOutcome acquire(Ctx& ctx, std::uint64_t id);
+
+  /// Diagnostic: whether some process stopped here (quiescent reads only).
+  bool occupied() const noexcept { return owner_.peek() != 0; }
+  std::uint64_t owner() const noexcept { return owner_.peek(); }
+
+ private:
+  Register<std::uint64_t> door_{0};  ///< X in Lamport's formulation
+  Register<std::uint8_t> closed_{0}; ///< Y in Lamport's formulation
+  Register<std::uint64_t> owner_{0}; ///< records the stopper (diagnostics)
+};
+
+}  // namespace renamelib::splitter

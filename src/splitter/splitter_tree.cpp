@@ -1,0 +1,69 @@
+#include "splitter/splitter_tree.h"
+
+#include <vector>
+
+#include "core/assert.h"
+
+namespace renamelib::splitter {
+
+SplitterTree::SplitterTree() : root_(std::make_unique<Node>()) {}
+
+SplitterTree::~SplitterTree() {
+  // Iterative teardown of the lazily built tree (children are raw pointers
+  // owned by the tree; the root is owned by root_).
+  std::vector<Node*> stack;
+  for (int dir = 0; dir < 2; ++dir) {
+    if (Node* c = root_->child[dir].load()) stack.push_back(c);
+  }
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (int dir = 0; dir < 2; ++dir) {
+      if (Node* c = n->child[dir].load()) stack.push_back(c);
+    }
+    delete n;
+  }
+}
+
+SplitterTree::Node* SplitterTree::child_of(Node* parent, int dir) {
+  Node* existing = parent->child[dir].load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  auto fresh = std::make_unique<Node>();
+  Node* expected = nullptr;
+  if (parent->child[dir].compare_exchange_strong(expected, fresh.get(),
+                                                 std::memory_order_acq_rel)) {
+    node_count_.fetch_add(1, std::memory_order_relaxed);
+    return fresh.release();
+  }
+  return expected;  // someone else installed first; ours is freed
+}
+
+Acquisition SplitterTree::acquire(Ctx& ctx, std::uint64_t id) {
+  LabelScope label{ctx, "splitter_tree/acquire"};
+  Node* node = root_.get();
+  std::uint64_t bfs = 1;
+  int depth = 0;
+  for (;;) {
+    if (node->splitter.acquire(ctx, id) == SplitterOutcome::kStop) {
+      return Acquisition{bfs, depth};
+    }
+    const int dir = ctx.rng().coin() ? 1 : 0;
+    node = child_of(node, dir);
+    bfs = 2 * bfs + static_cast<std::uint64_t>(dir);
+    ++depth;
+  }
+}
+
+const SplitterTree::Node* SplitterTree::node_at(std::uint64_t bfs_index) const {
+  RENAMELIB_ENSURE(bfs_index >= 1, "BFS indices are 1-based");
+  // Recover the root->node path from the bits of the index.
+  int bits = 63;
+  while (bits > 0 && ((bfs_index >> bits) & 1) == 0) --bits;
+  const Node* node = root_.get();
+  for (int b = bits - 1; b >= 0 && node != nullptr; --b) {
+    node = node->child[(bfs_index >> b) & 1].load();
+  }
+  return node;
+}
+
+}  // namespace renamelib::splitter

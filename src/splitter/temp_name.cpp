@@ -1,0 +1,10 @@
+#include "splitter/temp_name.h"
+
+namespace renamelib::splitter {
+
+std::uint64_t TempName::get_name(Ctx& ctx, std::uint64_t id) {
+  LabelScope label{ctx, "temp_name/get"};
+  return tree_.acquire(ctx, id).node_index;
+}
+
+}  // namespace renamelib::splitter

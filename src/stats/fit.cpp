@@ -1,0 +1,91 @@
+#include "stats/fit.h"
+
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace renamelib::stats {
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  RENAMELIB_ENSURE(x.size() == y.size() && x.size() >= 2, "fit needs >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  LinearFit f;
+  const double denom = n * sxx - sx * sx;
+  f.slope = denom != 0 ? (n * sxy - sx * sy) / denom : 0;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+GrowthFit fit_growth(const std::vector<double>& x, const std::vector<double>& y) {
+  RENAMELIB_ENSURE(x.size() == y.size() && x.size() >= 2, "fit needs >= 2 points");
+  struct Candidate {
+    const char* name;
+    double exponent;  ///< exponent of log2(x); < 0 means model y = c*x
+  };
+  static constexpr Candidate kCandidates[] = {
+      {"log^0.5", 0.5}, {"log", 1.0},   {"log^1.5", 1.5}, {"log^2", 2.0},
+      {"log^2.5", 2.5}, {"log^3", 3.0}, {"linear", -1.0},
+  };
+
+  GrowthFit best;
+  best.r2 = -1e300;
+  for (const auto& cand : kCandidates) {
+    // Model value m(x); fit y = c*m by least squares through the origin, then
+    // score with R².
+    std::vector<double> m(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double lx = std::log2(std::max(x[i], 2.0));
+      m[i] = cand.exponent < 0 ? x[i] : std::pow(lx, cand.exponent);
+    }
+    double smm = 0, smy = 0, sy = 0, syy = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      smm += m[i] * m[i];
+      smy += m[i] * y[i];
+      sy += y[i];
+      syy += y[i] * y[i];
+    }
+    const double c = smm > 0 ? smy / smm : 0;
+    const double n = static_cast<double>(x.size());
+    const double ss_tot = syy - sy * sy / n;
+    double ss_res = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double e = y[i] - c * m[i];
+      ss_res += e * e;
+    }
+    const double r2 = ss_tot > 0 ? 1.0 - ss_res / ss_tot : 1.0;
+    if (r2 > best.r2) {
+      best.model = cand.name;
+      best.constant = c;
+      best.r2 = r2;
+    }
+  }
+  return best;
+}
+
+double polylog_ratio(const std::vector<double>& x, const std::vector<double>& y,
+                     double p) {
+  RENAMELIB_ENSURE(x.size() == y.size() && !x.empty(), "empty sample");
+  double sum = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double lx = std::log2(std::max(x[i], 2.0));
+    sum += y[i] / std::pow(lx, p);
+  }
+  return sum / static_cast<double>(x.size());
+}
+
+}  // namespace renamelib::stats

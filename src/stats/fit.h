@@ -1,0 +1,36 @@
+// Growth-shape estimation for complexity curves.
+//
+// The paper's evaluation is a set of asymptotic claims (O(log k), O(log^2 n),
+// Ω(c log k), ...). The benches verify *shapes*: we fit measured cost y(x)
+// against candidate models and report which exponent of log x explains the
+// data best, plus the multiplicative constant.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace renamelib::stats {
+
+/// Least-squares fit of y = a + b*x; returns {a, b, r2}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+  double r2 = 0;
+};
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Fits y ≈ c * (log2 x)^p for p in {0.5, 1, 1.5, 2, 2.5, 3} plus y ≈ c*x
+/// (linear) and returns the best model by R² on log-log axes.
+struct GrowthFit {
+  std::string model;   ///< e.g. "log^2", "log", "linear"
+  double constant = 0; ///< fitted multiplicative constant c
+  double r2 = 0;
+};
+GrowthFit fit_growth(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Mean of y_i / (log2 x_i)^p — the "constant" of a polylog model; useful to
+/// confirm that a ratio is flat (bounded) across a sweep.
+double polylog_ratio(const std::vector<double>& x, const std::vector<double>& y,
+                     double p);
+
+}  // namespace renamelib::stats

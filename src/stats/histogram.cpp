@@ -1,0 +1,55 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/assert.h"
+
+namespace renamelib::stats {
+
+Histogram::Histogram(double bucket_width, std::size_t bucket_count)
+    : width_(bucket_width), buckets_(bucket_count, 0) {
+  RENAMELIB_ENSURE(bucket_width > 0 && bucket_count > 0, "bad histogram shape");
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (value < 0) value = 0;
+  const std::size_t idx = static_cast<std::size_t>(value / width_);
+  if (idx >= buckets_.size()) {
+    ++overflow_;
+  } else {
+    ++buckets_[idx];
+  }
+}
+
+void Histogram::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  RENAMELIB_ENSURE(i < buckets_.size(), "bucket index out of range");
+  return buckets_[i];
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::uint64_t peak = overflow_;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  if (peak == 0) peak = 1;
+  std::ostringstream os;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double lo = static_cast<double>(i) * width_;
+    const std::size_t bar =
+        static_cast<std::size_t>(buckets_[i] * max_bar / peak);
+    os << '[' << lo << ", " << lo + width_ << ")\t" << buckets_[i] << '\t'
+       << std::string(bar, '#') << '\n';
+  }
+  if (overflow_ > 0) {
+    const std::size_t bar =
+        static_cast<std::size_t>(overflow_ * max_bar / peak);
+    os << "[overflow)\t" << overflow_ << '\t' << std::string(bar, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace renamelib::stats

@@ -1,0 +1,34 @@
+// Simple fixed-bucket histograms for step distributions; benches use them to
+// show tails (the paper's "w.h.p." claims are statements about tails).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace renamelib::stats {
+
+class Histogram {
+ public:
+  /// Buckets [0,w), [w,2w), ...; values beyond the last bucket go to an
+  /// overflow bucket.
+  Histogram(double bucket_width, std::size_t bucket_count);
+
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t count() const noexcept { return total_; }
+  std::uint64_t bucket(std::size_t i) const;
+  std::uint64_t overflow() const noexcept { return overflow_; }
+
+  /// Renders an ASCII bar chart.
+  std::string render(std::size_t max_bar = 40) const;
+
+ private:
+  double width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace renamelib::stats

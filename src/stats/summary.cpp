@@ -1,0 +1,46 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.h"
+
+namespace renamelib::stats {
+
+namespace {
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const double clamped = std::clamp(p, 0.0, 1.0);
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped * static_cast<double>(sorted.size())));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+}  // namespace
+
+Summary summarize(std::vector<double> sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::sort(sample.begin(), sample.end());
+  s.min = sample.front();
+  s.max = sample.back();
+  double sum = 0;
+  for (double v : sample) sum += v;
+  s.mean = sum / static_cast<double>(sample.size());
+  double sq = 0;
+  for (double v : sample) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = sample.size() > 1
+                 ? std::sqrt(sq / static_cast<double>(sample.size() - 1))
+                 : 0.0;
+  s.p50 = nearest_rank(sample, 0.50);
+  s.p90 = nearest_rank(sample, 0.90);
+  s.p99 = nearest_rank(sample, 0.99);
+  return s;
+}
+
+double percentile(std::vector<double> sample, double p) {
+  std::sort(sample.begin(), sample.end());
+  return nearest_rank(sample, p);
+}
+
+}  // namespace renamelib::stats

@@ -1,0 +1,27 @@
+// Descriptive statistics shared by tests and benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace renamelib::stats {
+
+/// Summary of a sample (computed once, cheap to copy).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Computes a Summary; the input is copied and sorted internally.
+Summary summarize(std::vector<double> sample);
+
+/// Exact percentile (nearest-rank) of a sample; input copied and sorted.
+double percentile(std::vector<double> sample, double p);
+
+}  // namespace renamelib::stats

@@ -1,0 +1,35 @@
+// Fixed-width table / CSV emission shared by the bench binaries, so every
+// experiment prints rows in the same, easily diffable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace renamelib::stats {
+
+/// Builds and prints a column-aligned text table (and optionally CSV).
+///
+///   Table t({"k", "mean steps", "p99"});
+///   t.add_row({"8", "41.2", "63"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace renamelib::stats

@@ -1,0 +1,3 @@
+#include "tas/hardware_tas.h"
+
+// HardwareTas is fully inline; this TU anchors the module.

@@ -1,0 +1,47 @@
+// Unit-cost hardware test-and-set.
+//
+// The paper states several bounds "also counting test-and-set operations as
+// having unit cost" (Sec. 2) and notes that with hardware TAS the renaming
+// network and its counters become deterministic (Sec. 1, Discussion).
+// HardwareTas models exactly that: a single atomic exchange, one step.
+#pragma once
+
+#include <atomic>
+
+#include "core/ctx.h"
+#include "tas/tas.h"
+
+namespace renamelib::tas {
+
+class HardwareTas final : public ITas {
+ public:
+  HardwareTas() = default;
+
+  /// One shared step: atomic exchange. First caller wins.
+  bool test_and_set(Ctx& ctx) override {
+    ctx.before_shared_op(OpKind::kTestAndSet, this);
+    const bool won = !flag_.exchange(true, std::memory_order_seq_cst);
+    ctx.after_shared_op();
+    return won;
+  }
+
+  /// Quiescent inspection.
+  bool taken() const noexcept { return flag_.load(std::memory_order_seq_cst); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Deterministic two-party interface over a HardwareTas, so it can be used
+/// as a drop-in replacement for TwoProcessTas in renaming networks
+/// (Sec. 1 Discussion: "can be made deterministic ... if two-process
+/// test-and-set ... objects with unit cost are available in hardware").
+class HardwareTwoProcessTas {
+ public:
+  bool compete(Ctx& ctx, int /*side*/) { return tas_.test_and_set(ctx); }
+
+ private:
+  HardwareTas tas_;
+};
+
+}  // namespace renamelib::tas

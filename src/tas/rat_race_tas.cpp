@@ -1,0 +1,71 @@
+#include "tas/rat_race_tas.h"
+
+#include <vector>
+
+#include "core/assert.h"
+
+namespace renamelib::tas {
+
+RatRaceTas::RatRaceTas() : root_(std::make_unique<Node>()) {}
+
+RatRaceTas::~RatRaceTas() {
+  std::vector<Node*> stack;
+  for (int dir = 0; dir < 2; ++dir) {
+    if (Node* c = root_->child[dir].load()) stack.push_back(c);
+  }
+  while (!stack.empty()) {
+    Node* n = stack.back();
+    stack.pop_back();
+    for (int dir = 0; dir < 2; ++dir) {
+      if (Node* c = n->child[dir].load()) stack.push_back(c);
+    }
+    delete n;
+  }
+}
+
+RatRaceTas::Node* RatRaceTas::child_of(Node* parent, int dir) {
+  // Lazy materialization; a CAS at allocator level, not a protocol step
+  // (the paper assumes the unbounded tree pre-exists in shared memory).
+  Node* existing = parent->child[dir].load(std::memory_order_acquire);
+  if (existing != nullptr) return existing;
+  auto fresh = std::make_unique<Node>();
+  Node* expected = nullptr;
+  if (parent->child[dir].compare_exchange_strong(expected, fresh.get(),
+                                                 std::memory_order_acq_rel)) {
+    node_count_.fetch_add(1, std::memory_order_relaxed);
+    return fresh.release();
+  }
+  return expected;
+}
+
+bool RatRaceTas::test_and_set(Ctx& ctx) {
+  LabelScope label{ctx, "ratrace/tas"};
+  const std::uint64_t id = static_cast<std::uint64_t>(ctx.pid()) + 1;
+
+  // Phase 1: descend until a splitter is acquired, remembering the path.
+  std::vector<std::pair<Node*, int>> path;  // (parent, direction taken)
+  Node* node = root_.get();
+  {
+    LabelScope descend{ctx, "ratrace/descend"};
+    while (node->splitter.acquire(ctx, id) != splitter::SplitterOutcome::kStop) {
+      const int dir = ctx.rng().coin() ? 1 : 0;
+      path.emplace_back(node, dir);
+      node = child_of(node, dir);
+    }
+  }
+
+  // Phase 2: tournament climb. As the owner of `node` we enter side 1 of its
+  // owner TAS; from then on we are the champion of a subtree and play side 0.
+  LabelScope climb{ctx, "ratrace/climb"};
+  if (!node->owner_tas.compete(ctx, /*side=*/1)) return false;
+  while (!path.empty()) {
+    const auto [parent, dir] = path.back();
+    path.pop_back();
+    // Champion of parent's `dir` subtree: left champ is side 0.
+    if (!parent->children_tas.compete(ctx, dir)) return false;
+    if (!parent->owner_tas.compete(ctx, /*side=*/0)) return false;
+  }
+  return true;  // champion of the root
+}
+
+}  // namespace renamelib::tas

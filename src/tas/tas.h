@@ -1,0 +1,30 @@
+// Test-and-set interfaces.
+//
+// A (one-shot) test-and-set object supports a single operation per process,
+// test_and_set(), returning true for exactly one caller (the winner). The
+// paper builds renaming from three flavors:
+//   * TwoProcessTas  — randomized, registers only, expected O(1) steps
+//                      (Tromp–Vitányi [20]); used as the comparator of a
+//                      renaming network,
+//   * RatRaceTas     — randomized n-process adaptive TAS, O(log^2 k) steps
+//                      w.h.p. (Alistarh et al. [12]); used by BitBatching,
+//   * HardwareTas    — unit-cost atomic TAS, the paper's "available on most
+//                      modern machines" remark (Sec. 2), which also makes the
+//                      renaming network deterministic (Sec. 1 Discussion).
+#pragma once
+
+#include "core/ctx.h"
+
+namespace renamelib::tas {
+
+/// Interface for n-process one-shot test-and-set objects.
+class ITas {
+ public:
+  virtual ~ITas() = default;
+
+  /// Competes in the object. Returns true iff this process won. Each process
+  /// calls this at most once per object.
+  virtual bool test_and_set(Ctx& ctx) = 0;
+};
+
+}  // namespace renamelib::tas

@@ -1,0 +1,24 @@
+#include "tas/two_process_tas.h"
+
+#include "core/assert.h"
+
+namespace renamelib::tas {
+
+bool TwoProcessTas::compete(Ctx& ctx, int side) {
+  RENAMELIB_ENSURE(side == 0 || side == 1, "side must be 0 or 1");
+  LabelScope label{ctx, "2tas/compete"};
+  Register<std::uint32_t>& mine = pos_[static_cast<std::size_t>(side)];
+  Register<std::uint32_t>& theirs = pos_[static_cast<std::size_t>(1 - side)];
+
+  std::uint32_t pos = 0;
+  for (;;) {
+    mine.store(ctx, pos);
+    const std::uint32_t other = theirs.load(ctx);
+    if (other >= pos + 1) return false;       // strictly behind: lose
+    if (pos >= 2 && other <= pos - 2) return true;  // two ahead: win
+    // Within one of each other: advance by a fair coin and race again.
+    if (ctx.rng().coin()) ++pos;
+  }
+}
+
+}  // namespace renamelib::tas

@@ -1,0 +1,48 @@
+// Randomized wait-free two-process test-and-set from atomic registers.
+//
+// This is the racing ("pursuit") form of the Tromp–Vitányi algorithm [20]:
+// each side owns a monotone position register. In each round a process
+// publishes its position, reads the other side's position, and then
+//   * loses if the other side is strictly ahead,
+//   * wins if the other side is at least two behind,
+//   * otherwise advances its position by a fair coin flip and retries.
+//
+// Properties (proved in tests under adversarial schedules):
+//   * at most one side returns true; the two sides cannot both return false;
+//   * a process running solo always wins;
+//   * the gap performs a random walk with absorbing barriers, so the
+//     algorithm terminates with probability 1, in expected O(1) steps and
+//     O(log n) steps with high probability (P(undecided after r rounds)
+//     decays geometrically);
+//   * space is constant: two registers, regardless of the number of rounds.
+#pragma once
+
+#include <cstdint>
+
+#include "core/register.h"
+
+namespace renamelib::tas {
+
+/// One-shot two-process test-and-set. The two callers must use distinct
+/// sides 0 and 1 (in a renaming network: top wire = side 0).
+class TwoProcessTas {
+ public:
+  TwoProcessTas() = default;
+
+  /// Competes on behalf of `side` (0 or 1). Returns true iff won.
+  /// Must be called at most once per side.
+  bool compete(Ctx& ctx, int side);
+
+  /// True iff some process has already lost this object (diagnostic only;
+  /// not linearizable with ongoing compete() calls).
+  bool decided() const noexcept { return pos_[0].peek() != pos_[1].peek(); }
+
+ private:
+  // pos_[s] is the latest position published by side s. Positions are
+  // monotone and consecutive writes differ by at most 1, which the proof of
+  // at-most-one-winner relies on. 2^32 tie rounds have probability ~2^-32
+  // each of continuing, so overflow is unreachable in practice.
+  RegisterArray<std::uint32_t> pos_{2, 0};
+};
+
+}  // namespace renamelib::tas

@@ -1,0 +1,18 @@
+#include "wakeup/wakeup.h"
+
+#include <cmath>
+
+namespace renamelib::wakeup {
+
+int WakeupFromRenaming::wake(Ctx& ctx, std::uint64_t initial_id) {
+  LabelScope label{ctx, "wakeup/wake"};
+  const std::uint64_t name = renaming_.rename(ctx, initial_id);
+  return name == k_ ? 1 : 0;
+}
+
+double step_lower_bound(double termination_probability, std::uint64_t k) {
+  if (k < 2) return 0;
+  return termination_probability * std::log2(static_cast<double>(k));
+}
+
+}  // namespace renamelib::wakeup

@@ -1,0 +1,41 @@
+// The wakeup problem and its reduction from adaptive strong renaming (Sec. 7).
+//
+// Wakeup (Jayanti [16]): every process returns 0 or 1; if all terminate, at
+// least one returns 1; a process may return 1 only after every process has
+// taken a step. Theorem 4 gives an Omega(c log n) shared-access lower bound,
+// which Theorem 5 transfers to adaptive strong renaming: any algorithm
+// terminating with probability c costs Omega(c log k) steps — making the
+// paper's O(log k) algorithm optimal.
+//
+// This module implements the reduction used in the proof — solve wakeup by
+// renaming and returning 1 iff the acquired name equals k — so benches can
+// measure the reduction's cost against the analytic bound.
+#pragma once
+
+#include <cstdint>
+
+#include "renaming/adaptive_strong.h"
+
+namespace renamelib::wakeup {
+
+/// Wakeup solved via adaptive strong renaming, for a known process count k.
+class WakeupFromRenaming {
+ public:
+  explicit WakeupFromRenaming(std::uint64_t k) : k_(k) {}
+
+  /// Returns 1 iff this process obtained name k — which, by namespace
+  /// tightness, certifies that all k processes have taken steps.
+  int wake(Ctx& ctx, std::uint64_t initial_id);
+
+  std::uint64_t k() const noexcept { return k_; }
+
+ private:
+  std::uint64_t k_;
+  renaming::AdaptiveStrongRenaming renaming_;
+};
+
+/// The analytic lower bound of Theorem 5: c * log2(k) expected steps for an
+/// algorithm terminating with probability c.
+double step_lower_bound(double termination_probability, std::uint64_t k);
+
+}  // namespace renamelib::wakeup

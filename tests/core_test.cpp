@@ -1,0 +1,169 @@
+// Unit tests for src/core: RNG determinism, step accounting, registers, and
+// the scheduler gate handshake (exercised through the simulator).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/ctx.h"
+#include "core/register.h"
+#include "core/rng.h"
+#include "sim/executor.h"
+
+namespace renamelib {
+namespace {
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversRange) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.below(10);
+    ASSERT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, Uniform01InUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, DeriveDiffersBySalt) {
+  EXPECT_NE(Rng::derive(1, 0), Rng::derive(1, 1));
+  EXPECT_EQ(Rng::derive(1, 5), Rng::derive(1, 5));
+}
+
+TEST(Ctx, CountsSharedSteps) {
+  Ctx ctx(0, 1);
+  Register<int> reg(0);
+  EXPECT_EQ(ctx.shared_steps(), 0u);
+  reg.store(ctx, 5);
+  EXPECT_EQ(reg.load(ctx), 5);
+  EXPECT_EQ(ctx.shared_steps(), 2u);
+}
+
+TEST(Ctx, CoinBatchesCountAsOneStep) {
+  Ctx ctx(0, 1);
+  Register<int> reg(0);
+  // Three coin flips between two shared ops count as one step (paper Sec. 2).
+  reg.store(ctx, 1);
+  (void)ctx.rng().coin();
+  (void)ctx.rng().coin();
+  (void)ctx.rng().coin();
+  reg.store(ctx, 2);
+  EXPECT_EQ(ctx.shared_steps(), 2u);
+  EXPECT_EQ(ctx.coin_flips(), 3u);
+  EXPECT_EQ(ctx.steps(), 3u);  // 2 shared + 1 coin batch
+}
+
+TEST(Ctx, MintTokenUniqueAndPidTagged) {
+  Ctx a(3, 1), b(4, 1);
+  std::set<std::uint64_t> tokens;
+  for (int i = 0; i < 100; ++i) {
+    tokens.insert(a.mint_token());
+    tokens.insert(b.mint_token());
+  }
+  EXPECT_EQ(tokens.size(), 200u);
+}
+
+TEST(Register, CompareExchangeSemantics) {
+  Ctx ctx(0, 1);
+  Register<int> reg(10);
+  int expected = 5;
+  EXPECT_FALSE(reg.compare_exchange(ctx, expected, 99));
+  EXPECT_EQ(expected, 10);
+  EXPECT_TRUE(reg.compare_exchange(ctx, expected, 99));
+  EXPECT_EQ(reg.load(ctx), 99);
+}
+
+TEST(Register, FetchAddAndExchange) {
+  Ctx ctx(0, 1);
+  Register<std::uint64_t> reg(0);
+  EXPECT_EQ(reg.fetch_add(ctx, 3), 0u);
+  EXPECT_EQ(reg.fetch_add(ctx, 4), 3u);
+  EXPECT_EQ(reg.exchange(ctx, 100), 7u);
+  EXPECT_EQ(reg.load(ctx), 100u);
+}
+
+TEST(RegisterArray, BoundsAndInit) {
+  RegisterArray<int> arr(4, 7);
+  EXPECT_EQ(arr.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(arr[i].peek(), 7);
+}
+
+TEST(LabelScope, NestsAndRestores) {
+  Ctx ctx(0, 1);
+  EXPECT_STREQ(ctx.label(), "");
+  {
+    LabelScope outer{ctx, "outer"};
+    EXPECT_STREQ(ctx.label(), "outer");
+    {
+      LabelScope inner{ctx, "inner"};
+      EXPECT_STREQ(ctx.label(), "inner");
+    }
+    EXPECT_STREQ(ctx.label(), "outer");
+  }
+  EXPECT_STREQ(ctx.label(), "");
+}
+
+// --- simulator smoke tests (full coverage in sim_test.cpp) ---------------
+
+TEST(Simulator, RunsToCompletionAndCountsSteps) {
+  Register<std::uint64_t> shared(0);
+  sim::RoundRobinAdversary adversary;
+  auto result = sim::run_simulation(
+      4,
+      [&](Ctx& ctx) {
+        for (int i = 0; i < 10; ++i) shared.fetch_add(ctx, 1);
+      },
+      adversary);
+  EXPECT_EQ(result.finished_count(), 4u);
+  EXPECT_EQ(result.total_granted_steps, 40u);
+  EXPECT_EQ(shared.peek(), 40u);
+  for (const auto& p : result.procs) EXPECT_EQ(p.shared_steps, 10u);
+}
+
+TEST(Simulator, DeterministicGivenSeedAndAdversary) {
+  auto run = [](std::uint64_t seed) {
+    Register<std::uint64_t> shared(0);
+    sim::RandomAdversary adversary(99);
+    sim::RunOptions options;
+    options.seed = seed;
+    options.record_trace = true;
+    auto result = sim::run_simulation(
+        3,
+        [&](Ctx& ctx) {
+          for (int i = 0; i < 5; ++i) {
+            if (ctx.rng().coin()) shared.fetch_add(ctx, 1);
+            shared.load(ctx);
+          }
+        },
+        adversary, options);
+    std::vector<int> pids;
+    for (const auto& ev : result.trace.events()) pids.push_back(ev.pid);
+    return pids;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace renamelib

@@ -1,0 +1,197 @@
+// Edge-case and diagnostics coverage across modules: the small surfaces the
+// primary suites do not reach (string rendering, dot output, validators,
+// counters reset, degenerate widths, single-process simulations, option
+// bounds).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ctx.h"
+#include "core/register.h"
+#include "counting/max_register.h"
+#include "renaming/renaming_network.h"
+#include "renaming/validate.h"
+#include "sim/executor.h"
+#include "sortnet/comparator_network.h"
+#include "sortnet/insertion.h"
+#include "sortnet/odd_even_merge.h"
+#include "sortnet/verify.h"
+#include "splitter/splitter_tree.h"
+#include "tas/rat_race_tas.h"
+
+namespace renamelib {
+namespace {
+
+TEST(OpKind, AllKindsHaveNames) {
+  EXPECT_STREQ(to_string(OpKind::kLoad), "load");
+  EXPECT_STREQ(to_string(OpKind::kStore), "store");
+  EXPECT_STREQ(to_string(OpKind::kCas), "cas");
+  EXPECT_STREQ(to_string(OpKind::kExchange), "exchange");
+  EXPECT_STREQ(to_string(OpKind::kFetchAdd), "fetch_add");
+  EXPECT_STREQ(to_string(OpKind::kFetchOr), "fetch_or");
+  EXPECT_STREQ(to_string(OpKind::kTestAndSet), "test_and_set");
+}
+
+TEST(Ctx, ResetCountersClearsEverything) {
+  Ctx ctx(0, 1);
+  Register<int> reg(0);
+  reg.store(ctx, 1);
+  (void)ctx.rng().coin();
+  reg.store(ctx, 2);
+  EXPECT_GT(ctx.steps(), 0u);
+  ctx.reset_counters();
+  EXPECT_EQ(ctx.steps(), 0u);
+  EXPECT_EQ(ctx.shared_steps(), 0u);
+  EXPECT_EQ(ctx.coin_flips(), 0u);
+}
+
+TEST(Ctx, CoinBatchBoundariesAreSharedOps) {
+  Ctx ctx(0, 1);
+  Register<int> reg(0);
+  // Coins with no interleaved shared op: one batch.
+  (void)ctx.rng().coin();
+  (void)ctx.rng().coin();
+  EXPECT_EQ(ctx.steps(), 1u);
+  reg.load(ctx);
+  (void)ctx.rng().coin();
+  EXPECT_EQ(ctx.steps(), 3u);  // batch + load + new batch
+}
+
+TEST(Simulator, SingleProcessRunsFine) {
+  Register<int> reg(0);
+  sim::RoundRobinAdversary adversary;
+  auto result = sim::run_simulation(
+      1, [&](Ctx& ctx) { reg.store(ctx, 7); }, adversary);
+  EXPECT_EQ(result.finished_count(), 1u);
+  EXPECT_EQ(reg.peek(), 7);
+}
+
+TEST(Simulator, BodyWithNoSharedStepsFinishes) {
+  sim::RoundRobinAdversary adversary;
+  auto result = sim::run_simulation(3, [&](Ctx&) { /* pure local */ }, adversary);
+  EXPECT_EQ(result.finished_count(), 3u);
+  EXPECT_EQ(result.total_granted_steps, 0u);
+}
+
+TEST(Simulator, MixedFinishersAndLoopers) {
+  // One process finishes immediately; others take steps. The scheduler must
+  // not wait on the finished one.
+  Register<int> reg(0);
+  sim::RoundRobinAdversary adversary;
+  auto result = sim::run_simulation(
+      3,
+      [&](Ctx& ctx) {
+        if (ctx.pid() == 0) return;
+        for (int i = 0; i < 5; ++i) reg.fetch_add(ctx, 1);
+      },
+      adversary);
+  EXPECT_EQ(result.finished_count(), 3u);
+  EXPECT_EQ(reg.peek(), 10);
+}
+
+TEST(ComparatorNetwork, DotOutputMentionsAllWires) {
+  auto net = sortnet::insertion_sort(3);
+  const std::string dot = net.to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("in0"), std::string::npos);
+  EXPECT_NE(dot.find("in2"), std::string::npos);
+}
+
+TEST(ComparatorNetwork, TracePathLengthCountsTouches) {
+  sortnet::ComparatorNetwork net(3);
+  net.add(0, 1);
+  net.add(1, 2);
+  EXPECT_EQ(net.trace_path_length(0), 1u);
+  EXPECT_EQ(net.trace_path_length(1), 2u);
+  EXPECT_EQ(net.trace_path_length(2), 1u);
+}
+
+TEST(ComparatorNetwork, WidthOneIsTriviallySorted) {
+  sortnet::ComparatorNetwork net(1);
+  EXPECT_EQ(net.depth(), 0u);
+  std::vector<int> v{5};
+  net.apply(v);
+  EXPECT_EQ(v[0], 5);
+  EXPECT_TRUE(sortnet::is_sorting_network_exhaustive(net));
+}
+
+TEST(Validate, EmptySetsAreValid) {
+  EXPECT_TRUE(renaming::check_unique({}).ok);
+  EXPECT_TRUE(renaming::check_tight({}, 0).ok);
+}
+
+TEST(Validate, ErrorMessagesNameTheProblem) {
+  const auto dup = renaming::check_unique({3, 3});
+  EXPECT_NE(dup.error.find("duplicate"), std::string::npos);
+  const auto range = renaming::check_tight({5}, 4);
+  EXPECT_NE(range.error.find("exceeds"), std::string::npos);
+}
+
+TEST(MaxRegister, CapacityRoundsToPowerOfTwo) {
+  counting::MaxRegister reg(10);  // rounds to 16
+  EXPECT_EQ(reg.capacity(), 16u);
+  Ctx ctx(0, 1);
+  reg.write_max(ctx, 15);
+  EXPECT_EQ(reg.read(ctx), 15u);
+}
+
+TEST(MaxRegister, CapacityTwoDegenerate) {
+  counting::MaxRegister reg(2);
+  Ctx ctx(0, 1);
+  EXPECT_EQ(reg.read(ctx), 0u);
+  reg.write_max(ctx, 1);
+  EXPECT_EQ(reg.read(ctx), 1u);
+}
+
+TEST(SplitterTree, NodeAtUnmaterializedReturnsNull) {
+  splitter::SplitterTree tree;
+  EXPECT_EQ(tree.node_at(2), nullptr);  // children not created yet
+  EXPECT_NE(tree.node_at(1), nullptr);  // root always exists
+}
+
+TEST(RatRace, MaterializationGrowsWithContention) {
+  tas::RatRaceTas solo_tas;
+  Ctx solo(0, 1);
+  (void)solo_tas.test_and_set(solo);
+  const std::size_t solo_nodes = solo_tas.materialized();
+
+  tas::RatRaceTas busy_tas;
+  sim::RandomAdversary adversary(5);
+  (void)sim::run_simulation(
+      16, [&](Ctx& ctx) { (void)busy_tas.test_and_set(ctx); }, adversary);
+  EXPECT_GE(busy_tas.materialized(), solo_nodes);
+}
+
+TEST(RenamingNetwork, RejectsOutOfRangePort) {
+  renaming::RenamingNetwork net(sortnet::odd_even_merge_sort(8));
+  EXPECT_EQ(net.initial_namespace(), 8u);
+  Ctx ctx(0, 1);
+  EXPECT_DEATH((void)net.rename(ctx, 9), "initial name out of");
+}
+
+TEST(Register, PeekPokeAreQuiescentAndUncounted) {
+  Register<int> reg(1);
+  Ctx ctx(0, 1);
+  reg.poke(5);
+  EXPECT_EQ(reg.peek(), 5);
+  EXPECT_EQ(ctx.shared_steps(), 0u);
+}
+
+TEST(Trace, EmptyTraceRenders) {
+  sim::Trace trace;
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.steps_of(0), 0u);
+  std::ostringstream os;
+  os << trace;
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Trace, TruncatesLongListings) {
+  sim::Trace trace;
+  for (int i = 0; i < 300; ++i) trace.record_step(0, StepInfo{});
+  const std::string s = trace.to_string(10);
+  EXPECT_NE(s.find("more"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace renamelib

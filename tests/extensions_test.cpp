@@ -1,0 +1,187 @@
+// Tests for the extension modules: pairwise and optimal-small sorting
+// networks (as renaming-network bases too), the unbounded fetch-and-
+// increment, and end-to-end determinism of full algorithm stacks under the
+// simulator (same seed + adversary => identical outcome).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "counting/unbounded_fai.h"
+#include "renaming/adaptive_strong.h"
+#include "renaming/bit_batching.h"
+#include "renaming/renaming_network.h"
+#include "renaming/validate.h"
+#include "sim/executor.h"
+#include "sortnet/odd_even_merge.h"
+#include "sortnet/optimal_small.h"
+#include "sortnet/pairwise.h"
+#include "sortnet/verify.h"
+
+namespace renamelib {
+namespace {
+
+// ------------------------------------------------------------- pairwise ---
+
+class PairwiseWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PairwiseWidths, SortsExhaustively) {
+  const std::size_t width = GetParam();
+  EXPECT_TRUE(sortnet::is_sorting_network_exhaustive(sortnet::pairwise_sort(width)))
+      << "width " << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PairwiseWidths, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Pairwise, LargeWidthRandomized) {
+  EXPECT_TRUE(
+      sortnet::is_sorting_network_randomized(sortnet::pairwise_sort(128), 3000, 5));
+}
+
+TEST(Pairwise, SameSizeAsBatcherFamily) {
+  // Pairwise and odd-even have identical size n*log(n)*(log(n)-1)/4 + n - 1.
+  for (std::size_t n : {4u, 8u, 16u, 32u}) {
+    EXPECT_EQ(sortnet::pairwise_sort(n).size(),
+              sortnet::odd_even_merge_sort(n).size())
+        << "n=" << n;
+  }
+}
+
+// -------------------------------------------------------- optimal small ---
+
+class OptimalSmallWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OptimalSmallWidths, SortsExhaustively) {
+  const std::size_t width = GetParam();
+  EXPECT_TRUE(
+      sortnet::is_sorting_network_exhaustive(sortnet::optimal_small_sort(width)))
+      << "width " << width;
+}
+
+TEST_P(OptimalSmallWidths, NotWorseThanBatcher) {
+  const std::size_t width = GetParam();
+  if (width < 2) return;
+  const auto opt = sortnet::optimal_small_sort(width);
+  const auto batcher = sortnet::odd_even_merge_sort(width);
+  EXPECT_LE(opt.size(), batcher.size()) << "width " << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, OptimalSmallWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12));
+
+TEST(OptimalSmall, KnownOptimalSizes) {
+  EXPECT_EQ(sortnet::optimal_small_sort(4).size(), 5u);
+  EXPECT_EQ(sortnet::optimal_small_sort(5).size(), 9u);
+  EXPECT_EQ(sortnet::optimal_small_sort(6).size(), 12u);
+  EXPECT_EQ(sortnet::optimal_small_sort(7).size(), 16u);
+  EXPECT_EQ(sortnet::optimal_small_sort(8).size(), 19u);
+}
+
+TEST(OptimalSmall, WorksAsRenamingNetworkBase) {
+  for (std::size_t width : {5u, 8u, 12u}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      renaming::RenamingNetwork net(sortnet::optimal_small_sort(width));
+      const int k = static_cast<int>(width);
+      std::vector<std::uint64_t> names(k, 0);
+      sim::RandomAdversary adversary(seed + width);
+      sim::RunOptions options;
+      options.seed = seed;
+      auto result = sim::run_simulation(
+          k,
+          [&](Ctx& ctx) {
+            names[ctx.pid()] =
+                net.rename(ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
+          },
+          adversary, options);
+      ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+      EXPECT_TRUE(renaming::check_tight(names, width).ok)
+          << "width " << width << " seed " << seed;
+    }
+  }
+}
+
+// -------------------------------------------------------- unbounded fai ---
+
+TEST(UnboundedFai, SequentialNoGapsAcrossEpochs) {
+  counting::UnboundedFetchAndIncrement fai;
+  Ctx ctx(0, 1);
+  for (std::uint64_t expected = 0; expected < 40; ++expected) {
+    EXPECT_EQ(fai.fetch_and_increment(ctx), expected);
+  }
+  // First epoch capacity 8, second 16: 40 values span >= 3 epochs.
+  EXPECT_GE(fai.current_epoch(), 2u);
+}
+
+class UnboundedFaiSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(UnboundedFaiSweep, ConcurrentValuesExactPrefix) {
+  const auto [k, seed] = GetParam();
+  counting::UnboundedFetchAndIncrement fai;
+  const int per = 3;
+  std::vector<std::vector<std::uint64_t>> got(k);
+  sim::RandomAdversary adversary(seed * 13 + 7);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      k,
+      [&](Ctx& ctx) {
+        for (int i = 0; i < per; ++i) {
+          got[ctx.pid()].push_back(fai.fetch_and_increment(ctx));
+        }
+      },
+      adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  std::set<std::uint64_t> all;
+  for (const auto& v : got) all.insert(v.begin(), v.end());
+  ASSERT_EQ(all.size(), static_cast<std::size_t>(k) * per);
+  EXPECT_EQ(*all.begin(), 0u);
+  EXPECT_EQ(*all.rbegin(), static_cast<std::uint64_t>(k) * per - 1);
+  // Per process, values must be strictly increasing (program order).
+  for (const auto& v : got) {
+    for (std::size_t i = 1; i < v.size(); ++i) EXPECT_GT(v[i], v[i - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, UnboundedFaiSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 8),
+                                            ::testing::Range<std::uint64_t>(0, 6)));
+
+// ---------------------------------------------------------- determinism ---
+
+TEST(Determinism, FullRenamingStackReproducible) {
+  auto run = [](std::uint64_t seed) {
+    renaming::AdaptiveStrongRenaming renaming;
+    const int k = 10;
+    std::vector<std::uint64_t> names(k, 0);
+    sim::RandomAdversary adversary(4242);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k,
+        [&](Ctx& ctx) { names[ctx.pid()] = renaming.rename(ctx, ctx.pid() + 1); },
+        adversary, options);
+    EXPECT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+    names.push_back(result.total_granted_steps);  // include schedule length
+    return names;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(Determinism, BitBatchingReproducible) {
+  auto run = [](std::uint64_t seed) {
+    renaming::BitBatching bb(32, renaming::SlotTasKind::kHardware);
+    std::vector<std::uint64_t> names(32, 0);
+    sim::RandomAdversary adversary(99);
+    sim::RunOptions options;
+    options.seed = seed;
+    (void)sim::run_simulation(
+        32, [&](Ctx& ctx) { names[ctx.pid()] = bb.rename(ctx, 0); }, adversary,
+        options);
+    return names;
+  };
+  EXPECT_EQ(run(3), run(3));
+}
+
+}  // namespace
+}  // namespace renamelib

@@ -1,0 +1,232 @@
+// Cross-cutting property tests.
+//
+// One harness, every renaming implementation: the paper's correctness
+// properties (uniqueness; tightness where claimed) must hold for EVERY
+// algorithm x adversary x seed combination, including crash injection.
+// Plus algebraic properties of the sorting-network layer (composition,
+// pruning detection) and accounting invariants of the simulator.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "renaming/adaptive_strong.h"
+#include "renaming/bit_batching.h"
+#include "renaming/linear_probe.h"
+#include "renaming/moir_anderson.h"
+#include "renaming/renaming_network.h"
+#include "renaming/validate.h"
+#include "sim/executor.h"
+#include "sortnet/insertion.h"
+#include "sortnet/odd_even_merge.h"
+#include "sortnet/verify.h"
+#include "tas/two_process_tas.h"
+
+namespace renamelib {
+namespace {
+
+// ----------------------------------------------- all-renaming harness ---
+
+struct AlgoSpec {
+  std::string name;
+  /// Factory: fresh instance sized for k participants.
+  std::function<std::unique_ptr<renaming::IRenaming>(int k)> make;
+  /// Namespace bound the algorithm guarantees for k participants.
+  std::function<std::uint64_t(int k)> bound;
+  /// Whether initial ids feed the algorithm (ports must be <= M for the
+  /// bounded renaming network).
+  bool bounded_ports = false;
+};
+
+std::vector<AlgoSpec> all_algorithms() {
+  std::vector<AlgoSpec> specs;
+  specs.push_back(
+      {"adaptive_strong",
+       [](int) { return std::make_unique<renaming::AdaptiveStrongRenaming>(); },
+       [](int k) { return static_cast<std::uint64_t>(k); }, false});
+  specs.push_back({"bitbatching",
+                   [](int k) {
+                     return std::make_unique<renaming::BitBatching>(
+                         std::max(k, 2), renaming::SlotTasKind::kHardware);
+                   },
+                   [](int k) { return static_cast<std::uint64_t>(std::max(k, 2)); },
+                   false});
+  specs.push_back({"linear_probe",
+                   [](int k) {
+                     return std::make_unique<renaming::LinearProbeRenaming>(
+                         static_cast<std::uint64_t>(k) * 2);
+                   },
+                   [](int k) { return static_cast<std::uint64_t>(k); }, false});
+  specs.push_back({"moir_anderson",
+                   [](int k) {
+                     return std::make_unique<renaming::MoirAndersonRenaming>(
+                         static_cast<std::size_t>(k));
+                   },
+                   [](int k) {
+                     return static_cast<std::uint64_t>(k) * (k + 1) / 2;
+                   },
+                   false});
+  specs.push_back({"renaming_network",
+                   [](int k) {
+                     return std::make_unique<renaming::RenamingNetwork>(
+                         sortnet::odd_even_merge_sort(
+                             std::max<std::size_t>(static_cast<std::size_t>(k), 2)));
+                   },
+                   [](int k) { return static_cast<std::uint64_t>(k); }, true});
+  return specs;
+}
+
+class EveryAlgorithm
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(EveryAlgorithm, UniqueWithinClaimedNamespace) {
+  const auto [algo_index, k, seed] = GetParam();
+  const AlgoSpec spec = all_algorithms()[static_cast<std::size_t>(algo_index)];
+  auto renaming = spec.make(k);
+  std::vector<std::uint64_t> names(k, 0);
+  sim::RandomAdversary adversary(seed * 101 + 7);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      k,
+      [&](Ctx& ctx) {
+        const std::uint64_t id = static_cast<std::uint64_t>(ctx.pid()) + 1;
+        names[ctx.pid()] = renaming->rename(ctx, id);
+      },
+      adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  const auto check = renaming::check_tight(names, spec.bound(k));
+  EXPECT_TRUE(check.ok) << spec.name << ": " << check.error << " k=" << k
+                        << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, EveryAlgorithm,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Values(2, 5, 9, 16),
+                                            ::testing::Range<std::uint64_t>(0, 4)));
+
+class EveryAlgorithmCrash
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(EveryAlgorithmCrash, SurvivorsUniqueUnderCrashes) {
+  const auto [algo_index, seed] = GetParam();
+  const AlgoSpec spec = all_algorithms()[static_cast<std::size_t>(algo_index)];
+  const int k = 10;
+  auto renaming = spec.make(k);
+  std::vector<std::uint64_t> names(k, 0);
+  std::vector<std::int64_t> crash_at(k, -1);
+  crash_at[1] = 2;
+  crash_at[4] = 6;
+  crash_at[7] = 11;
+  sim::CrashAdversary adversary(std::make_unique<sim::RandomAdversary>(seed + 5),
+                                crash_at, 3);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      k,
+      [&](Ctx& ctx) {
+        names[ctx.pid()] = renaming->rename(
+            ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
+      },
+      adversary, options);
+  std::vector<std::uint64_t> survivors;
+  for (int p = 0; p < k; ++p) {
+    if (result.procs[p].finished) survivors.push_back(names[p]);
+  }
+  const auto check = renaming::check_unique(survivors);
+  EXPECT_TRUE(check.ok) << spec.name << ": " << check.error;
+  for (auto n : survivors) EXPECT_LE(n, spec.bound(k)) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgos, EveryAlgorithmCrash,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range<std::uint64_t>(0, 6)));
+
+// ----------------------------------------------- sorting-network algebra ---
+
+TEST(NetworkAlgebra, SortingThenSortingStillSorts) {
+  // Appending any comparator sequence to a sorting network preserves
+  // sortedness (comparators cannot unsort); exhaustively checked.
+  auto net = sortnet::odd_even_merge_sort(8);
+  net.append(sortnet::insertion_sort(8), 0);
+  EXPECT_TRUE(sortnet::is_sorting_network_exhaustive(net));
+}
+
+TEST(NetworkAlgebra, PrefixOfSorterUsuallyDoesNotSort) {
+  // Dropping the last comparator of an optimal-size network must break it
+  // (otherwise it was not optimal). Build a truncated copy.
+  const auto full = sortnet::odd_even_merge_sort(8);
+  sortnet::ComparatorNetwork truncated(8);
+  for (std::size_t i = 0; i + 1 < full.size(); ++i) {
+    truncated.add(full.comparator(i).lo, full.comparator(i).hi);
+  }
+  EXPECT_FALSE(sortnet::is_sorting_network_exhaustive(truncated));
+}
+
+TEST(NetworkAlgebra, ApplyIsIdempotentOnSortedInput) {
+  auto net = sortnet::odd_even_merge_sort(16);
+  std::vector<int> v(16);
+  for (int i = 0; i < 16; ++i) v[i] = i;
+  auto w = v;
+  net.apply(w);
+  EXPECT_EQ(w, v);
+}
+
+TEST(NetworkAlgebra, SortingIsPermutationInvariant) {
+  Rng rng(31);
+  auto net = sortnet::odd_even_merge_sort(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint64_t> v(12);
+    for (auto& x : v) x = rng.below(100);
+    auto sorted_by_net = v;
+    net.apply(sorted_by_net);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(sorted_by_net, v);
+  }
+}
+
+// ------------------------------------------------- simulator accounting ---
+
+TEST(Accounting, TraceStepsMatchProcessCounters) {
+  Register<int> reg(0);
+  sim::RandomAdversary adversary(3);
+  sim::RunOptions options;
+  options.seed = 4;
+  options.record_trace = true;
+  auto result = sim::run_simulation(
+      4,
+      [&](Ctx& ctx) {
+        for (int i = 0; i < 2 + ctx.pid(); ++i) reg.fetch_add(ctx, 1);
+      },
+      adversary, options);
+  for (int p = 0; p < 4; ++p) {
+    EXPECT_EQ(result.trace.steps_of(p), result.procs[p].shared_steps) << p;
+  }
+  EXPECT_EQ(result.total_granted_steps, result.trace.size());
+}
+
+TEST(Accounting, GrantedEqualsSumOfSharedSteps) {
+  tas::TwoProcessTas t;
+  sim::RandomAdversary adversary(9);
+  sim::RunOptions options;
+  options.seed = 2;
+  auto result = sim::run_simulation(
+      2, [&](Ctx& ctx) { (void)t.compete(ctx, ctx.pid()); }, adversary, options);
+  std::uint64_t total = 0;
+  for (const auto& p : result.procs) total += p.shared_steps;
+  EXPECT_EQ(result.total_granted_steps, total);
+}
+
+TEST(Accounting, StepsNeverBelowSharedSteps) {
+  // steps() = shared + coin batches >= shared_steps().
+  renaming::AdaptiveStrongRenaming renaming;
+  Ctx ctx(0, 8);
+  (void)renaming.rename(ctx, 1);
+  EXPECT_GE(ctx.steps(), ctx.shared_steps());
+  EXPECT_LE(ctx.steps(), ctx.shared_steps() + ctx.coin_flips());
+}
+
+}  // namespace
+}  // namespace renamelib

@@ -1,0 +1,373 @@
+// Tests for the renaming algorithms:
+//   * RenamingNetwork (Sec. 5, Theorem 1): uniqueness and tightness under
+//     round-robin / random / obstruction / crash adversaries, both TAS kinds;
+//   * BitBatching (Sec. 4, Lemma 1): uniqueness, stage-1 termination w.h.p.,
+//     probe bounds;
+//   * LinearProbeRenaming: baseline correctness and linear cost;
+//   * AdaptiveStrongRenaming (Sec. 6.2, Theorem 3): adaptive tightness,
+//     polylog steps, crash tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+
+#include "renaming/adaptive_strong.h"
+#include "renaming/bit_batching.h"
+#include "renaming/linear_probe.h"
+#include "renaming/renaming_network.h"
+#include "renaming/validate.h"
+#include "sim/executor.h"
+#include "sortnet/odd_even_merge.h"
+
+namespace renamelib::renaming {
+namespace {
+
+std::unique_ptr<sim::Adversary> make_adversary(int strategy, std::uint64_t seed) {
+  switch (strategy) {
+    case 0:
+      return std::make_unique<sim::RoundRobinAdversary>();
+    case 1:
+      return std::make_unique<sim::RandomAdversary>(seed * 1337 + 1);
+    default:
+      return std::make_unique<sim::ObstructionAdversary>(5);
+  }
+}
+
+// ------------------------------------------------------------- validate ---
+
+TEST(Validate, DetectsDuplicatesZeroAndRange) {
+  EXPECT_TRUE(check_unique({1, 2, 3}).ok);
+  EXPECT_FALSE(check_unique({1, 2, 2}).ok);
+  EXPECT_FALSE(check_unique({0, 1}).ok);
+  EXPECT_TRUE(check_tight({3, 1, 2}, 3).ok);
+  EXPECT_FALSE(check_tight({1, 4}, 3).ok);
+}
+
+// ------------------------------------------------------ RenamingNetwork ---
+
+class RenamingNetworkSweep
+    : public ::testing::TestWithParam<
+          std::tuple<int, int, std::uint64_t, ComparatorKind>> {};
+
+TEST_P(RenamingNetworkSweep, TightAndUnique) {
+  const auto [width_and_k, strategy, seed, kind] = GetParam();
+  const int width = width_and_k >> 8;
+  const int k = width_and_k & 0xff;
+  RenamingNetwork net(sortnet::odd_even_merge_sort(width), kind);
+  std::vector<std::uint64_t> names(k, 0);
+  // Spread the k participants across distinct input ports: pid i enters at
+  // port 1 + i * (width / k).
+  auto adversary = make_adversary(strategy, seed);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      k,
+      [&](Ctx& ctx) {
+        const std::uint64_t port =
+            1 + static_cast<std::uint64_t>(ctx.pid()) * (width / k);
+        names[ctx.pid()] = net.rename(ctx, port);
+      },
+      *adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  const auto check = check_tight(names, k);
+  EXPECT_TRUE(check.ok) << check.error << " width=" << width << " k=" << k
+                        << " strategy=" << strategy << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RenamingNetworkSweep,
+    ::testing::Combine(
+        // (width << 8) | k
+        ::testing::Values((8 << 8) | 1, (8 << 8) | 4, (8 << 8) | 8,
+                          (16 << 8) | 5, (16 << 8) | 16, (32 << 8) | 8,
+                          (32 << 8) | 32),
+        ::testing::Values(0, 1, 2), ::testing::Range<std::uint64_t>(0, 4),
+        ::testing::Values(ComparatorKind::kRandomized,
+                          ComparatorKind::kHardware)));
+
+TEST(RenamingNetwork, SoloGetsNameOne) {
+  RenamingNetwork net(sortnet::odd_even_merge_sort(64));
+  for (std::uint64_t port : {1u, 2u, 17u, 64u}) {
+    RenamingNetwork fresh(sortnet::odd_even_merge_sort(64));
+    Ctx ctx(0, port * 11 + 1);
+    EXPECT_EQ(fresh.rename(ctx, port), 1u) << "port " << port;
+  }
+}
+
+TEST(RenamingNetwork, PathBoundedByDepth) {
+  const auto base = sortnet::odd_even_merge_sort(64);
+  const std::size_t depth = base.depth();
+  RenamingNetwork net(base);
+  Ctx ctx(0, 3);
+  const auto routed = net.rename_counted(ctx, 40);
+  EXPECT_LE(routed.comparators, depth);
+}
+
+TEST(RenamingNetwork, CrashedParticipantsDoNotBreakTightness) {
+  // k participants, some crash mid-route; survivors' names must be unique.
+  // (Crashed processes may have blocked low names — the paper's tightness is
+  // over participants, i.e. survivors get names <= k_participants.)
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const int k = 10, width = 32;
+    RenamingNetwork net(sortnet::odd_even_merge_sort(width));
+    std::vector<std::uint64_t> names(k, 0);
+    std::vector<std::int64_t> crash_at(k, -1);
+    crash_at[0] = 4;
+    crash_at[1] = 9;
+    sim::CrashAdversary adversary(
+        std::make_unique<sim::RandomAdversary>(seed + 3), crash_at, 2);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k,
+        [&](Ctx& ctx) {
+          const std::uint64_t port = 1 + 3 * static_cast<std::uint64_t>(ctx.pid());
+          names[ctx.pid()] = net.rename(ctx, port);
+        },
+        adversary, options);
+    std::vector<std::uint64_t> survivor_names;
+    for (int p = 0; p < k; ++p) {
+      if (result.procs[p].finished) survivor_names.push_back(names[p]);
+    }
+    const auto check = check_unique(survivor_names);
+    EXPECT_TRUE(check.ok) << check.error;
+    for (auto n : survivor_names) EXPECT_LE(n, static_cast<std::uint64_t>(k));
+  }
+}
+
+// ---------------------------------------------------------- BitBatching ---
+
+TEST(BitBatching, BatchLayoutMatchesFigure1) {
+  BitBatching bb(64, SlotTasKind::kHardware);
+  // n = 64, log2 = 6 => l = floor(log2(64/6)) = 3.
+  ASSERT_EQ(bb.batch_count(), 3u);
+  EXPECT_EQ(bb.batch_begin(1), 0u);
+  EXPECT_EQ(bb.batch_end(1), 32u);   // first half
+  EXPECT_EQ(bb.batch_begin(2), 32u);
+  EXPECT_EQ(bb.batch_end(2), 48u);   // next quarter
+  EXPECT_EQ(bb.batch_begin(3), 48u);
+  EXPECT_EQ(bb.batch_end(3), 64u);   // tail batch
+}
+
+class BitBatchingSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(BitBatchingSweep, UniqueNamesWithinN) {
+  const auto [n, strategy, seed] = GetParam();
+  BitBatching bb(static_cast<std::uint64_t>(n), SlotTasKind::kHardware);
+  std::vector<std::uint64_t> names(n, 0);
+  auto adversary = make_adversary(strategy, seed);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      n, [&](Ctx& ctx) { names[ctx.pid()] = bb.rename(ctx, 0); }, *adversary,
+      options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(n));
+  const auto check = check_tight(names, static_cast<std::uint64_t>(n));
+  EXPECT_TRUE(check.ok) << check.error << " n=" << n << " strategy=" << strategy;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BitBatchingSweep,
+                         ::testing::Combine(::testing::Values(4, 8, 16, 32, 64),
+                                            ::testing::Values(0, 1, 2),
+                                            ::testing::Range<std::uint64_t>(0, 3)));
+
+TEST(BitBatching, RatRaceSlotsFullParticipation) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const int n = 16;
+    BitBatching bb(n, SlotTasKind::kRatRace);
+    std::vector<std::uint64_t> names(n, 0);
+    sim::RandomAdversary adversary(seed + 21);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        n, [&](Ctx& ctx) { names[ctx.pid()] = bb.rename(ctx, 0); }, adversary,
+        options);
+    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(n));
+    EXPECT_TRUE(check_tight(names, n).ok);
+  }
+}
+
+TEST(BitBatching, Stage2IsRareAndProbesPolylog) {
+  // Lemma 1: stage 1 suffices w.h.p.; Corollary 1: O(log^2 n) probes.
+  const int n = 128;
+  int stage2 = 0;
+  double max_probes = 0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    BitBatching bb(n, SlotTasKind::kHardware);
+    std::vector<BitBatching::Outcome> outs(n);
+    sim::RandomAdversary adversary(seed);
+    sim::RunOptions options;
+    options.seed = seed + 1;
+    auto result = sim::run_simulation(
+        n, [&](Ctx& ctx) { outs[ctx.pid()] = bb.rename_instrumented(ctx); },
+        adversary, options);
+    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(n));
+    for (const auto& o : outs) {
+      stage2 += o.entered_stage2 ? 1 : 0;
+      max_probes = std::max(max_probes, static_cast<double>(o.probes));
+    }
+  }
+  EXPECT_EQ(stage2, 0) << "stage 2 should be unreachable w.h.p.";
+  const double log2n = std::log2(n);
+  EXPECT_LE(max_probes, 3 * log2n * log2n + 2 * log2n);
+}
+
+TEST(BitBatching, PartialParticipationStillUnique) {
+  // Fewer participants than n (non-adaptive object, k < n is allowed).
+  const int n = 64, k = 10;
+  BitBatching bb(n, SlotTasKind::kHardware);
+  std::vector<std::uint64_t> names(k, 0);
+  sim::RandomAdversary adversary(5);
+  auto result = sim::run_simulation(
+      k, [&](Ctx& ctx) { names[ctx.pid()] = bb.rename(ctx, 0); }, adversary);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  EXPECT_TRUE(check_tight(names, n).ok);  // names within 1..n, not 1..k
+}
+
+// ---------------------------------------------------------- LinearProbe ---
+
+TEST(LinearProbe, AdaptiveTightNamesLinearCost) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const int k = 12;
+    LinearProbeRenaming lp(64);
+    std::vector<LinearProbeRenaming::Outcome> outs(k);
+    sim::RandomAdversary adversary(seed);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k, [&](Ctx& ctx) { outs[ctx.pid()] = lp.rename_instrumented(ctx); },
+        adversary, options);
+    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+    std::vector<std::uint64_t> names;
+    for (const auto& o : outs) {
+      names.push_back(o.name);
+      EXPECT_EQ(o.probes, o.name);  // probes == acquired index: linear cost
+    }
+    EXPECT_TRUE(check_tight(names, k).ok);
+  }
+}
+
+// --------------------------------------------------- AdaptiveStrong -------
+
+class AdaptiveStrongSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(AdaptiveStrongSweep, AdaptiveTightNames) {
+  const auto [k, strategy, seed] = GetParam();
+  AdaptiveStrongRenaming renaming;
+  std::vector<std::uint64_t> names(k, 0);
+  auto adversary = make_adversary(strategy, seed);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      k,
+      [&](Ctx& ctx) {
+        // Unbounded initial namespace: arbitrary 64-bit ids.
+        const std::uint64_t id =
+            0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(ctx.pid()) + 1);
+        names[ctx.pid()] = renaming.rename(ctx, id);
+      },
+      *adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  const auto check = check_tight(names, static_cast<std::uint64_t>(k));
+  EXPECT_TRUE(check.ok) << check.error << " k=" << k << " strategy=" << strategy
+                        << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AdaptiveStrongSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 16,
+                                                              24, 32),
+                                            ::testing::Values(0, 1, 2),
+                                            ::testing::Range<std::uint64_t>(0, 4)));
+
+TEST(AdaptiveStrong, SoloProcessGetsNameOneCheaply) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    AdaptiveStrongRenaming renaming;
+    Ctx ctx(0, seed);
+    const auto out = renaming.rename_instrumented(ctx, 42);
+    EXPECT_EQ(out.name, 1u);
+    EXPECT_EQ(out.temp_name, 1u);  // solo acquires the root splitter
+    EXPECT_LT(ctx.steps(), 80u);
+  }
+}
+
+TEST(AdaptiveStrong, HardwareComparatorsDeterministicMode) {
+  AdaptiveStrongRenaming::Options options;
+  options.comparators = AdaptiveComparatorKind::kHardware;
+  AdaptiveStrongRenaming renaming(options);
+  const int k = 12;
+  std::vector<std::uint64_t> names(k, 0);
+  sim::RandomAdversary adversary(3);
+  auto result = sim::run_simulation(
+      k,
+      [&](Ctx& ctx) {
+        names[ctx.pid()] = renaming.rename(ctx, ctx.pid() + 1000);
+      },
+      adversary);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  EXPECT_TRUE(check_tight(names, k).ok);
+}
+
+TEST(AdaptiveStrong, StepComplexityPolylogInK) {
+  // Theorem 3 shape check: mean steps grow far slower than k.
+  auto mean_steps = [](int k) {
+    double total = 0;
+    const int kRuns = 5;
+    for (int run = 0; run < kRuns; ++run) {
+      AdaptiveStrongRenaming renaming;
+      sim::RandomAdversary adversary(static_cast<std::uint64_t>(run) + 71);
+      sim::RunOptions options;
+      options.seed = static_cast<std::uint64_t>(run) + 1;
+      auto result = sim::run_simulation(
+          k, [&](Ctx& ctx) { (void)renaming.rename(ctx, ctx.pid() + 1); },
+          adversary, options);
+      total += static_cast<double>(result.total_proc_steps()) / k;
+    }
+    return total / kRuns;
+  };
+  const double at8 = mean_steps(8);
+  const double at64 = mean_steps(64);
+  EXPECT_LT(at64, at8 * 4.0) << "8x contention must cost << 8x steps";
+}
+
+TEST(AdaptiveStrong, CrashToleranceSurvivorsUnique) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const int k = 12;
+    AdaptiveStrongRenaming renaming;
+    std::vector<std::uint64_t> names(k, 0);
+    std::vector<std::int64_t> crash_at(k, -1);
+    crash_at[0] = 3;
+    crash_at[1] = 8;
+    crash_at[2] = 15;
+    sim::CrashAdversary adversary(
+        std::make_unique<sim::RandomAdversary>(seed + 4), crash_at, 3);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k,
+        [&](Ctx& ctx) { names[ctx.pid()] = renaming.rename(ctx, ctx.pid() + 1); },
+        adversary, options);
+    std::vector<std::uint64_t> survivors;
+    for (int p = 0; p < k; ++p) {
+      if (result.procs[p].finished) survivors.push_back(names[p]);
+    }
+    const auto check = check_unique(survivors);
+    EXPECT_TRUE(check.ok) << check.error;
+    for (auto n : survivors) EXPECT_LE(n, static_cast<std::uint64_t>(k));
+  }
+}
+
+TEST(AdaptiveStrong, ManySequentialRequestsStayTight) {
+  // One process minting many identities (the counter workload): request r
+  // must receive name r.
+  AdaptiveStrongRenaming renaming;
+  Ctx ctx(0, 5);
+  for (std::uint64_t r = 1; r <= 40; ++r) {
+    EXPECT_EQ(renaming.rename(ctx, ctx.mint_token()), r);
+  }
+}
+
+}  // namespace
+}  // namespace renamelib::renaming

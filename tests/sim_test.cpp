@@ -1,0 +1,169 @@
+// Tests for the adversarial simulator: scheduling strategies, crash
+// injection, step accounting, traces, and the step-limit safety valve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "core/register.h"
+#include "sim/executor.h"
+
+namespace renamelib::sim {
+namespace {
+
+TEST(RoundRobin, CyclesThroughPendingProcesses) {
+  Register<int> reg(0);
+  RoundRobinAdversary adversary;
+  RunOptions options;
+  options.record_trace = true;
+  auto result = run_simulation(
+      3, [&](Ctx& ctx) { reg.load(ctx); reg.load(ctx); }, adversary, options);
+  ASSERT_EQ(result.trace.size(), 6u);
+  // Perfect interleaving: 0,1,2,0,1,2.
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(result.trace.events()[i].pid, static_cast<int>(i % 3));
+  }
+}
+
+TEST(Obstruction, RunsFavoredSolo) {
+  Register<int> reg(0);
+  ObstructionAdversary adversary(/*budget=*/4);
+  RunOptions options;
+  options.record_trace = true;
+  auto result = run_simulation(
+      2, [&](Ctx& ctx) { for (int i = 0; i < 4; ++i) reg.load(ctx); }, adversary,
+      options);
+  // First 4 granted steps all go to process 0.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.trace.events()[i].pid, 0);
+  }
+  EXPECT_EQ(result.finished_count(), 2u);
+}
+
+TEST(RandomAdversary, DifferentSeedsDifferentSchedules) {
+  auto schedule = [](std::uint64_t adversary_seed) {
+    Register<int> reg(0);
+    RandomAdversary adversary(adversary_seed);
+    RunOptions options;
+    options.record_trace = true;
+    auto result = run_simulation(
+        4, [&](Ctx& ctx) { for (int i = 0; i < 8; ++i) reg.load(ctx); },
+        adversary, options);
+    std::vector<int> pids;
+    for (const auto& ev : result.trace.events()) pids.push_back(ev.pid);
+    return pids;
+  };
+  EXPECT_EQ(schedule(1), schedule(1));
+  EXPECT_NE(schedule(1), schedule(2));
+}
+
+TEST(CrashAdversary, KillsAtRequestedStepAndOthersFinish) {
+  Register<std::uint64_t> reg(0);
+  // Crash process 0 after its 3rd shared step.
+  std::vector<std::int64_t> crash_at = {3, -1, -1};
+  CrashAdversary adversary(std::make_unique<RoundRobinAdversary>(), crash_at, 1);
+  auto result = run_simulation(
+      3, [&](Ctx& ctx) { for (int i = 0; i < 10; ++i) reg.fetch_add(ctx, 1); },
+      adversary);
+  EXPECT_EQ(result.crashed_count(), 1u);
+  EXPECT_TRUE(result.procs[0].crashed);
+  EXPECT_EQ(result.procs[0].shared_steps, 3u);
+  EXPECT_TRUE(result.procs[1].finished);
+  EXPECT_TRUE(result.procs[2].finished);
+  EXPECT_EQ(reg.peek(), 3u + 10u + 10u);
+}
+
+TEST(CrashAdversary, RespectsMaxCrashes) {
+  Register<std::uint64_t> reg(0);
+  std::vector<std::int64_t> crash_at = {1, 1, 1, 1};
+  CrashAdversary adversary(std::make_unique<RoundRobinAdversary>(), crash_at, 2);
+  auto result = run_simulation(
+      4, [&](Ctx& ctx) { for (int i = 0; i < 5; ++i) reg.fetch_add(ctx, 1); },
+      adversary);
+  EXPECT_EQ(result.crashed_count(), 2u);
+  EXPECT_EQ(result.finished_count(), 2u);
+}
+
+TEST(LabelStarving, StarvesLabeledSteps) {
+  Register<int> a(0);
+  Register<int> b(0);
+  LabelStarvingAdversary adversary("victim", /*seed=*/3);
+  RunOptions options;
+  options.record_trace = true;
+  auto result = run_simulation(
+      2,
+      [&](Ctx& ctx) {
+        if (ctx.pid() == 0) {
+          LabelScope scope{ctx, "victim/phase"};
+          for (int i = 0; i < 3; ++i) a.load(ctx);
+        } else {
+          for (int i = 0; i < 3; ++i) b.load(ctx);
+        }
+      },
+      adversary, options);
+  // All of process 1's steps are granted before any of process 0's.
+  const auto& events = result.trace.events();
+  std::size_t first_p0 = events.size();
+  std::size_t last_p1 = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].pid == 0) first_p0 = std::min(first_p0, i);
+    if (events[i].pid == 1) last_p1 = std::max(last_p1, i);
+  }
+  EXPECT_GT(first_p0, last_p1);
+}
+
+TEST(StepLimit, AbortsRunawayExecutions) {
+  Register<int> reg(0);
+  RoundRobinAdversary adversary;
+  RunOptions options;
+  options.max_total_steps = 100;
+  auto result = run_simulation(
+      2, [&](Ctx& ctx) { for (;;) reg.load(ctx); }, adversary, options);
+  EXPECT_TRUE(result.hit_step_limit);
+  EXPECT_EQ(result.crashed_count(), 2u);
+  EXPECT_LE(result.total_granted_steps, 100u);
+}
+
+TEST(SimResult, Accounting) {
+  Register<int> reg(0);
+  RoundRobinAdversary adversary;
+  auto result = run_simulation(
+      3,
+      [&](Ctx& ctx) {
+        reg.load(ctx);
+        (void)ctx.rng().coin();
+        reg.load(ctx);
+      },
+      adversary);
+  EXPECT_EQ(result.total_granted_steps, 6u);
+  EXPECT_EQ(result.total_proc_steps(), 9u);  // 2 shared + 1 coin batch each
+  EXPECT_EQ(result.max_proc_steps(), 3u);
+}
+
+TEST(Trace, RendersAndCounts) {
+  Register<int> reg(0);
+  RoundRobinAdversary adversary;
+  RunOptions options;
+  options.record_trace = true;
+  auto result = run_simulation(
+      2, [&](Ctx& ctx) { reg.store(ctx, 1); }, adversary, options);
+  EXPECT_EQ(result.trace.steps_of(0), 1u);
+  EXPECT_EQ(result.trace.steps_of(1), 1u);
+  EXPECT_NE(result.trace.to_string().find("store"), std::string::npos);
+}
+
+TEST(Executor, SharedObjectsLinearizeInGrantOrder) {
+  // With a round-robin adversary and one fetch_add each, the observed
+  // pre-increment values are exactly 0..n-1 in pid order.
+  Register<std::uint64_t> reg(0);
+  std::vector<std::uint64_t> observed(4, 0);
+  RoundRobinAdversary adversary;
+  auto result = run_simulation(
+      4, [&](Ctx& ctx) { observed[ctx.pid()] = reg.fetch_add(ctx, 1); },
+      adversary);
+  ASSERT_EQ(result.finished_count(), 4u);
+  for (std::uint64_t p = 0; p < 4; ++p) EXPECT_EQ(observed[p], p);
+}
+
+}  // namespace
+}  // namespace renamelib::sim

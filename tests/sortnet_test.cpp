@@ -1,0 +1,248 @@
+// Tests for sorting networks: generators (Batcher odd-even, bitonic,
+// insertion, transposition) against the zero-one principle, the Knuth
+// standardization, lazy-vs-materialized odd-even equivalence, depth/size
+// formulas, and the AKS depth model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "core/rng.h"
+#include "sortnet/aks_model.h"
+#include "sortnet/bitonic.h"
+#include "sortnet/comparator_network.h"
+#include "sortnet/insertion.h"
+#include "sortnet/odd_even_merge.h"
+#include "sortnet/verify.h"
+
+namespace renamelib::sortnet {
+namespace {
+
+TEST(ComparatorNetwork, ApplySortsPair) {
+  ComparatorNetwork net(2);
+  net.add(1, 0);  // order-insensitive add
+  std::vector<int> v{9, 3};
+  net.apply(v);
+  EXPECT_EQ(v, (std::vector<int>{3, 9}));
+  EXPECT_EQ(net.depth(), 1u);
+  EXPECT_EQ(net.size(), 1u);
+}
+
+TEST(ComparatorNetwork, AppendShiftsWires) {
+  ComparatorNetwork inner(2);
+  inner.add(0, 1);
+  ComparatorNetwork outer(4);
+  outer.append(inner, 2);
+  EXPECT_EQ(outer.comparator(0), (Comparator{2, 3}));
+}
+
+TEST(ComparatorNetwork, DepthAndLayers) {
+  ComparatorNetwork net(4);
+  net.add(0, 1);
+  net.add(2, 3);  // parallel with previous
+  net.add(1, 2);  // depends on both
+  EXPECT_EQ(net.depth(), 2u);
+  const auto layers = net.layer_of_comparators();
+  EXPECT_EQ(layers, (std::vector<std::size_t>{0, 0, 1}));
+}
+
+TEST(ComparatorNetwork, PerWireRouting) {
+  ComparatorNetwork net(3);
+  net.add(0, 1);
+  net.add(1, 2);
+  const auto pw = net.per_wire();
+  EXPECT_EQ(pw[0], (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(pw[1], (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(pw[2], (std::vector<std::uint32_t>{1}));
+}
+
+class SortsAllWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortsAllWidths, OddEvenMergeExhaustive) {
+  const std::size_t width = GetParam();
+  EXPECT_TRUE(is_sorting_network_exhaustive(odd_even_merge_sort(width)))
+      << "width " << width;
+}
+
+TEST_P(SortsAllWidths, InsertionExhaustive) {
+  const std::size_t width = GetParam();
+  EXPECT_TRUE(is_sorting_network_exhaustive(insertion_sort(width)));
+}
+
+TEST_P(SortsAllWidths, TranspositionExhaustive) {
+  const std::size_t width = GetParam();
+  EXPECT_TRUE(is_sorting_network_exhaustive(odd_even_transposition(width)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SortsAllWidths,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 11, 12,
+                                           13, 15, 16));
+
+class BitonicWidths : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitonicWidths, StandardizedBitonicSorts) {
+  const std::size_t width = GetParam();
+  const ComparatorNetwork net = bitonic_sort(width);
+  EXPECT_TRUE(is_sorting_network_exhaustive(net)) << "width " << width;
+  // Standardization preserves size: n/2 * log(n) * (log(n)+1) / 2.
+  const std::size_t lg = static_cast<std::size_t>(std::log2(width));
+  EXPECT_EQ(net.size(), width * lg * (lg + 1) / 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, BitonicWidths, ::testing::Values(2, 4, 8, 16));
+
+TEST(Bitonic, LargeWidthRandomized) {
+  const ComparatorNetwork net = bitonic_sort(128);
+  EXPECT_TRUE(is_sorting_network_randomized(net, 3000, 42));
+}
+
+TEST(OddEven, LargeWidthRandomized) {
+  for (std::size_t width : {31, 64, 100, 128, 200, 256}) {
+    EXPECT_TRUE(
+        is_sorting_network_randomized(odd_even_merge_sort(width), 2000, 7))
+        << "width " << width;
+  }
+}
+
+TEST(OddEven, SortsRandomPermutations) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t width = 2 + rng.below(120);
+    auto net = odd_even_merge_sort(width);
+    std::vector<std::uint64_t> v(width);
+    std::iota(v.begin(), v.end(), 0);
+    // Fisher-Yates with our RNG.
+    for (std::size_t i = width - 1; i > 0; --i) {
+      std::swap(v[i], v[rng.below(i + 1)]);
+    }
+    net.apply(v);
+    EXPECT_TRUE(std::is_sorted(v.begin(), v.end())) << "width " << width;
+  }
+}
+
+TEST(Verify, DetectsNonSortingNetwork) {
+  ComparatorNetwork net(4);
+  net.add(0, 1);
+  net.add(2, 3);  // misses cross pairs
+  EXPECT_FALSE(is_sorting_network_exhaustive(net));
+  EXPECT_FALSE(is_sorting_network_randomized(net, 200, 1));
+  EXPECT_NE(find_unsorted_witness(net), UINT64_MAX);
+}
+
+TEST(Verify, WitnessIsNoneForSortingNetwork) {
+  EXPECT_EQ(find_unsorted_witness(odd_even_merge_sort(8)), UINT64_MAX);
+}
+
+// ------------------------------------------------ lazy == materialized ---
+
+class LazyEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LazyEquivalence, LazyMatchesMaterializedComparators) {
+  const std::size_t width = GetParam();
+  const ComparatorNetwork net = odd_even_merge_sort(width);
+  const LazyOddEven lazy(width);
+
+  // Collect lazy comparators phase by phase (sorted by lo within a phase,
+  // which matches generation order).
+  std::vector<Comparator> lazy_comps;
+  for (std::uint32_t phase = 0; phase < lazy.phase_count(); ++phase) {
+    std::vector<Comparator> in_phase;
+    for (std::uint64_t wire = 0; wire < width; ++wire) {
+      const auto hit = lazy.hit(wire, phase);
+      if (hit && hit->is_lo) {
+        in_phase.push_back(Comparator{static_cast<std::uint32_t>(wire),
+                                      static_cast<std::uint32_t>(hit->partner)});
+      }
+    }
+    std::sort(in_phase.begin(), in_phase.end(),
+              [](const Comparator& a, const Comparator& b) { return a.lo < b.lo; });
+    lazy_comps.insert(lazy_comps.end(), in_phase.begin(), in_phase.end());
+  }
+  ASSERT_EQ(lazy_comps.size(), net.size()) << "width " << width;
+  for (std::size_t i = 0; i < lazy_comps.size(); ++i) {
+    EXPECT_EQ(lazy_comps[i], net.comparator(i)) << "index " << i;
+  }
+}
+
+TEST_P(LazyEquivalence, HiSideQueriesAgree) {
+  const std::size_t width = GetParam();
+  const LazyOddEven lazy(width);
+  for (std::uint32_t phase = 0; phase < lazy.phase_count(); ++phase) {
+    for (std::uint64_t wire = 0; wire < width; ++wire) {
+      const auto hit = lazy.hit(wire, phase);
+      if (!hit) continue;
+      // The partner must see the mirrored hit.
+      const auto mirror = lazy.hit(hit->partner, phase);
+      ASSERT_TRUE(mirror.has_value());
+      EXPECT_EQ(mirror->partner, wire);
+      EXPECT_NE(mirror->is_lo, hit->is_lo);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LazyEquivalence,
+                         ::testing::Values(2, 3, 4, 5, 7, 8, 12, 16, 24, 32, 63,
+                                           64, 100));
+
+TEST(LazyOddEven, PhaseParamsEnumerateBatcherOrder) {
+  const LazyOddEven lazy(8);  // padded 8 => t=3 => 6 phases
+  ASSERT_EQ(lazy.phase_count(), 6u);
+  const std::pair<std::uint64_t, std::uint64_t> expected[] = {
+      {1, 1}, {2, 2}, {2, 1}, {4, 4}, {4, 2}, {4, 1}};
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    const auto ph = lazy.phase_params(i);
+    EXPECT_EQ(ph.p, expected[i].first);
+    EXPECT_EQ(ph.k, expected[i].second);
+  }
+}
+
+TEST(LazyOddEven, HugeWidthQueriesWork) {
+  // The whole point: queries at width 2^32 without materialization.
+  const LazyOddEven lazy(1ULL << 32);
+  EXPECT_EQ(lazy.phase_count(), 32u * 33 / 2);
+  // Wire 0 meets a comparator in the very first phase (p=1,k=1: pair (0,1)).
+  const auto hit = lazy.hit(0, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->partner, 1u);
+  EXPECT_TRUE(hit->is_lo);
+}
+
+// ------------------------------------------------------------ AKS model ---
+
+TEST(AksModel, DepthIsLogarithmicAndHugeConstant) {
+  AksModel model;
+  EXPECT_DOUBLE_EQ(model.depth(2), model.depth_constant);
+  EXPECT_NEAR(model.depth(1024) / model.depth(2), 10.0, 1e-9);
+  // Batcher beats the AKS model at any practical width.
+  EXPECT_LT(batcher_depth(1 << 20), model.depth(1 << 20));
+  EXPECT_EQ(model.batcher_crossover(), SIZE_MAX);
+}
+
+TEST(AksModel, TinyConstantCrossover) {
+  AksModel model;
+  model.depth_constant = 3;  // hypothetical great AKS
+  // t > 2a-1 = 5 => crossover at 2^5.
+  EXPECT_EQ(model.batcher_crossover(), 32u);
+  EXPECT_GT(batcher_depth(1 << 10), model.depth(1 << 10));
+}
+
+TEST(BatcherDepth, MatchesMaterializedNetworks) {
+  for (std::size_t width : {4, 8, 16, 32, 64}) {
+    EXPECT_EQ(batcher_depth(width),
+              static_cast<double>(odd_even_merge_sort(width).depth()))
+        << "width " << width;
+  }
+}
+
+TEST(Standardize, HandlesReversedSequences) {
+  // A deliberately reversed 2-wire "network" still sorts after
+  // standardization.
+  std::vector<DirectedComparator> comps{{1, 0}, {0, 1}};
+  const ComparatorNetwork net = standardize(2, comps);
+  EXPECT_TRUE(is_sorting_network_exhaustive(net));
+}
+
+}  // namespace
+}  // namespace renamelib::sortnet

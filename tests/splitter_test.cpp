@@ -1,0 +1,177 @@
+// Tests for splitters, the randomized splitter tree, and TempName (stage 1
+// of the adaptive strong renaming algorithm): safety (at most one stop per
+// splitter, unique names), solo behaviour, and the w.h.p. O(log k) depth /
+// poly(k) name bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "sim/executor.h"
+#include "splitter/splitter.h"
+#include "splitter/splitter_tree.h"
+#include "splitter/temp_name.h"
+
+namespace renamelib::splitter {
+namespace {
+
+TEST(Splitter, SoloStops) {
+  Splitter splitter;
+  Ctx ctx(0, 1);
+  EXPECT_EQ(splitter.acquire(ctx, 1), SplitterOutcome::kStop);
+  EXPECT_TRUE(splitter.occupied());
+  EXPECT_EQ(splitter.owner(), 1u);
+  EXPECT_EQ(ctx.shared_steps(), 5u);  // door, closed?, closed!, door?, owner
+}
+
+TEST(Splitter, SequentialSecondDoesNotStop) {
+  Splitter splitter;
+  Ctx a(0, 1), b(1, 2);
+  EXPECT_EQ(splitter.acquire(a, 1), SplitterOutcome::kStop);
+  EXPECT_EQ(splitter.acquire(b, 2), SplitterOutcome::kRight);
+}
+
+class SplitterAdversarial : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SplitterAdversarial, AtMostOneStopNotAllSameDirection) {
+  const std::uint64_t seed = GetParam();
+  Splitter splitter;
+  const int n = 6;
+  std::vector<SplitterOutcome> outcome(n, SplitterOutcome::kDown);
+  sim::RandomAdversary adversary(seed);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      n,
+      [&](Ctx& ctx) {
+        outcome[ctx.pid()] =
+            splitter.acquire(ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
+      },
+      adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(n));
+  int stops = 0, rights = 0, downs = 0;
+  for (auto o : outcome) {
+    stops += o == SplitterOutcome::kStop;
+    rights += o == SplitterOutcome::kRight;
+    downs += o == SplitterOutcome::kDown;
+  }
+  EXPECT_LE(stops, 1);
+  // Splitter property: not all k processes can leave in the same non-stop
+  // direction.
+  EXPECT_LT(rights, n);
+  EXPECT_LT(downs, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitterAdversarial,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(SplitterTree, SoloAcquiresRoot) {
+  SplitterTree tree;
+  Ctx ctx(0, 1);
+  const Acquisition acq = tree.acquire(ctx, 1);
+  EXPECT_EQ(acq.node_index, 1u);
+  EXPECT_EQ(acq.depth, 0);
+}
+
+TEST(SplitterTree, SequentialAcquisitionsDistinctNodes) {
+  SplitterTree tree;
+  std::set<std::uint64_t> nodes;
+  for (int p = 0; p < 50; ++p) {
+    Ctx ctx(p, static_cast<std::uint64_t>(p) + 100);
+    const Acquisition acq = tree.acquire(ctx, static_cast<std::uint64_t>(p) + 1);
+    EXPECT_TRUE(nodes.insert(acq.node_index).second)
+        << "node " << acq.node_index << " acquired twice";
+  }
+}
+
+TEST(SplitterTree, NodeAtFindsMaterializedNodes) {
+  SplitterTree tree;
+  Ctx ctx(0, 7);
+  (void)tree.acquire(ctx, 1);
+  EXPECT_NE(tree.node_at(1), nullptr);
+  EXPECT_TRUE(tree.node_at(1)->splitter.occupied());
+}
+
+class SplitterTreeConcurrent
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(SplitterTreeConcurrent, UniqueNodesAndLogDepth) {
+  const auto [nproc, seed] = GetParam();
+  SplitterTree tree;
+  std::vector<Acquisition> acq(nproc);
+  sim::RandomAdversary adversary(seed * 7 + 1);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      nproc,
+      [&](Ctx& ctx) {
+        acq[ctx.pid()] =
+            tree.acquire(ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
+      },
+      adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(nproc));
+  std::set<std::uint64_t> nodes;
+  int max_depth = 0;
+  for (const auto& a : acq) {
+    EXPECT_TRUE(nodes.insert(a.node_index).second);
+    max_depth = std::max(max_depth, a.depth);
+  }
+  // Depth is O(log k) w.h.p.; allow a generous constant for small k.
+  const double bound = 6.0 * std::log2(static_cast<double>(nproc) + 2) + 4;
+  EXPECT_LE(max_depth, bound) << "k=" << nproc << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SplitterTreeConcurrent,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                                            ::testing::Range<std::uint64_t>(0, 6)));
+
+TEST(TempName, UniqueAndPolynomialInK) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    TempName temp;
+    const int k = 24;
+    std::vector<std::uint64_t> names(k, 0);
+    sim::RandomAdversary adversary(seed + 50);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k,
+        [&](Ctx& ctx) {
+          names[ctx.pid()] =
+              temp.get_name(ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
+        },
+        adversary, options);
+    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+    std::set<std::uint64_t> unique(names.begin(), names.end());
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(k));
+    // Names <= k^c w.h.p.; c = 4 is a very generous envelope for k = 24.
+    for (auto n : names) EXPECT_LE(n, static_cast<std::uint64_t>(k) * k * k * k);
+  }
+}
+
+TEST(TempName, StepComplexityLogarithmic) {
+  // Mean TempName cost should grow mildly with k (O(log k) w.h.p.).
+  auto mean_steps = [](int k) {
+    double total = 0;
+    const int kRuns = 6;
+    for (int run = 0; run < kRuns; ++run) {
+      TempName temp;
+      sim::RandomAdversary adversary(static_cast<std::uint64_t>(run) + 9);
+      sim::RunOptions options;
+      options.seed = static_cast<std::uint64_t>(run) + 1;
+      auto result = sim::run_simulation(
+          k,
+          [&](Ctx& ctx) {
+            (void)temp.get_name(ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
+          },
+          adversary, options);
+      total += static_cast<double>(result.total_proc_steps()) / k;
+    }
+    return total / kRuns;
+  };
+  const double small = mean_steps(4);
+  const double big = mean_steps(32);
+  EXPECT_LT(big, small * 5.0);  // 8x processes, far less than 8x steps
+}
+
+}  // namespace
+}  // namespace renamelib::splitter

@@ -1,0 +1,132 @@
+// Tests for the stats module (summary, growth fitting, tables, histograms) —
+// the instruments the experiment benches rely on must themselves be correct.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "stats/fit.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace renamelib::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const auto s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Summary, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const auto s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+}
+
+TEST(Summary, PercentilesNearestRank) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.50), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.90), 90.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 99.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.00), 100.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.00), 1.0);
+}
+
+TEST(LinearFit, ExactLine) {
+  const auto f = fit_linear({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 1 + 2x
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(GrowthFit, RecognizesLogarithmic) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    x.push_back(v);
+    y.push_back(7.5 * std::log2(v));
+  }
+  const auto f = fit_growth(x, y);
+  EXPECT_EQ(f.model, "log");
+  EXPECT_NEAR(f.constant, 7.5, 0.1);
+  EXPECT_GT(f.r2, 0.999);
+}
+
+TEST(GrowthFit, RecognizesLogSquared) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    x.push_back(v);
+    const double lg = std::log2(v);
+    y.push_back(2.0 * lg * lg);
+  }
+  const auto f = fit_growth(x, y);
+  EXPECT_EQ(f.model, "log^2");
+  EXPECT_NEAR(f.constant, 2.0, 0.05);
+}
+
+TEST(GrowthFit, RecognizesLinear) {
+  std::vector<double> x, y;
+  for (double v : {4.0, 16.0, 64.0, 256.0, 1024.0}) {
+    x.push_back(v);
+    y.push_back(0.5 * v + 1);
+  }
+  EXPECT_EQ(fit_growth(x, y).model, "linear");
+}
+
+TEST(PolylogRatio, FlatForMatchingExponent) {
+  std::vector<double> x, y;
+  for (double v : {16.0, 64.0, 256.0, 1024.0}) {
+    x.push_back(v);
+    const double lg = std::log2(v);
+    y.push_back(3.0 * lg * lg);
+  }
+  EXPECT_NEAR(polylog_ratio(x, y, 2.0), 3.0, 1e-9);
+}
+
+TEST(Table, AlignsAndCsv) {
+  Table t({"a", "long header"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long header"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  EXPECT_EQ(t.to_csv(), "a,long header\n1,2\n333,4\n");
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  Histogram h(10, 3);  // [0,10) [10,20) [20,30) + overflow
+  h.add_all({1, 5, 15, 25, 99});
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  const std::string render = h.render();
+  EXPECT_NE(render.find('#'), std::string::npos);
+  EXPECT_NE(render.find("overflow"), std::string::npos);
+}
+
+TEST(Histogram, NegativeClampsToFirstBucket) {
+  Histogram h(1, 2);
+  h.add(-5);
+  EXPECT_EQ(h.bucket(0), 1u);
+}
+
+}  // namespace
+}  // namespace renamelib::stats

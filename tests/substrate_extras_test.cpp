@@ -1,0 +1,221 @@
+// Tests for the deterministic Moir–Anderson grid renaming, the adaptive
+// collect of [25], and the periodic counting network.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "countnet/periodic.h"
+#include "renaming/moir_anderson.h"
+#include "renaming/validate.h"
+#include "sim/executor.h"
+#include "splitter/collect.h"
+
+namespace renamelib {
+namespace {
+
+// --------------------------------------------------------- MoirAnderson ---
+
+TEST(MoirAnderson, SoloGetsNameOneInOneSplitter) {
+  renaming::MoirAndersonRenaming ma(8);
+  Ctx ctx(0, 1);
+  const auto out = ma.rename_instrumented(ctx, 42);
+  EXPECT_EQ(out.name, 1u);
+  EXPECT_EQ(out.moves, 1u);
+}
+
+TEST(MoirAnderson, DeterministicNoCoins) {
+  renaming::MoirAndersonRenaming ma(8);
+  Ctx ctx(0, 1);
+  (void)ma.rename(ctx, 7);
+  EXPECT_EQ(ctx.coin_flips(), 0u);
+}
+
+TEST(MoirAnderson, SequentialNamesFollowDiagonals) {
+  // Sequential processes: each sees only STOP/RIGHT outcomes along row 0;
+  // names follow the diagonal numbering of column c: c(c+1)/2 + 1.
+  renaming::MoirAndersonRenaming ma(8);
+  std::vector<std::uint64_t> names;
+  for (int p = 0; p < 5; ++p) {
+    Ctx ctx(p, p + 1);
+    names.push_back(ma.rename(ctx, p + 1));
+  }
+  EXPECT_EQ(names, (std::vector<std::uint64_t>{1, 2, 4, 7, 11}));
+}
+
+class MoirAndersonSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MoirAndersonSweep, UniqueWithinQuadraticNamespace) {
+  const auto [k, seed] = GetParam();
+  renaming::MoirAndersonRenaming ma(static_cast<std::size_t>(k));
+  std::vector<renaming::MoirAndersonRenaming::Outcome> outs(k);
+  sim::RandomAdversary adversary(seed * 3 + 1);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      k,
+      [&](Ctx& ctx) {
+        outs[ctx.pid()] = ma.rename_instrumented(
+            ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
+      },
+      adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  std::vector<std::uint64_t> names;
+  for (const auto& o : outs) {
+    names.push_back(o.name);
+    // Walk length bounded by the triangle diameter.
+    EXPECT_LE(o.moves, static_cast<std::uint64_t>(k));
+  }
+  const auto check = renaming::check_tight(
+      names, static_cast<std::uint64_t>(k) * (k + 1) / 2);
+  EXPECT_TRUE(check.ok) << check.error << " k=" << k << " seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MoirAndersonSweep,
+                         ::testing::Combine(::testing::Values(2, 4, 8, 16, 32),
+                                            ::testing::Range<std::uint64_t>(0, 6)));
+
+TEST(MoirAnderson, AdaptiveNamespaceDespiteLargeGrid) {
+  // Grid provisioned for 64 but only k=5 participate: names stay within
+  // 5*6/2 = 15 even under adversarial schedules.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    renaming::MoirAndersonRenaming ma(64);
+    const int k = 5;
+    std::vector<std::uint64_t> names(k, 0);
+    sim::RandomAdversary adversary(seed + 13);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k,
+        [&](Ctx& ctx) { names[ctx.pid()] = ma.rename(ctx, ctx.pid() + 1); },
+        adversary, options);
+    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(renaming::check_tight(names, 15).ok) << "seed " << seed;
+  }
+}
+
+// -------------------------------------------------------------- Collect ---
+
+TEST(AdaptiveCollect, StoreThenCollectSeesValue) {
+  splitter::AdaptiveCollect collect;
+  Ctx ctx(0, 1);
+  const auto h = collect.register_process(ctx, 42);
+  collect.store(ctx, h, 1000);
+  const auto view = collect.collect(ctx);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0], (std::pair<std::uint64_t, std::uint64_t>{42, 1000}));
+}
+
+TEST(AdaptiveCollect, LatestValueWins) {
+  splitter::AdaptiveCollect collect;
+  Ctx ctx(0, 1);
+  const auto h = collect.register_process(ctx, 7);
+  collect.store(ctx, h, 1);
+  collect.store(ctx, h, 2);
+  collect.store(ctx, h, 3);
+  const auto view = collect.collect(ctx);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].second, 3u);
+}
+
+TEST(AdaptiveCollect, ConcurrentStoresAllVisibleAfterQuiescence) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    splitter::AdaptiveCollect collect;
+    const int k = 10;
+    sim::RandomAdversary adversary(seed * 5 + 3);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k,
+        [&](Ctx& ctx) {
+          const std::uint64_t id = static_cast<std::uint64_t>(ctx.pid()) + 1;
+          const auto h = collect.register_process(ctx, id);
+          collect.store(ctx, h, id * 100);
+        },
+        adversary, options);
+    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+    Ctx reader(k, 777);
+    auto view = collect.collect(reader);
+    ASSERT_EQ(view.size(), static_cast<std::size_t>(k)) << "seed " << seed;
+    std::sort(view.begin(), view.end());
+    for (int p = 0; p < k; ++p) {
+      EXPECT_EQ(view[p].first, static_cast<std::uint64_t>(p) + 1);
+      EXPECT_EQ(view[p].second, (static_cast<std::uint64_t>(p) + 1) * 100);
+    }
+  }
+}
+
+TEST(AdaptiveCollect, CollectSeesOnlyCompleteStores) {
+  // A registered process that never stored must not appear.
+  splitter::AdaptiveCollect collect;
+  Ctx a(0, 1), b(1, 2);
+  (void)collect.register_process(a, 10);
+  const auto hb = collect.register_process(b, 20);
+  collect.store(b, hb, 5);
+  const auto view = collect.collect(b);
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view[0].first, 20u);
+}
+
+TEST(AdaptiveCollect, AdaptiveCost) {
+  // Collect cost scales with participants, not a provisioned maximum.
+  splitter::AdaptiveCollect collect;
+  Ctx ctx(0, 3);
+  const auto h = collect.register_process(ctx, 1);
+  collect.store(ctx, h, 9);
+  ctx.reset_counters();
+  (void)collect.collect(ctx);
+  EXPECT_LE(ctx.shared_steps(), 16u) << "solo collect must be O(1)-ish";
+}
+
+// ------------------------------------------------------------- Periodic ---
+
+TEST(PeriodicBlock, SingleBlockStructure) {
+  const auto block = countnet::periodic_block(4);
+  // Block[4]: two Block[2] (even/odd pairs) + neighbor layer = 4 balancers.
+  EXPECT_EQ(block.size(), 4u);
+}
+
+class PeriodicStepProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(PeriodicStepProperty, SequentialTokens) {
+  const auto [width, tokens] = GetParam();
+  countnet::CountingNetwork net = countnet::periodic_counting_network(width);
+  Ctx ctx(0, 11);
+  for (int t = 0; t < tokens; ++t) {
+    (void)net.next_value(ctx, static_cast<std::size_t>(t) % width);
+  }
+  EXPECT_TRUE(net.has_step_property())
+      << "width " << width << " tokens " << tokens;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PeriodicStepProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 4, 8),
+                       ::testing::Values(1, 5, 8, 17, 32)));
+
+TEST(Periodic, ConcurrentQuiescentStepProperty) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    countnet::CountingNetwork net = countnet::periodic_counting_network(8);
+    const int k = 6;
+    sim::RandomAdversary adversary(seed + 21);
+    sim::RunOptions options;
+    options.seed = seed;
+    auto result = sim::run_simulation(
+        k,
+        [&](Ctx& ctx) {
+          for (int i = 0; i < 3; ++i) {
+            (void)net.next_value(ctx, static_cast<std::size_t>(ctx.pid()) % 8);
+          }
+        },
+        adversary, options);
+    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+    EXPECT_TRUE(net.has_step_property()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace renamelib

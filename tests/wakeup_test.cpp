@@ -1,0 +1,82 @@
+// Tests for the wakeup reduction (Sec. 7): exactly one process wakes, it is
+// only ever the last one to be "fully informed" (name k), and the measured
+// cost of the reduction respects — and is compared against — the
+// Omega(c log k) analytic bound of Theorem 5.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/executor.h"
+#include "wakeup/wakeup.h"
+
+namespace renamelib::wakeup {
+namespace {
+
+class WakeupSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(WakeupSweep, ExactlyOneProcessReturnsOne) {
+  const auto [k, seed] = GetParam();
+  WakeupFromRenaming wakeup(static_cast<std::uint64_t>(k));
+  std::vector<int> woke(k, 0);
+  sim::RandomAdversary adversary(seed * 3 + 1);
+  sim::RunOptions options;
+  options.seed = seed;
+  auto result = sim::run_simulation(
+      k, [&](Ctx& ctx) { woke[ctx.pid()] = wakeup.wake(ctx, ctx.pid() + 1); },
+      adversary, options);
+  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  int total = 0;
+  for (int w : woke) total += w;
+  // All k processes terminated, so by tightness exactly one got name k.
+  EXPECT_EQ(total, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WakeupSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                                            ::testing::Range<std::uint64_t>(0, 5)));
+
+TEST(Wakeup, WakerOnlyAfterEveryoneStepped) {
+  // The process that returns 1 holds name k; in our runs its return comes
+  // after all k processes took at least one step (they all finished here).
+  WakeupFromRenaming wakeup(4);
+  std::vector<int> woke(4, 0);
+  sim::RoundRobinAdversary adversary;
+  auto result = sim::run_simulation(
+      4, [&](Ctx& ctx) { woke[ctx.pid()] = wakeup.wake(ctx, ctx.pid() + 1); },
+      adversary);
+  for (const auto& p : result.procs) EXPECT_GE(p.shared_steps, 1u);
+  EXPECT_EQ(woke[0] + woke[1] + woke[2] + woke[3], 1);
+}
+
+TEST(Wakeup, AnalyticBoundGrowsLogarithmically) {
+  EXPECT_DOUBLE_EQ(step_lower_bound(1.0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(step_lower_bound(1.0, 1024), 10.0);
+  EXPECT_DOUBLE_EQ(step_lower_bound(0.5, 1024), 5.0);
+  EXPECT_DOUBLE_EQ(step_lower_bound(1.0, 1), 0.0);
+}
+
+TEST(Wakeup, MeasuredCostDominatesLowerBound) {
+  // Theorem 5 sanity: our (optimal-up-to-constants) algorithm's measured
+  // mean step count must sit above the analytic lower bound for every k.
+  for (int k : {2, 4, 8, 16}) {
+    double total = 0;
+    const int kRuns = 4;
+    for (int run = 0; run < kRuns; ++run) {
+      WakeupFromRenaming wakeup(static_cast<std::uint64_t>(k));
+      sim::RandomAdversary adversary(static_cast<std::uint64_t>(run) + 5);
+      sim::RunOptions options;
+      options.seed = static_cast<std::uint64_t>(run) + 1;
+      auto result = sim::run_simulation(
+          k, [&](Ctx& ctx) { (void)wakeup.wake(ctx, ctx.pid() + 1); },
+          adversary, options);
+      total += static_cast<double>(result.total_proc_steps()) / k;
+    }
+    const double mean = total / kRuns;
+    EXPECT_GE(mean, step_lower_bound(1.0, static_cast<std::uint64_t>(k)))
+        << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace renamelib::wakeup

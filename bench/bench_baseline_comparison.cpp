@@ -1,61 +1,92 @@
 // Experiment: Sec. 1 / Sec. 3 — the headline comparison.
 //
 // Regenerates the "who wins" table motivating the paper: per-process cost of
-//   * LinearProbeRenaming (classic baseline [4, 11]): Theta(k),
-//   * BitBatching (Sec. 4): O(log^2 n) probes, non-adaptive,
-//   * AdaptiveStrongRenaming (Sec. 6.2): polylog(k), adaptive + tight.
-// All with unit-cost TAS arbitration so the probe counts are comparable.
-// The crossover should appear by k ~ 8-16 and widen exponentially.
+// every registered renaming implementation (linear probing Theta(k),
+// BitBatching O(log^2 n), Moir–Anderson Theta(k), renaming networks, and the
+// adaptive strong algorithm at polylog(k)) — all with unit-cost TAS
+// arbitration so the probe counts are comparable. The crossover should
+// appear by k ~ 8-16 and widen exponentially.
+//
+// All wiring goes through the api facade: implementations are spec strings,
+// runs are api::Workload scenarios, costs are api::Metrics — adding a new
+// renaming to the registry adds a column here with no new harness code.
+#include <algorithm>
+#include <cstdint>
+
+#include "api/workload.h"
 #include "bench_common.h"
-#include "renaming/adaptive_strong.h"
-#include "renaming/bit_batching.h"
-#include "renaming/linear_probe.h"
-#include "renaming/moir_anderson.h"
 
 namespace renamelib {
 namespace {
 
+std::uint64_t next_pow2(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Spec strings for a k-participant comparison, unit-cost TAS everywhere.
+/// Geometry params are the only per-implementation knowledge the bench
+/// needs; construction, execution, and metering are generic.
+std::vector<std::string> specs_for(int k) {
+  return {
+      "linear_probe:cap=" + std::to_string(2 * k),
+      "bit_batching:n=" + std::to_string(std::max(k, 4)) + ",tas=hw",
+      "moir_anderson:n=" + std::to_string(k),
+      "renaming_network:w=" + std::to_string(next_pow2(std::max(k, 2))) +
+          ",tas=hw",
+      "adaptive_strong:tas=hw",
+  };
+}
+
+double mean_steps(const std::string& spec, int k, std::uint64_t seed,
+                  api::Backend backend) {
+  api::Scenario s;
+  s.nproc = k;
+  s.ops_per_proc = 1;
+  s.backend = backend;
+  s.seed = seed;
+  const auto run = api::Workload::run_renaming_spec(spec, s);
+  return stats::summarize(run.proc_steps).mean;
+}
+
 void who_wins() {
   bench::print_header(
-      "Sec. 1: linear probing vs BitBatching vs adaptive strong renaming",
+      "Sec. 1: every registered renaming, head to head",
       "Mean per-process steps, unit-cost TAS comparators/slots, adversarial "
-      "simulation. Expected shape: linear grows ~k; the other two stay "
-      "polylogarithmic; adaptive also works with unbounded initial names.");
-  stats::Table table({"k", "linear probe", "bitbatching(n=k)",
-                      "adaptive strong", "moir-anderson det.",
-                      "linear/adaptive"});
+      "simulation. Expected shape: linear probing and Moir-Anderson grow ~k; "
+      "the network-based algorithms stay polylogarithmic; adaptive strong "
+      "also works with unbounded initial names.");
+  // Header and rows must share one column source: derive the header names
+  // from specs_for at a valid k and re-check them against every row's specs.
+  std::vector<std::string> columns;
+  for (const auto& spec : specs_for(2)) {
+    columns.push_back(api::parse_spec(spec).name);
+  }
+  std::vector<std::string> header{"k"};
+  header.insert(header.end(), columns.begin(), columns.end());
+  header.push_back("linear/adaptive");
+  stats::Table table(header);
   for (int k : {2, 4, 8, 16, 32, 64, 128}) {
-    renaming::LinearProbeRenaming lp(static_cast<std::uint64_t>(k) * 2);
-    auto lp_steps = bench::run_simulated(
-        k, static_cast<std::uint64_t>(k) + 1,
-        [&](Ctx& ctx) { (void)lp.rename(ctx, ctx.pid() + 1); });
-
-    renaming::MoirAndersonRenaming ma(static_cast<std::size_t>(k));
-    auto ma_steps = bench::run_simulated(
-        k, static_cast<std::uint64_t>(k) + 4,
-        [&](Ctx& ctx) { (void)ma.rename(ctx, ctx.pid() + 1); });
-
-    renaming::BitBatching bb(static_cast<std::uint64_t>(std::max(k, 4)),
-                             renaming::SlotTasKind::kHardware);
-    auto bb_steps = bench::run_simulated(
-        k, static_cast<std::uint64_t>(k) + 2,
-        [&](Ctx& ctx) { (void)bb.rename(ctx, ctx.pid() + 1); });
-
-    renaming::AdaptiveStrongRenaming::Options options;
-    options.comparators = renaming::AdaptiveComparatorKind::kHardware;
-    renaming::AdaptiveStrongRenaming adaptive(options);
-    auto ad_steps = bench::run_simulated(
-        k, static_cast<std::uint64_t>(k) + 3,
-        [&](Ctx& ctx) { (void)adaptive.rename(ctx, ctx.pid() + 1); });
-
-    const double lp_mean = stats::summarize(lp_steps).mean;
-    const double bb_mean = stats::summarize(bb_steps).mean;
-    const double ad_mean = stats::summarize(ad_steps).mean;
-    const double ma_mean = stats::summarize(ma_steps).mean;
-    table.add_row({std::to_string(k), stats::Table::num(lp_mean),
-                   stats::Table::num(bb_mean), stats::Table::num(ad_mean),
-                   stats::Table::num(ma_mean),
-                   stats::Table::num(lp_mean / ad_mean, 2)});
+    std::vector<std::string> row{std::to_string(k)};
+    double linear = 0, adaptive = 0;
+    std::uint64_t salt = 1;
+    const auto specs = specs_for(k);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      const std::string name = api::parse_spec(specs[i]).name;
+      if (i >= columns.size() || name != columns[i]) {
+        std::cerr << "VALIDATION FAILED: column mismatch at k=" << k << "\n";
+        std::exit(1);
+      }
+      const double mean =
+          mean_steps(specs[i], k, static_cast<std::uint64_t>(k) + salt++,
+                     api::Backend::kSimulated);
+      if (name == "linear_probe") linear = mean;
+      if (name == "adaptive_strong") adaptive = mean;
+      row.push_back(stats::Table::num(mean));
+    }
+    row.push_back(stats::Table::num(linear / adaptive, 2));
+    table.add_row(row);
   }
   table.print(std::cout);
   std::cout << "(Linear probing counts one step per probed TAS: mean ~k/2 "
@@ -72,20 +103,12 @@ void crossover_at_scale() {
   stats::Table table({"k", "linear probe", "adaptive strong",
                       "linear/adaptive"});
   for (int k : {64, 128, 256, 512, 1024}) {
-    renaming::LinearProbeRenaming lp(static_cast<std::uint64_t>(k) * 2);
-    auto lp_steps = bench::run_hardware(
-        k, static_cast<std::uint64_t>(k) + 11,
-        [&](Ctx& ctx) { (void)lp.rename(ctx, ctx.pid() + 1); });
-
-    renaming::AdaptiveStrongRenaming::Options options;
-    options.comparators = renaming::AdaptiveComparatorKind::kHardware;
-    renaming::AdaptiveStrongRenaming adaptive(options);
-    auto ad_steps = bench::run_hardware(
-        k, static_cast<std::uint64_t>(k) + 12,
-        [&](Ctx& ctx) { (void)adaptive.rename(ctx, ctx.pid() + 1); });
-
-    const double lp_mean = stats::summarize(lp_steps).mean;
-    const double ad_mean = stats::summarize(ad_steps).mean;
+    const double lp_mean =
+        mean_steps("linear_probe:cap=" + std::to_string(2 * k), k,
+                   static_cast<std::uint64_t>(k) + 11, api::Backend::kHardware);
+    const double ad_mean =
+        mean_steps("adaptive_strong:tas=hw", k,
+                   static_cast<std::uint64_t>(k) + 12, api::Backend::kHardware);
     table.add_row({std::to_string(k), stats::Table::num(lp_mean),
                    stats::Table::num(ad_mean),
                    stats::Table::num(lp_mean / ad_mean, 2)});
@@ -105,21 +128,15 @@ void adaptivity() {
                       "adaptive steps"});
   const int n = 1024;
   for (int k : {2, 8, 32}) {
-    renaming::BitBatching bb(n, renaming::SlotTasKind::kHardware);
-    auto bb_steps = bench::run_simulated(
-        k, static_cast<std::uint64_t>(k) * 5 + 1,
-        [&](Ctx& ctx) { (void)bb.rename(ctx, ctx.pid() + 1); });
-
-    renaming::AdaptiveStrongRenaming::Options options;
-    options.comparators = renaming::AdaptiveComparatorKind::kHardware;
-    renaming::AdaptiveStrongRenaming adaptive(options);
-    auto ad_steps = bench::run_simulated(
-        k, static_cast<std::uint64_t>(k) * 5 + 2,
-        [&](Ctx& ctx) { (void)adaptive.rename(ctx, ctx.pid() + 1); });
-
+    const double bb_mean = mean_steps(
+        "bit_batching:n=" + std::to_string(n) + ",tas=hw", k,
+        static_cast<std::uint64_t>(k) * 5 + 1, api::Backend::kSimulated);
+    const double ad_mean =
+        mean_steps("adaptive_strong:tas=hw", k,
+                   static_cast<std::uint64_t>(k) * 5 + 2,
+                   api::Backend::kSimulated);
     table.add_row({std::to_string(k), std::to_string(n),
-                   stats::Table::num(stats::summarize(bb_steps).mean),
-                   stats::Table::num(stats::summarize(ad_steps).mean)});
+                   stats::Table::num(bb_mean), stats::Table::num(ad_mean)});
   }
   table.print(std::cout);
 }

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "api/workload.h"
 #include "core/ctx.h"
 #include "sim/executor.h"
 #include "stats/fit.h"
@@ -58,6 +59,16 @@ inline std::vector<double> run_simulated(int nproc, std::uint64_t seed,
 
 inline void print_header(const char* experiment, const char* claim) {
   std::cout << "\n=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+/// A simulated-backend api::Scenario: k processes, `ops` operations each.
+inline api::Scenario sim_scenario(int k, int ops, std::uint64_t seed) {
+  api::Scenario s;
+  s.nproc = k;
+  s.ops_per_proc = ops;
+  s.backend = api::Backend::kSimulated;
+  s.seed = seed;
+  return s;
 }
 
 }  // namespace renamelib::bench

@@ -6,12 +6,21 @@
 //     which costs an extra log factor — "who wins" must favor the paper's
 //     counter, by a factor growing with n,
 //   * read cost (max-register read: O(log v)).
+//
+// Harness and metrics go through api::Workload / api::Metrics; the monotone
+// counter itself is not an ICounter (increment returns no value), so it runs
+// through the generic run_ops hook — same scenarios, same cost contract.
+#include <cmath>
+
+#include "api/workload.h"
 #include "bench_common.h"
 #include "counting/baselines.h"
 #include "counting/monotone_counter.h"
 
 namespace renamelib {
 namespace {
+
+using bench::sim_scenario;
 
 void increment_cost() {
   bench::print_header(
@@ -23,19 +32,14 @@ void increment_cost() {
   for (int k : {2, 4, 8, 16, 32}) {
     const int per = 6;
     counting::MonotoneCounter counter;
-    std::vector<std::vector<double>> inc_steps(k);
-    (void)bench::run_simulated(k, static_cast<std::uint64_t>(k) * 11 + 3,
-                               [&](Ctx& ctx) {
-                                 for (int i = 0; i < per; ++i) {
-                                   const auto st =
-                                       counter.increment_instrumented(ctx);
-                                   inc_steps[ctx.pid()].push_back(
-                                       static_cast<double>(st.steps));
-                                 }
-                               });
-    std::vector<double> all;
-    for (const auto& v : inc_steps) all.insert(all.end(), v.begin(), v.end());
-    const auto s = stats::summarize(all);
+    const auto run = api::Workload(sim_scenario(
+                                       k, per,
+                                       static_cast<std::uint64_t>(k) * 11 + 3))
+                         .run_ops([&](Ctx& ctx) {
+                           counter.increment(ctx);
+                           return 0ULL;
+                         });
+    const auto s = stats::summarize(run.op_steps());
     const double v_total = static_cast<double>(k) * per;
     Ctx reader(k, 4242);
     const std::uint64_t final_value = counter.read(reader);
@@ -65,50 +69,34 @@ void vs_linearizable_baseline() {
     const int per = 5;
 
     counting::MonotoneCounter mono;
-    std::vector<double> mono_steps(k, 0);  // per-pid: no cross-thread writes
-    (void)bench::run_simulated(k, static_cast<std::uint64_t>(k) * 7 + 1,
-                               [&](Ctx& ctx) {
-                                 for (int i = 0; i < per; ++i) {
-                                   const auto st = mono.increment_instrumented(ctx);
-                                   mono_steps[ctx.pid()] +=
-                                       static_cast<double>(st.steps);
-                                 }
-                               });
+    const auto mono_run =
+        api::Workload(sim_scenario(k, per, static_cast<std::uint64_t>(k) * 7 + 1))
+            .run_ops([&](Ctx& ctx) {
+              mono.increment(ctx);
+              return 0ULL;
+            });
 
     renaming::AdaptiveStrongRenaming::Options hw_options;
     hw_options.comparators = renaming::AdaptiveComparatorKind::kHardware;
     counting::MonotoneCounter mono_hw(hw_options);
-    std::vector<double> mono_hw_steps(k, 0);
-    (void)bench::run_simulated(k, static_cast<std::uint64_t>(k) * 7 + 3,
-                               [&](Ctx& ctx) {
-                                 for (int i = 0; i < per; ++i) {
-                                   const auto st =
-                                       mono_hw.increment_instrumented(ctx);
-                                   mono_hw_steps[ctx.pid()] +=
-                                       static_cast<double>(st.steps);
-                                 }
-                               });
+    const auto mono_hw_run =
+        api::Workload(sim_scenario(k, per, static_cast<std::uint64_t>(k) * 7 + 3))
+            .run_ops([&](Ctx& ctx) {
+              mono_hw.increment(ctx);
+              return 0ULL;
+            });
 
     counting::MaxRegTreeCounter tree(k, 1 << 20);
-    std::vector<double> tree_steps(k, 0);
-    (void)bench::run_simulated(k, static_cast<std::uint64_t>(k) * 7 + 2,
-                               [&](Ctx& ctx) {
-                                 for (int i = 0; i < per; ++i) {
-                                   const std::uint64_t before = ctx.steps();
-                                   tree.increment(ctx);
-                                   tree_steps[ctx.pid()] +=
-                                       static_cast<double>(ctx.steps() - before);
-                                 }
-                               });
+    const auto tree_run =
+        api::Workload(sim_scenario(k, per, static_cast<std::uint64_t>(k) * 7 + 2))
+            .run_ops([&](Ctx& ctx) {
+              tree.increment(ctx);
+              return 0ULL;
+            });
 
-    auto mean_of = [&](const std::vector<double>& v) {
-      double total = 0;
-      for (double x : v) total += x;
-      return total / (static_cast<double>(k) * per);
-    };
-    const double mono_mean = mean_of(mono_steps);
-    const double mono_hw_mean = mean_of(mono_hw_steps);
-    const double tree_mean = mean_of(tree_steps);
+    const double mono_mean = mono_run.metrics.mean_op_steps();
+    const double mono_hw_mean = mono_hw_run.metrics.mean_op_steps();
+    const double tree_mean = tree_run.metrics.mean_op_steps();
     table.add_row({std::to_string(k), stats::Table::num(mono_mean),
                    stats::Table::num(mono_hw_mean), stats::Table::num(tree_mean),
                    stats::Table::num(tree_mean / mono_mean, 2),
@@ -127,13 +115,7 @@ void read_cost() {
   counting::MonotoneCounter counter;
   Ctx ctx(0, 99);
   for (std::uint64_t target : {4u, 16u, 64u, 256u}) {
-    while (true) {
-      const std::uint64_t before_reads = ctx.steps();
-      const std::uint64_t v = counter.read(ctx);
-      (void)before_reads;
-      if (v >= target) break;
-      counter.increment(ctx);
-    }
+    while (counter.read(ctx) < target) counter.increment(ctx);
     const std::uint64_t before = ctx.steps();
     (void)counter.read(ctx);
     table.add_row({std::to_string(target),

@@ -6,14 +6,19 @@
 //   * the O(log k log m) fetch-and-increment surface: per-op steps swept
 //     over both m and k, with the steps/(log k * log m) ratio that should
 //     stay bounded,
-//   * comparison against the 1-step atomic fetch-and-add reference.
+//   * a cross-family shootout: every registered counter on the same
+//     scenario — the N+M wiring the api registry buys.
+#include <algorithm>
+#include <cmath>
+
+#include "api/workload.h"
 #include "bench_common.h"
-#include "counting/baselines.h"
-#include "counting/bounded_fai.h"
 #include "counting/l_test_and_set.h"
 
 namespace renamelib {
 namespace {
+
+using bench::sim_scenario;
 
 void ltas_table() {
   bench::print_header(
@@ -23,13 +28,16 @@ void ltas_table() {
   for (int l : {1, 2, 8}) {
     for (int k : {4, 16, 48}) {
       counting::LTestAndSet ltas(static_cast<std::uint64_t>(l));
-      std::vector<int> won(k, 0);
-      auto steps = bench::run_simulated(
-          k, static_cast<std::uint64_t>(l * 100 + k),
-          [&](Ctx& ctx) { won[ctx.pid()] = ltas.test_and_set(ctx) ? 1 : 0; });
+      const auto run =
+          api::Workload(sim_scenario(k, 1, static_cast<std::uint64_t>(l * 100 + k)))
+              .run_ops([&](Ctx& ctx) {
+                return ltas.test_and_set(ctx) ? 1ULL : 0ULL;
+              });
       int winners = 0;
-      for (int w : won) winners += w;
-      const auto s = stats::summarize(steps);
+      for (const std::uint64_t v : run.values()) {
+        winners += static_cast<int>(v);
+      }
+      const auto s = stats::summarize(run.op_steps());
       table.add_row({std::to_string(l), std::to_string(k),
                      std::to_string(winners), stats::Table::num(s.mean),
                      stats::Table::num(s.p99)});
@@ -52,22 +60,25 @@ void fai_surface() {
                       "steps/(log k*log m)", "values 0..k-1"});
   for (std::uint64_t m : {8u, 64u, 1024u}) {
     for (int k : {2, 8, 24}) {
-      counting::BoundedFetchAndIncrement fai(m);
-      std::vector<std::uint64_t> values(k, 0);
-      auto steps = bench::run_simulated(
-          k, m * 13 + static_cast<std::uint64_t>(k),
-          [&](Ctx& ctx) { values[ctx.pid()] = fai.fetch_and_increment(ctx); });
-      std::vector<std::uint64_t> sorted = values;
+      const auto run = api::Workload::run_counter_spec(
+          "bounded_fai:m=" + std::to_string(m),
+          sim_scenario(k, 1, m * 13 + static_cast<std::uint64_t>(k)));
+      std::vector<std::uint64_t> sorted = run.values();
       std::sort(sorted.begin(), sorted.end());
+      if (sorted.size() != static_cast<std::size_t>(k)) {
+        std::cerr << "VALIDATION FAILED: " << sorted.size() << " of " << k
+                  << " ops completed (m=" << m << ")\n";
+        std::exit(1);
+      }
       // k <= m: values must be exactly {0..k-1}. k > m: the first m ops take
       // {0..m-1} and the object saturates, returning m-1 for the rest.
       bool prefix = true;
       for (int i = 0; i < k; ++i) {
         const std::uint64_t expected =
             std::min<std::uint64_t>(static_cast<std::uint64_t>(i), m - 1);
-        prefix &= sorted[i] == expected;
+        prefix &= sorted[static_cast<std::size_t>(i)] == expected;
       }
-      const auto s = stats::summarize(steps);
+      const auto s = stats::summarize(run.op_steps());
       const double denom =
           std::log2(static_cast<double>(k) + 1) * std::log2(static_cast<double>(m));
       table.add_row({std::to_string(m), std::to_string(k),
@@ -84,29 +95,26 @@ void fai_surface() {
   table.print(std::cout);
 }
 
-void saturation_and_baseline() {
+void counter_shootout() {
   bench::print_header(
-      "Thm. 6 extras: saturation semantics + atomic reference",
-      "After m operations the object pins at m-1; an atomic fetch-and-add "
-      "costs exactly 1 step/op (the hardware reference point).");
-  {
-    counting::BoundedFetchAndIncrement fai(8);
-    Ctx ctx(0, 5);
-    stats::Table table({"op #", "value"});
-    for (int i = 1; i <= 10; ++i) {
-      table.add_row({std::to_string(i),
-                     std::to_string(fai.fetch_and_increment(ctx))});
-    }
-    table.print(std::cout);
+      "Registry shootout: every counter family on one scenario",
+      "Same (k=8, 2 ops/proc) adversarial scenario across all registered "
+      "counters. One facade, one metrics contract: renaming-backed FAI vs "
+      "counting networks vs the 1-step atomic reference.");
+  stats::Table table({"counter", "family", "consistency", "mean op steps",
+                      "max op steps", "coin flips"});
+  for (const auto& info : api::Registry::global().counters()) {
+    const auto run =
+        api::Workload::run_counter_spec(info.name, sim_scenario(8, 2, 42));
+    table.add_row({info.name, api::family_name(info.family),
+                   api::consistency_name(info.consistency),
+                   stats::Table::num(run.metrics.mean_op_steps()),
+                   std::to_string(run.metrics.max_op_steps),
+                   std::to_string(run.metrics.coin_flips)});
   }
-  {
-    counting::AtomicCounter atomic;
-    Ctx ctx(0, 6);
-    const std::uint64_t before = ctx.steps();
-    for (int i = 0; i < 100; ++i) (void)atomic.fetch_and_increment(ctx);
-    std::cout << "atomic f&i steps/op: "
-              << (static_cast<double>(ctx.steps() - before) / 100) << "\n";
-  }
+  table.print(std::cout);
+  std::cout << "(Saturation semantics: a bounded object keeps returning m-1 "
+               "once exhausted; the sweep stays below capacity.)\n";
 }
 
 }  // namespace
@@ -115,6 +123,6 @@ void saturation_and_baseline() {
 int main() {
   renamelib::ltas_table();
   renamelib::fai_surface();
-  renamelib::saturation_and_baseline();
+  renamelib::counter_shootout();
   return 0;
 }

@@ -1,17 +1,19 @@
-// Scenario: counting and ticketing (the paper's Sec. 8 applications).
+// Scenario: counting and ticketing (the paper's Sec. 8 applications),
+// wired through the public API.
 //
 //   * MonotoneCounter — a progress/metrics counter: cheap increments,
 //     monotone-consistent reads (never below completed events, never above
 //     started ones). Ideal for telemetry where linearizability is overkill.
-//   * BoundedFetchAndIncrement — a ticket dispenser for a bounded batch:
-//     hands out 0..m-1 exactly once each (then saturates), linearizably.
+//     Runs through the generic api::Workload hook.
+//   * "bounded_fai:m=32" — a ticket dispenser for a bounded batch from the
+//     registry: hands out 0..m-1 exactly once each (then saturates),
+//     linearizably.
 #include <cstdio>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
-#include "counting/bounded_fai.h"
+#include "api/workload.h"
 #include "counting/monotone_counter.h"
 
 int main() {
@@ -21,15 +23,9 @@ int main() {
   std::printf("— monotone event counter —\n");
   counting::MonotoneCounter events;
   {
-    std::vector<std::thread> producers;
-    for (int p = 0; p < 6; ++p) {
-      producers.emplace_back([&, p] {
-        Ctx ctx(p, 42 + p);
-        for (int e = 0; e < 50; ++e) events.increment(ctx);
-      });
-    }
-    // A concurrent monitor thread samples the counter while events pour in;
-    // its samples are monotone.
+    // A concurrent monitor thread samples the counter while six producer
+    // threads (driven by the Workload harness) pour events in; its samples
+    // are monotone.
     std::thread monitor([&] {
       Ctx ctx(100, 4242);
       std::uint64_t last = 0;
@@ -43,8 +39,20 @@ int main() {
                   monotone ? "yes" : "NO",
                   static_cast<unsigned long long>(last));
     });
-    for (auto& t : producers) t.join();
+
+    api::Scenario s;
+    s.nproc = 6;
+    s.ops_per_proc = 50;
+    s.backend = api::Backend::kHardware;
+    s.seed = 42;
+    const api::Run run = api::Workload(s).run_ops([&](Ctx& ctx) {
+      events.increment(ctx);
+      return 0ULL;
+    });
     monitor.join();
+    std::printf("  producers: %llu increments, mean %.1f steps each\n",
+                static_cast<unsigned long long>(run.metrics.ops),
+                run.metrics.mean_op_steps());
   }
   Ctx reader(101, 9);
   std::printf("  settled count: %llu (expected 300)\n\n",
@@ -52,30 +60,26 @@ int main() {
 
   // ---------------------------------------------------------------------
   std::printf("— bounded ticket dispenser (m = 32) —\n");
-  counting::BoundedFetchAndIncrement tickets(32);
-  std::mutex mu;
+  api::Scenario s;
+  s.nproc = 8;
+  s.ops_per_proc = 4;
+  s.backend = api::Backend::kHardware;
+  s.seed = 777;
+  const api::Run run = api::Workload::run_counter_spec("bounded_fai:m=32", s);
+
   std::set<std::uint64_t> handed_out;
-  std::vector<std::thread> clerks;
-  for (int c = 0; c < 8; ++c) {
-    clerks.emplace_back([&, c] {
-      Ctx ctx(c, 777 + c);
-      for (int i = 0; i < 4; ++i) {
-        const std::uint64_t ticket = tickets.fetch_and_increment(ctx);
-        std::scoped_lock lock{mu};
-        handed_out.insert(ticket);
-      }
-    });
-  }
-  for (auto& t : clerks) t.join();
+  for (const std::uint64_t t : run.values()) handed_out.insert(t);
   std::printf("  distinct tickets handed out: %zu (expected 32: 0..31)\n",
               handed_out.size());
   const bool dense = handed_out.size() == 32 && *handed_out.begin() == 0 &&
                      *handed_out.rbegin() == 31;
   std::printf("  dense range 0..31: %s\n", dense ? "yes" : "NO");
 
-  Ctx extra(50, 3);
+  const auto tickets = api::Registry::global().make_counter("bounded_fai:m=32");
+  // Exhaust a fresh dispenser sequentially, then one more: saturation.
+  Ctx clerk(50, 3);
+  for (int i = 0; i < 32; ++i) (void)tickets->next(clerk);
   std::printf("  33rd request (saturated): %llu (expected 31)\n",
-              static_cast<unsigned long long>(
-                  tickets.fetch_and_increment(extra)));
+              static_cast<unsigned long long>(tickets->next(clerk)));
   return dense ? 0 : 1;
 }

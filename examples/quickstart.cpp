@@ -1,54 +1,41 @@
-// Quickstart: adaptive strong renaming in five minutes.
+// Quickstart: adaptive strong renaming in five minutes, through the public
+// API: pick an implementation by spec string, run it on real threads with
+// one scenario description, read one metrics contract.
 //
-// Eight threads arrive with sparse 64-bit identifiers (addresses, hashes,
-// OS thread ids — anything unique) and leave with the names 1..8. Build &
-// run:
-//
-//   cmake -B build -G Ninja && cmake --build build --target quickstart
-//   ./build/examples/quickstart
+//   cmake -B build && cmake --build build --target quickstart
+//   ./build/quickstart
 #include <cstdio>
-#include <mutex>
-#include <thread>
-#include <vector>
 
-#include "renaming/adaptive_strong.h"
+#include "api/workload.h"
 
 int main() {
   using namespace renamelib;
 
-  // One shared renaming object. Hardware comparators make it deterministic
-  // and fast on real machines (the paper's Sec. 1 Discussion); drop the
-  // options for the registers-only randomized variant.
-  renaming::AdaptiveStrongRenaming::Options options;
-  options.comparators = renaming::AdaptiveComparatorKind::kHardware;
-  renaming::AdaptiveStrongRenaming renaming(options);
+  // Any registered implementation would do — swap the spec string to race a
+  // different algorithm (see Registry::global().list()). Hardware
+  // comparators make the paper's algorithm deterministic and fast on real
+  // machines (Sec. 1 Discussion); "adaptive_strong" alone gives the
+  // registers-only randomized variant.
+  const std::string spec = "adaptive_strong:tas=hw";
 
-  std::mutex print_mu;
-  std::vector<std::thread> threads;
-  constexpr int kThreads = 8;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      // Each participant needs a Ctx: its step counter + private randomness.
-      Ctx ctx(t, /*seed=*/0xC0FFEE + t);
+  api::Scenario scenario;
+  scenario.nproc = 8;                        // eight real threads...
+  scenario.backend = api::Backend::kHardware;  // ...not the simulator
+  scenario.seed = 0xC0FFEE;
 
-      // A sparse, unique "initial name" — here a hash of the index; in real
-      // code std::hash<std::thread::id> works too.
-      const std::uint64_t sparse_id = 0x9e3779b97f4a7c15ULL * (t + 1);
+  const api::Run run = api::Workload::run_renaming_spec(spec, scenario);
 
-      const std::uint64_t name = renaming.rename(ctx, sparse_id);
-
-      std::scoped_lock lock{print_mu};
-      std::printf("thread %d: initial id %016llx  ->  name %llu  (%llu steps)\n",
-                  t, static_cast<unsigned long long>(sparse_id),
-                  static_cast<unsigned long long>(name),
-                  static_cast<unsigned long long>(ctx.steps()));
-    });
+  for (const auto& op : run.ops) {
+    std::printf("thread %d  ->  name %llu  (%llu steps)\n", op.pid,
+                static_cast<unsigned long long>(op.value),
+                static_cast<unsigned long long>(op.steps));
   }
-  for (auto& t : threads) t.join();
-
   std::printf(
       "\nAll %d threads received unique names in 1..%d — a tight, adaptive\n"
-      "namespace, independent of how sparse the initial ids were.\n",
-      kThreads, kThreads);
+      "namespace (mean %.1f steps/op). Registered implementations:\n",
+      scenario.nproc, scenario.nproc, run.metrics.mean_op_steps());
+  for (const auto& name : api::Registry::global().list()) {
+    std::printf("  %s\n", name.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,49 @@
+// The unified counter interface of the public API.
+//
+// Every counting-flavored shared object in renamelib — the paper's bounded
+// and unbounded fetch-and-increment (Sec. 8.2), renaming-backed value
+// dispensers, counting networks [26], and the hardware baselines — is usable
+// through ICounter: next() hands the calling operation its value. A single
+// interface means one conformance suite, one bench harness, and N+M instead
+// of N*M wiring between objects and scenarios.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ctx.h"
+
+namespace renamelib::api {
+
+/// What a counter's handed-out values guarantee.
+enum class Consistency {
+  /// Passes Wing–Gong on concurrent histories (bounded/unbounded FAI).
+  kLinearizable,
+  /// Values unique; exactly 0..T-1 once quiescent, but an operation's value
+  /// need not respect real-time order (counting networks).
+  kQuiescent,
+  /// Values unique and dense per execution, order arbitrary (renaming-backed
+  /// dispensers — the Sec. 8.1 non-linearizability argument applies).
+  kDense,
+};
+
+const char* consistency_name(Consistency c);
+
+class ICounter {
+ public:
+  static constexpr std::uint64_t kUnbounded = ~0ULL;
+
+  virtual ~ICounter() = default;
+
+  /// Returns this operation's counter value (0, 1, 2, ...). Thread-safe;
+  /// every shared step is charged to `ctx`.
+  virtual std::uint64_t next(Ctx& ctx) = 0;
+
+  /// Saturation bound: values are < capacity(); kUnbounded if none. Bounded
+  /// objects keep returning capacity()-1 once exhausted (the paper's
+  /// saturating sequential specification).
+  virtual std::uint64_t capacity() const { return kUnbounded; }
+
+  virtual Consistency consistency() const = 0;
+};
+
+}  // namespace renamelib::api

@@ -1,0 +1,369 @@
+#include "api/registry.h"
+
+#include <charconv>
+#include <limits>
+#include <stdexcept>
+
+#include "api/counters.h"
+#include "countnet/periodic.h"
+#include "renaming/bit_batching.h"
+#include "renaming/linear_probe.h"
+#include "renaming/moir_anderson.h"
+#include "renaming/renaming_network.h"
+#include "sortnet/bitonic.h"
+
+namespace renamelib::api {
+
+const char* consistency_name(Consistency c) {
+  switch (c) {
+    case Consistency::kLinearizable: return "linearizable";
+    case Consistency::kQuiescent: return "quiescent";
+    case Consistency::kDense: return "dense";
+  }
+  return "?";
+}
+
+const char* family_name(Family f) {
+  switch (f) {
+    case Family::kRenaming: return "renaming";
+    case Family::kFaiCounting: return "fai-counting";
+    case Family::kCountingNetwork: return "counting-network";
+    case Family::kBaseline: return "baseline";
+  }
+  return "?";
+}
+
+// ------------------------------------------------------------------ params
+
+void Params::set(std::string key, std::string value) {
+  if (has(key)) {
+    throw std::invalid_argument("duplicate spec param '" + key + "'");
+  }
+  kv_.emplace_back(std::move(key), std::move(value));
+}
+
+bool Params::has(std::string_view key) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+std::string Params::get(std::string_view key, std::string_view def) const {
+  for (const auto& [k, v] : kv_) {
+    if (k == key) return v;
+  }
+  return std::string(def);
+}
+
+std::uint64_t Params::get_u64(std::string_view key, std::uint64_t def) const {
+  for (const auto& [k, v] : kv_) {
+    if (k != key) continue;
+    std::uint64_t out = 0;
+    const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+    if (ec != std::errc{} || ptr != v.data() + v.size()) {
+      throw std::invalid_argument("spec param '" + std::string(key) +
+                                  "' is not an unsigned integer: '" + v + "'");
+    }
+    return out;
+  }
+  return def;
+}
+
+Spec parse_spec(const std::string& spec) {
+  Spec out;
+  const auto colon = spec.find(':');
+  out.name = spec.substr(0, colon);
+  if (out.name.empty()) {
+    throw std::invalid_argument("empty implementation name in spec '" + spec + "'");
+  }
+  if (colon == std::string::npos) return out;
+  std::string rest = spec.substr(colon + 1);
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    const auto comma = rest.find(',', pos);
+    const std::string item =
+        rest.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    const auto eq = item.find('=');
+    if (item.empty() || eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("malformed key=value '" + item + "' in spec '" +
+                                  spec + "'");
+    }
+    out.params.set(item.substr(0, eq), item.substr(eq + 1));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+namespace {
+
+void check_keys(const Spec& spec, const std::vector<std::string>& allowed) {
+  for (const auto& [k, v] : spec.params.entries()) {
+    bool ok = false;
+    for (const auto& a : allowed) ok |= (a == k);
+    if (!ok) {
+      throw std::invalid_argument("unknown param '" + k + "' for '" + spec.name +
+                                  "'");
+    }
+  }
+}
+
+/// Shared "tas=rnd|hw" option: comparator arbitration flavor.
+renaming::AdaptiveStrongRenaming::Options adaptive_options(const Params& p) {
+  renaming::AdaptiveStrongRenaming::Options options;
+  const std::string tas = p.get("tas", "rnd");
+  if (tas == "hw") {
+    options.comparators = renaming::AdaptiveComparatorKind::kHardware;
+  } else if (tas != "rnd") {
+    throw std::invalid_argument("param tas must be 'rnd' or 'hw', got '" + tas +
+                                "'");
+  }
+  return options;
+}
+
+std::uint64_t pow2_param(const Params& p, std::string_view key,
+                         std::uint64_t def) {
+  const std::uint64_t v = p.get_u64(key, def);
+  if (v < 2 || (v & (v - 1)) != 0) {
+    throw std::invalid_argument("param '" + std::string(key) +
+                                "' must be a power of two >= 2");
+  }
+  return v;
+}
+
+void register_builtins(Registry& r) {
+  // ------------------------------------------------------------ renamings
+  r.add_renaming(RenamingInfo{
+      .name = "adaptive_strong",
+      .summary = "Sec. 6.2 adaptive strong renaming: tight 1..k, polylog k "
+                 "steps, unbounded initial namespace",
+      .adaptive = true,
+      .keys = {"tas"},
+      .name_bound = [](int k, const Params&) { return std::uint64_t(k); },
+      .max_requests = [](const Params&) { return std::numeric_limits<int>::max(); },
+      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+        return std::make_unique<renaming::AdaptiveStrongRenaming>(
+            adaptive_options(p));
+      }});
+  r.add_renaming(RenamingInfo{
+      .name = "linear_probe",
+      .summary = "classic baseline [4,11]: probe TAS 1,2,3,... in order; "
+                 "tight 1..k but Theta(k) steps",
+      .adaptive = true,
+      .keys = {"cap", "tas"},
+      .name_bound = [](int k, const Params&) { return std::uint64_t(k); },
+      .max_requests = [](const Params& p) {
+        return static_cast<int>(p.get_u64("cap", 1024));
+      },
+      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+        const std::string tas = p.get("tas", "hw");
+        if (tas != "hw" && tas != "ratrace") {
+          throw std::invalid_argument("param tas must be 'hw' or 'ratrace'");
+        }
+        return std::make_unique<renaming::LinearProbeRenaming>(
+            p.get_u64("cap", 1024), /*hardware_tas=*/tas == "hw");
+      }});
+  r.add_renaming(RenamingInfo{
+      .name = "bit_batching",
+      .summary = "Sec. 4 BitBatching: non-adaptive strong renaming into 1..n, "
+                 "O(log^2 n) probes w.h.p.",
+      .adaptive = false,
+      .keys = {"n", "tas"},
+      .name_bound = [](int, const Params& p) { return p.get_u64("n", 64); },
+      .max_requests = [](const Params& p) {
+        return static_cast<int>(p.get_u64("n", 64));
+      },
+      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+        const std::string tas = p.get("tas", "hw");
+        renaming::SlotTasKind kind;
+        if (tas == "hw") {
+          kind = renaming::SlotTasKind::kHardware;
+        } else if (tas == "ratrace") {
+          kind = renaming::SlotTasKind::kRatRace;
+        } else {
+          throw std::invalid_argument("param tas must be 'hw' or 'ratrace'");
+        }
+        return std::make_unique<renaming::BitBatching>(p.get_u64("n", 64), kind);
+      }});
+  r.add_renaming(RenamingInfo{
+      .name = "moir_anderson",
+      .summary = "deterministic splitter-grid renaming [5,6,7]: adaptive but "
+                 "loose (1..k(k+1)/2), Theta(k) steps",
+      .adaptive = true,
+      .keys = {"n"},
+      .name_bound = [](int k, const Params&) {
+        return std::uint64_t(k) * (std::uint64_t(k) + 1) / 2;
+      },
+      .max_requests = [](const Params& p) {
+        return static_cast<int>(p.get_u64("n", 64));
+      },
+      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+        return std::make_unique<renaming::MoirAndersonRenaming>(
+            p.get_u64("n", 64));
+      }});
+  r.add_renaming(RenamingInfo{
+      .name = "renaming_network",
+      .summary = "Sec. 5 renaming network over a bitonic sorting network: "
+                 "tight 1..k in every execution, depth-bounded traversals",
+      .adaptive = true,
+      .keys = {"w", "tas"},
+      .name_bound = [](int k, const Params&) { return std::uint64_t(k); },
+      .max_requests = [](const Params& p) {
+        return static_cast<int>(pow2_param(p, "w", 32));
+      },
+      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+        const std::string tas = p.get("tas", "rnd");
+        renaming::ComparatorKind kind;
+        if (tas == "rnd") {
+          kind = renaming::ComparatorKind::kRandomized;
+        } else if (tas == "hw") {
+          kind = renaming::ComparatorKind::kHardware;
+        } else {
+          throw std::invalid_argument("param tas must be 'rnd' or 'hw'");
+        }
+        return std::make_unique<renaming::RenamingNetwork>(
+            sortnet::bitonic_sort(pow2_param(p, "w", 32)), kind);
+      }});
+
+  // ------------------------------------------------------------- counters
+  r.add_counter(CounterInfo{
+      .name = "bounded_fai",
+      .family = Family::kFaiCounting,
+      .summary = "Sec. 8.2 m-valued linearizable fetch-and-increment, "
+                 "O(log k log m) expected steps",
+      .consistency = Consistency::kLinearizable,
+      .keys = {"m", "tas"},
+      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+        return std::make_unique<BoundedFaiCounter>(pow2_param(p, "m", 1024),
+                                                   adaptive_options(p));
+      }});
+  r.add_counter(CounterInfo{
+      .name = "unbounded_fai",
+      .family = Family::kFaiCounting,
+      .summary = "epoch-chained unbounded linearizable fetch-and-increment "
+                 "(Sec. 9 direction), O(log k log v) amortized",
+      .consistency = Consistency::kLinearizable,
+      .keys = {"tas"},
+      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+        return std::make_unique<UnboundedFaiCounter>(adaptive_options(p));
+      }});
+  r.add_counter(CounterInfo{
+      .name = "naming_counter",
+      .family = Family::kFaiCounting,
+      .summary = "rename-then-subtract dispenser: dense values, not "
+                 "linearizable (Sec. 8.1 argument)",
+      .consistency = Consistency::kDense,
+      .keys = {"tas"},
+      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+        return std::make_unique<NamingCounter>(adaptive_options(p));
+      }});
+  r.add_counter(CounterInfo{
+      .name = "atomic_fai",
+      .family = Family::kBaseline,
+      .summary = "single fetch-and-add register: the 1-step/op hardware "
+                 "reference point",
+      .consistency = Consistency::kLinearizable,
+      .keys = {},
+      .make = [](const Params&) -> std::unique_ptr<ICounter> {
+        return std::make_unique<AtomicFaiCounter>();
+      }});
+  r.add_counter(CounterInfo{
+      .name = "bitonic_countnet",
+      .family = Family::kCountingNetwork,
+      .summary = "bitonic counting network [26] as a counter: quiescently "
+                 "consistent, step property on output wires",
+      .consistency = Consistency::kQuiescent,
+      .keys = {"w"},
+      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+        return std::make_unique<CountingNetworkCounter>(
+            countnet::CountingNetwork::bitonic(pow2_param(p, "w", 16)));
+      }});
+  r.add_counter(CounterInfo{
+      .name = "periodic_countnet",
+      .family = Family::kCountingNetwork,
+      .summary = "periodic counting network [26]: log w identical blocks, "
+                 "same guarantees as bitonic",
+      .consistency = Consistency::kQuiescent,
+      .keys = {"w"},
+      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+        return std::make_unique<CountingNetworkCounter>(
+            countnet::periodic_counting_network(pow2_param(p, "w", 16)));
+      }});
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- registry
+
+Registry& Registry::global() {
+  static Registry* instance = [] {
+    auto* r = new Registry();
+    register_builtins(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+void Registry::add_counter(CounterInfo info) {
+  if (find_counter(info.name) != nullptr || find_renaming(info.name) != nullptr) {
+    throw std::invalid_argument("duplicate registration '" + info.name + "'");
+  }
+  counters_.push_back(std::move(info));
+}
+
+void Registry::add_renaming(RenamingInfo info) {
+  if (find_counter(info.name) != nullptr || find_renaming(info.name) != nullptr) {
+    throw std::invalid_argument("duplicate registration '" + info.name + "'");
+  }
+  renamings_.push_back(std::move(info));
+}
+
+const CounterInfo* Registry::find_counter(std::string_view name) const {
+  for (const auto& c : counters_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const RenamingInfo* Registry::find_renaming(std::string_view name) const {
+  for (const auto& r : renamings_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ICounter> Registry::make_counter(const std::string& spec) const {
+  const Spec parsed = parse_spec(spec);
+  const CounterInfo* info = find_counter(parsed.name);
+  if (info == nullptr) {
+    throw std::invalid_argument(
+        "unknown counter '" + parsed.name + "'" +
+        (find_renaming(parsed.name) != nullptr ? " (it is a renaming)" : ""));
+  }
+  check_keys(parsed, info->keys);
+  return info->make(parsed.params);
+}
+
+std::unique_ptr<renaming::IRenaming> Registry::make_renaming(
+    const std::string& spec) const {
+  const Spec parsed = parse_spec(spec);
+  const RenamingInfo* info = find_renaming(parsed.name);
+  if (info == nullptr) {
+    throw std::invalid_argument(
+        "unknown renaming '" + parsed.name + "'" +
+        (find_counter(parsed.name) != nullptr ? " (it is a counter)" : ""));
+  }
+  check_keys(parsed, info->keys);
+  return info->make(parsed.params);
+}
+
+std::vector<std::string> Registry::list() const {
+  std::vector<std::string> out;
+  out.reserve(renamings_.size() + counters_.size());
+  for (const auto& r : renamings_) out.push_back(r.name);
+  for (const auto& c : counters_) out.push_back(c.name);
+  return out;
+}
+
+}  // namespace renamelib::api

@@ -1,0 +1,109 @@
+// The object registry: string spec -> shared object.
+//
+// One facade for every renaming/counting implementation in the library.
+// Tests, benches, and examples construct objects from spec strings and
+// iterate list()/counters()/renamings() instead of hand-wiring concrete
+// classes, turning N objects x M scenarios into N + M.
+//
+// Spec grammar:
+//     name[:key=value[,key=value]...]
+// e.g. "adaptive_strong", "bounded_fai:m=1024", "bitonic_countnet:w=64",
+//      "bit_batching:n=128,tas=ratrace". Unknown names or keys throw
+// std::invalid_argument (catching typos beats silently using defaults).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/counter.h"
+#include "renaming/renaming.h"
+
+namespace renamelib::api {
+
+/// Parsed key=value options of a spec string.
+class Params {
+ public:
+  void set(std::string key, std::string value);
+  bool has(std::string_view key) const;
+  std::string get(std::string_view key, std::string_view def) const;
+  std::uint64_t get_u64(std::string_view key, std::uint64_t def) const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return kv_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+};
+
+struct Spec {
+  std::string name;
+  Params params;
+};
+
+/// Parses "name:k=v,k=v"; throws std::invalid_argument on malformed input.
+Spec parse_spec(const std::string& spec);
+
+/// Implementation family, for enumeration and reporting.
+enum class Family { kRenaming, kFaiCounting, kCountingNetwork, kBaseline };
+
+const char* family_name(Family f);
+
+struct CounterInfo {
+  std::string name;
+  Family family = Family::kFaiCounting;
+  std::string summary;
+  Consistency consistency = Consistency::kLinearizable;
+  std::vector<std::string> keys;  ///< accepted param keys
+  std::function<std::unique_ptr<ICounter>(const Params&)> make;
+};
+
+struct RenamingInfo {
+  std::string name;
+  Family family = Family::kRenaming;
+  std::string summary;
+  bool adaptive = false;  ///< namespace bound depends only on participants k
+  std::vector<std::string> keys;  ///< accepted param keys
+  /// Largest legal name when k dense-id requests run under these params.
+  std::function<std::uint64_t(int k, const Params&)> name_bound;
+  /// Max supported requests under these params (harnesses must not exceed).
+  std::function<int(const Params&)> max_requests;
+  std::function<std::unique_ptr<renaming::IRenaming>(const Params&)> make;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry, pre-populated with every built-in
+  /// implementation. Safe to extend at startup (not thread-safe to mutate
+  /// concurrently with use).
+  static Registry& global();
+
+  Registry() = default;
+
+  void add_counter(CounterInfo info);
+  void add_renaming(RenamingInfo info);
+
+  /// Constructs from a spec string; throws std::invalid_argument for unknown
+  /// names, unknown keys, or malformed specs.
+  std::unique_ptr<ICounter> make_counter(const std::string& spec) const;
+  std::unique_ptr<renaming::IRenaming> make_renaming(const std::string& spec) const;
+
+  const CounterInfo* find_counter(std::string_view name) const;
+  const RenamingInfo* find_renaming(std::string_view name) const;
+
+  const std::vector<CounterInfo>& counters() const { return counters_; }
+  const std::vector<RenamingInfo>& renamings() const { return renamings_; }
+
+  /// Every registered implementation name (renamings, then counters).
+  std::vector<std::string> list() const;
+
+ private:
+  std::vector<CounterInfo> counters_;
+  std::vector<RenamingInfo> renamings_;
+};
+
+}  // namespace renamelib::api

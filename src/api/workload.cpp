@@ -1,0 +1,167 @@
+#include "api/workload.h"
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "core/assert.h"
+#include "core/rng.h"
+#include "sim/executor.h"
+
+namespace renamelib::api {
+
+std::vector<std::uint64_t> Run::values() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) out.push_back(op.value);
+  return out;
+}
+
+std::vector<double> Run::op_steps() const {
+  std::vector<double> out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) out.push_back(static_cast<double>(op.steps));
+  return out;
+}
+
+double Run::mean_proc_steps() const {
+  if (proc_steps.empty()) return 0.0;
+  double total = 0;
+  for (double s : proc_steps) total += s;
+  return total / static_cast<double>(proc_steps.size());
+}
+
+namespace {
+
+std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
+  switch (s.sched) {
+    case Sched::kRoundRobin:
+      return std::make_unique<sim::RoundRobinAdversary>();
+    case Sched::kObstruction:
+      return std::make_unique<sim::ObstructionAdversary>(/*budget=*/16);
+    case Sched::kRandom:
+      break;
+  }
+  // Same derivation bench_common used, so ported benches reproduce.
+  return std::make_unique<sim::RandomAdversary>(s.seed * 7919 + 13);
+}
+
+}  // namespace
+
+Run Workload::run_metered(const std::function<std::uint64_t(Ctx&)>& op,
+                          const char* history_kind) const {
+  Run run;
+  std::mutex mu;  // meta-level instrumentation, not part of any protocol
+  std::optional<sim::HistoryRecorder> recorder;
+  if (scenario_.record_history) recorder.emplace();
+
+  auto body = [&](Ctx& ctx) {
+    for (int i = 0; i < scenario_.ops_per_proc; ++i) {
+      const std::uint64_t token = recorder ? recorder->invoke() : 0;
+      OpMeter meter(ctx);
+      const std::uint64_t v = op(ctx);
+      if (recorder) recorder->respond(ctx.pid(), history_kind, 0, v, token);
+      std::scoped_lock lock{mu};
+      meter.commit(run.metrics);
+      run.ops.push_back(OpSample{ctx.pid(), v, meter.op_steps()});
+    }
+  };
+  execute(body, mu, run);
+
+  if (recorder) run.history = recorder->history();
+  return run;
+}
+
+Run Workload::run_ops(const std::function<std::uint64_t(Ctx&)>& op) const {
+  return run_metered(op, scenario_.history_kind.c_str());
+}
+
+Run Workload::run(ICounter& counter) const {
+  return run_metered([&counter](Ctx& ctx) { return counter.next(ctx); }, "fai");
+}
+
+Run Workload::run(renaming::IRenaming& obj) const {
+  // Dense initial ids 1..nproc*ops_per_proc: request r of process p uses
+  // p*ops_per_proc + r + 1. Each element of `next_request` is touched by one
+  // process only.
+  std::vector<int> next_request(scenario_.nproc, 0);
+  const int per = scenario_.ops_per_proc;
+  return run_metered(
+      [&obj, &next_request, per](Ctx& ctx) {
+        const int r = next_request[ctx.pid()]++;
+        const std::uint64_t id =
+            static_cast<std::uint64_t>(ctx.pid()) * per + r + 1;
+        return obj.rename(ctx, id);
+      },
+      "rename");
+}
+
+Run Workload::run_body(const std::function<void(Ctx&)>& body) const {
+  Run run;
+  std::mutex mu;
+  // Proc-granular run: aggregate whole-process Ctx counters into Metrics at
+  // body completion (no per-op samples, so ops stays 0).
+  auto wrapped = [&](Ctx& ctx) {
+    body(ctx);
+    std::scoped_lock lock{mu};
+    run.metrics.steps += ctx.steps();
+    run.metrics.shared_steps += ctx.shared_steps();
+    run.metrics.coin_flips += ctx.coin_flips();
+  };
+  execute(wrapped, mu, run);
+  return run;
+}
+
+void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
+                       Run& run) const {
+  RENAMELIB_ENSURE(scenario_.nproc > 0, "scenario needs at least one process");
+  // Appends the finishing process's totals; only reached by processes that
+  // complete their body (crashed ones stop at the throw).
+  auto with_totals = [&](Ctx& ctx) {
+    body(ctx);
+    std::scoped_lock lock{mu};
+    run.proc_steps.push_back(static_cast<double>(ctx.steps()));
+    run.finished_procs += 1;
+    if (ctx.steps() > run.metrics.max_proc_steps) {
+      run.metrics.max_proc_steps = ctx.steps();
+    }
+  };
+
+  if (scenario_.backend == Backend::kHardware) {
+    std::vector<std::thread> threads;
+    threads.reserve(scenario_.nproc);
+    for (int p = 0; p < scenario_.nproc; ++p) {
+      threads.emplace_back([&, p] {
+        Ctx ctx(p, Rng::derive(scenario_.seed, static_cast<std::uint64_t>(p)));
+        with_totals(ctx);
+      });
+    }
+    for (auto& t : threads) t.join();
+    return;
+  }
+
+  auto adversary = make_adversary(scenario_);
+  sim::RunOptions options;
+  options.seed = scenario_.seed;
+  options.max_total_steps = scenario_.max_total_steps;
+  const auto result =
+      sim::run_simulation(scenario_.nproc, with_totals, *adversary, options);
+  // Crashed processes never ran the totals hook; fold their cost into the
+  // process maximum so the metrics reflect the whole execution.
+  if (result.max_proc_steps() > run.metrics.max_proc_steps) {
+    run.metrics.max_proc_steps = result.max_proc_steps();
+  }
+}
+
+Run Workload::run_counter_spec(const std::string& spec, const Scenario& s) {
+  const auto counter = Registry::global().make_counter(spec);
+  return Workload(s).run(*counter);
+}
+
+Run Workload::run_renaming_spec(const std::string& spec, const Scenario& s) {
+  const auto obj = Registry::global().make_renaming(spec);
+  return Workload(s).run(*obj);
+}
+
+}  // namespace renamelib::api

@@ -1,0 +1,104 @@
+// The unified workload harness: one scenario description, every backend.
+//
+// A Scenario says *how* to run (process count, ops per process, hardware
+// threads or the adversarial simulator, adversary strategy, seed); the
+// Workload runs any registered object — or any free-form body — under it and
+// reports the one Metrics contract. Benches sweep scenarios over
+// Registry::list(); tests assert object invariants on the collected values
+// and (optionally) Wing–Gong-checkable histories.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/counter.h"
+#include "api/metrics.h"
+#include "api/registry.h"
+#include "renaming/renaming.h"
+#include "sim/linearizability.h"
+
+namespace renamelib::api {
+
+enum class Backend { kHardware, kSimulated };
+
+/// Adversary strategy for the simulated backend.
+enum class Sched { kRandom, kRoundRobin, kObstruction };
+
+struct Scenario {
+  int nproc = 4;
+  int ops_per_proc = 1;
+  Backend backend = Backend::kSimulated;
+  Sched sched = Sched::kRandom;
+  std::uint64_t seed = 1;
+  /// Fill Run::history with real-time operation intervals, checkable by
+  /// sim::is_linearizable.
+  bool record_history = false;
+  /// Operation kind recorded by run_ops (the sequential specs in
+  /// sim/linearizability.h match on it). run(ICounter&) records "fai" and
+  /// run(IRenaming&) "rename" regardless.
+  std::string history_kind = "op";
+  /// Simulated backend: abort runaway executions after this many steps.
+  std::uint64_t max_total_steps = 50'000'000;
+};
+
+/// One completed operation.
+struct OpSample {
+  int pid = 0;
+  std::uint64_t value = 0;  ///< counter value / acquired name
+  std::uint64_t steps = 0;  ///< paper-model steps this op cost
+};
+
+/// Outcome of running one object under one scenario.
+struct Run {
+  Metrics metrics;
+  std::vector<OpSample> ops;            ///< completed ops, arbitrary order
+  std::vector<sim::Operation> history;  ///< only when record_history
+  std::vector<double> proc_steps;       ///< finished processes' total steps
+  std::size_t finished_procs = 0;       ///< bodies that ran to completion
+
+  /// All completed ops' values (convenience for invariant checks).
+  std::vector<std::uint64_t> values() const;
+  /// Per-op paper-model step counts (for stats::summarize).
+  std::vector<double> op_steps() const;
+  /// Mean of proc_steps.
+  double mean_proc_steps() const;
+};
+
+class Workload {
+ public:
+  explicit Workload(Scenario scenario) : scenario_(scenario) {}
+
+  const Scenario& scenario() const { return scenario_; }
+
+  /// Each process performs ops_per_proc next() calls.
+  Run run(ICounter& counter) const;
+
+  /// Each process performs ops_per_proc rename() calls with dense initial
+  /// ids (request r of process p uses id p*ops_per_proc + r + 1, so ids are
+  /// exactly 1..nproc*ops_per_proc).
+  Run run(renaming::IRenaming& obj) const;
+
+  /// Generic harness: ops_per_proc invocations of `op` per process, each
+  /// metered into the unified Metrics. `op` returns the operation's value.
+  Run run_ops(const std::function<std::uint64_t(Ctx&)>& op) const;
+
+  /// Free-form body, one per process; metered at process granularity only.
+  Run run_body(const std::function<void(Ctx&)>& body) const;
+
+  /// Convenience: construct the object from the global registry and run.
+  static Run run_counter_spec(const std::string& spec, const Scenario& s);
+  static Run run_renaming_spec(const std::string& spec, const Scenario& s);
+
+ private:
+  Run run_metered(const std::function<std::uint64_t(Ctx&)>& op,
+                  const char* history_kind) const;
+  void execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
+               Run& run) const;
+
+  Scenario scenario_;
+};
+
+}  // namespace renamelib::api

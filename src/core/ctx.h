@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "core/assert.h"
 #include "core/rng.h"
 #include "core/sched_gate.h"
 #include "core/step.h"
@@ -86,8 +87,15 @@ class Ctx {
   /// a local sequence number in the low bits). Counters use this to issue a
   /// fresh initial name per operation — the paper's "unbounded initial
   /// namespace". Purely local: not a shared-memory step.
+  ///
+  /// The sequence number occupies the low 32 bits; letting it wrap (or spill
+  /// into the pid bits) would silently break the "unique initial name"
+  /// invariant every protocol relies on, so exhaustion aborts instead.
   std::uint64_t mint_token() noexcept {
-    return ((static_cast<std::uint64_t>(pid_) + 1) << 32) | ++token_seq_;
+    ++token_seq_;
+    RENAMELIB_ENSURE((token_seq_ >> 32) == 0,
+                     "mint_token: 2^32 identities exhausted for this process");
+    return ((static_cast<std::uint64_t>(pid_) + 1) << 32) | token_seq_;
   }
 
   /// Innermost algorithm annotation; see LabelScope.

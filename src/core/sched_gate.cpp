@@ -40,9 +40,14 @@ void SchedGate::finish(bool crashed) {
 
 SchedGate::State SchedGate::wait_ready() {
   std::unique_lock lock{mu_};
+  // A kill-requested process still at its gate is *dying*, not pending: it
+  // will wake and crash without scheduler input. Reporting it as kAtGate
+  // would hand the adversary a stale view whose content depends on OS thread
+  // timing (the process transitions to kCrashed only when its thread wakes),
+  // breaking determinism under load.
   cv_.wait(lock, [&] {
-    return (state_ == State::kAtGate && !granted_) || state_ == State::kDone ||
-           state_ == State::kCrashed;
+    return (state_ == State::kAtGate && !granted_ && !kill_requested_) ||
+           state_ == State::kDone || state_ == State::kCrashed;
   });
   return state_;
 }

@@ -6,8 +6,10 @@ namespace renamelib::counting {
 
 UnboundedFetchAndIncrement::UnboundedFetchAndIncrement(
     renaming::AdaptiveStrongRenaming::Options options)
-    : options_(options) {
-  epochs_.resize(kMaxEpochs);
+    : options_(options) {}
+
+UnboundedFetchAndIncrement::~UnboundedFetchAndIncrement() {
+  for (auto& slot : epochs_) delete slot.load(std::memory_order_acquire);
 }
 
 std::uint64_t UnboundedFetchAndIncrement::capacity_of(std::uint64_t e) {
@@ -22,12 +24,18 @@ std::uint64_t UnboundedFetchAndIncrement::base_of(std::uint64_t e) {
 BoundedFetchAndIncrement& UnboundedFetchAndIncrement::epoch_object(
     std::uint64_t e) {
   RENAMELIB_ENSURE(e < kMaxEpochs, "epoch overflow (2^43 increments?)");
-  std::scoped_lock lock{alloc_mu_};
   auto& slot = epochs_[e];
-  if (!slot) {
-    slot = std::make_unique<BoundedFetchAndIncrement>(capacity_of(e), options_);
+  BoundedFetchAndIncrement* existing = slot.load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  // CAS-publish: losers delete their candidate and adopt the winner's.
+  auto* candidate = new BoundedFetchAndIncrement(capacity_of(e), options_);
+  if (slot.compare_exchange_strong(existing, candidate,
+                                   std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    return *candidate;
   }
-  return *slot;
+  delete candidate;
+  return *existing;
 }
 
 std::uint64_t UnboundedFetchAndIncrement::fetch_and_increment(Ctx& ctx) {

@@ -18,10 +18,9 @@
 // O(log k log v) for value v.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
-#include <memory>
-#include <mutex>
-#include <vector>
 
 #include "counting/bounded_fai.h"
 
@@ -32,6 +31,7 @@ class UnboundedFetchAndIncrement {
   explicit UnboundedFetchAndIncrement(
       renaming::AdaptiveStrongRenaming::Options options =
           renaming::AdaptiveStrongRenaming::Options{});
+  ~UnboundedFetchAndIncrement();
 
   /// Returns the next value: 0, 1, 2, ... (no bound, no gaps).
   std::uint64_t fetch_and_increment(Ctx& ctx);
@@ -49,8 +49,11 @@ class UnboundedFetchAndIncrement {
 
   renaming::AdaptiveStrongRenaming::Options options_;
   Register<std::uint64_t> epoch_{0};
-  std::mutex alloc_mu_;
-  std::vector<std::unique_ptr<BoundedFetchAndIncrement>> epochs_;
+  // Lock-free epoch table: slots are CAS-published so epoch turnover never
+  // serializes concurrent operations behind a mutex (allocator-level
+  // bookkeeping, like the paper's assumption of pre-existing objects; the
+  // protocol's own steps all go through Register/Ctx).
+  std::array<std::atomic<BoundedFetchAndIncrement*>, kMaxEpochs> epochs_{};
 };
 
 }  // namespace renamelib::counting

@@ -1,0 +1,235 @@
+// Registry-driven conformance suite: every registered implementation, both
+// backends, one set of checks.
+//
+//   * counters — values are a dense prefix {0..N-1}; linearizable ones are
+//     additionally machine-checked with the Wing–Gong checker on recorded
+//     concurrent histories; quiescent/dense ones must still hand out a
+//     permutation of the prefix,
+//   * renamings — uniqueness and namespace tightness (renaming/validate.h)
+//     against each entry's declared name_bound,
+//   * the registry itself — enumeration, spec grammar, error paths.
+//
+// Because the suite iterates Registry::list(), a newly registered
+// implementation is conformance-tested with zero new test code.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "api/registry.h"
+#include "api/workload.h"
+#include "renaming/validate.h"
+#include "sim/linearizability.h"
+
+namespace renamelib::api {
+namespace {
+
+// ------------------------------------------------------------- registry ---
+
+TEST(Registry, ListsAtLeastSixImplementationsAcrossThreeFamilies) {
+  const auto& reg = Registry::global();
+  EXPECT_GE(reg.list().size(), 6u);
+  std::set<std::string> families;
+  for (const auto& r : reg.renamings()) families.insert(family_name(r.family));
+  for (const auto& c : reg.counters()) families.insert(family_name(c.family));
+  EXPECT_GE(families.size(), 3u);
+  // The three families the paper's machinery spans must all be present.
+  EXPECT_TRUE(families.count("renaming"));
+  EXPECT_TRUE(families.count("fai-counting"));
+  EXPECT_TRUE(families.count("counting-network"));
+}
+
+TEST(Registry, SpecGrammarRoundTrip) {
+  const Spec s = parse_spec("bounded_fai:m=64,tas=hw");
+  EXPECT_EQ(s.name, "bounded_fai");
+  EXPECT_EQ(s.params.get_u64("m", 0), 64u);
+  EXPECT_EQ(s.params.get("tas", ""), "hw");
+
+  const Spec bare = parse_spec("adaptive_strong");
+  EXPECT_EQ(bare.name, "adaptive_strong");
+  EXPECT_TRUE(bare.params.entries().empty());
+}
+
+TEST(Registry, RejectsMalformedAndUnknownSpecs) {
+  auto& reg = Registry::global();
+  EXPECT_THROW(parse_spec(""), std::invalid_argument);
+  EXPECT_THROW(parse_spec(":m=1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("x:notakv"), std::invalid_argument);
+  EXPECT_THROW(reg.make_counter("no_such_counter"), std::invalid_argument);
+  EXPECT_THROW(reg.make_renaming("no_such_renaming"), std::invalid_argument);
+  // Typo'd key: rejected, not silently defaulted.
+  EXPECT_THROW(reg.make_counter("bounded_fai:bogus=1"), std::invalid_argument);
+  // Non-power-of-two geometry.
+  EXPECT_THROW(reg.make_counter("bounded_fai:m=3"), std::invalid_argument);
+  EXPECT_THROW(reg.make_counter("bounded_fai:m=x"), std::invalid_argument);
+  // Wrong kind: a renaming name is not a counter and vice versa.
+  EXPECT_THROW(reg.make_counter("adaptive_strong"), std::invalid_argument);
+  EXPECT_THROW(reg.make_renaming("bounded_fai"), std::invalid_argument);
+}
+
+TEST(Registry, ConstructsEveryBuiltinWithCustomParams) {
+  auto& reg = Registry::global();
+  EXPECT_NE(reg.make_counter("bounded_fai:m=64,tas=hw"), nullptr);
+  EXPECT_NE(reg.make_counter("bitonic_countnet:w=8"), nullptr);
+  EXPECT_NE(reg.make_renaming("bit_batching:n=32,tas=ratrace"), nullptr);
+  EXPECT_NE(reg.make_renaming("renaming_network:w=16,tas=hw"), nullptr);
+  EXPECT_NE(reg.make_renaming("linear_probe:cap=128"), nullptr);
+  EXPECT_NE(reg.make_renaming("moir_anderson:n=16"), nullptr);
+}
+
+// ---------------------------------------------------- shared param sweep ---
+
+struct ParamName {
+  template <typename T>
+  std::string operator()(const ::testing::TestParamInfo<T>& info) const {
+    const auto& [name, backend] = info.param;
+    return name + (backend == Backend::kHardware ? "_hw" : "_sim");
+  }
+};
+
+std::vector<std::tuple<std::string, Backend>> sweep(
+    const std::vector<std::string>& names) {
+  std::vector<std::tuple<std::string, Backend>> out;
+  for (const auto& n : names) {
+    out.emplace_back(n, Backend::kSimulated);
+    out.emplace_back(n, Backend::kHardware);
+  }
+  return out;
+}
+
+std::vector<std::string> registered_counters() {
+  std::vector<std::string> out;
+  for (const auto& c : Registry::global().counters()) out.push_back(c.name);
+  return out;
+}
+
+std::vector<std::string> registered_renamings() {
+  std::vector<std::string> out;
+  for (const auto& r : Registry::global().renamings()) out.push_back(r.name);
+  return out;
+}
+
+// ------------------------------------------------------------- counters ---
+
+class CounterConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, Backend>> {};
+
+TEST_P(CounterConformance, DenseValuesAndLinearizability) {
+  const auto& [name, backend] = GetParam();
+  const CounterInfo* info = Registry::global().find_counter(name);
+  ASSERT_NE(info, nullptr);
+
+  // The registry's declared consistency and the adapter's own must agree —
+  // the Wing–Gong check below is keyed off the registry entry.
+  {
+    const auto counter = Registry::global().make_counter(name);
+    ASSERT_EQ(counter->consistency(), info->consistency) << name;
+  }
+
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto counter = Registry::global().make_counter(name);
+    Scenario s;
+    s.nproc = 4;
+    s.ops_per_proc = 2;
+    s.backend = backend;
+    s.seed = seed + 1;
+    s.record_history = (info->consistency == Consistency::kLinearizable);
+    const api::Run run = Workload(s).run(*counter);
+
+    const std::size_t total =
+        static_cast<std::size_t>(s.nproc) * s.ops_per_proc;
+    ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
+    ASSERT_EQ(run.ops.size(), total);
+    ASSERT_LT(total, counter->capacity()) << "scenario must not saturate";
+
+    // Every counter family hands out a dense prefix once quiescent.
+    std::vector<std::uint64_t> sorted = run.values();
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < total; ++i) {
+      EXPECT_EQ(sorted[i], i) << name << " seed=" << seed;
+    }
+
+    // Unified metrics sanity.
+    EXPECT_EQ(run.metrics.ops, total);
+    EXPECT_GT(run.metrics.steps, 0u);
+    EXPECT_GE(run.metrics.steps, run.metrics.shared_steps);
+    EXPECT_LE(run.metrics.max_op_steps, run.metrics.steps);
+    EXPECT_LE(run.metrics.max_proc_steps, run.metrics.steps);
+    EXPECT_GE(run.metrics.mean_op_steps(), 1.0);
+
+    if (info->consistency == Consistency::kLinearizable) {
+      const std::uint64_t m = counter->capacity() == ICounter::kUnbounded
+                                  ? (1ULL << 40)
+                                  : counter->capacity();
+      sim::BoundedFaiSpec spec(m);
+      EXPECT_TRUE(sim::is_linearizable(run.history, spec))
+          << name << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, CounterConformance,
+                         ::testing::ValuesIn(sweep(registered_counters())),
+                         ParamName{});
+
+// ------------------------------------------------------------ renamings ---
+
+class RenamingConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, Backend>> {};
+
+TEST_P(RenamingConformance, UniqueAndTightNames) {
+  const auto& [name, backend] = GetParam();
+  const RenamingInfo* info = Registry::global().find_renaming(name);
+  ASSERT_NE(info, nullptr);
+
+  const Params defaults;  // run under each entry's default geometry
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    Scenario s;
+    s.nproc = 4;
+    s.ops_per_proc = 2;
+    s.backend = backend;
+    s.seed = seed + 1;
+    const int requests = s.nproc * s.ops_per_proc;
+    ASSERT_LE(requests, info->max_requests(defaults));
+
+    const auto obj = Registry::global().make_renaming(name);
+    const api::Run run = Workload(s).run(*obj);
+
+    ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
+    ASSERT_EQ(run.ops.size(), static_cast<std::size_t>(requests));
+
+    const auto unique = renaming::check_unique(run.values());
+    EXPECT_TRUE(unique.ok) << name << " seed=" << seed << ": " << unique.error;
+    const auto tight = renaming::check_tight(
+        run.values(), info->name_bound(requests, defaults));
+    EXPECT_TRUE(tight.ok) << name << " seed=" << seed << ": " << tight.error;
+
+    EXPECT_EQ(run.metrics.ops, static_cast<std::uint64_t>(requests));
+    EXPECT_GT(run.metrics.steps, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, RenamingConformance,
+                         ::testing::ValuesIn(sweep(registered_renamings())),
+                         ParamName{});
+
+// --------------------------------------------------- adaptivity contract ---
+
+TEST(RenamingConformance, AdaptiveEntriesDeclareKOnlyBounds) {
+  // Entries marked adaptive must have a name bound independent of any
+  // provisioned size param; non-adaptive ones depend on their n.
+  const Params defaults;
+  for (const auto& r : Registry::global().renamings()) {
+    if (r.adaptive) {
+      EXPECT_LE(r.name_bound(2, defaults), 3u) << r.name;
+    } else {
+      EXPECT_GT(r.name_bound(2, defaults), 3u) << r.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace renamelib::api

@@ -8,6 +8,8 @@
 #include <memory>
 #include <set>
 
+#include "api/counters.h"
+#include "api/workload.h"
 #include "counting/baselines.h"
 #include "counting/bounded_fai.h"
 #include "counting/l_test_and_set.h"
@@ -231,18 +233,18 @@ class LTasSweep
     : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
 
 TEST_P(LTasSweep, ExactlyMinLKWinners) {
+  // Runs through the unified api::Workload harness (generic run_ops hook).
   const auto [l, k, seed] = GetParam();
   LTestAndSet ltas(static_cast<std::uint64_t>(l));
-  std::vector<int> won(k, 0);
-  sim::RandomAdversary adversary(seed * 7 + 3);
-  sim::RunOptions options;
-  options.seed = seed;
-  auto result = sim::run_simulation(
-      k, [&](Ctx& ctx) { won[ctx.pid()] = ltas.test_and_set(ctx) ? 1 : 0; },
-      adversary, options);
-  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  api::Scenario s;
+  s.nproc = k;
+  s.ops_per_proc = 1;
+  s.seed = seed;
+  const auto run = api::Workload(s).run_ops(
+      [&](Ctx& ctx) { return ltas.test_and_set(ctx) ? 1ULL : 0ULL; });
+  ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(k));
   int winners = 0;
-  for (int w : won) winners += w;
+  for (const std::uint64_t v : run.values()) winners += static_cast<int>(v);
   EXPECT_EQ(winners, std::min(l, k)) << "l=" << l << " k=" << k;
 }
 
@@ -281,18 +283,17 @@ class BoundedFaiSweep
     : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
 
 TEST_P(BoundedFaiSweep, ConcurrentValuesAreDistinctPrefix) {
+  // Runs the ICounter adapter under the unified api::Workload harness.
   const auto [m, k, seed] = GetParam();
-  BoundedFetchAndIncrement fai(static_cast<std::uint64_t>(m));
-  std::vector<std::uint64_t> values(k, 0);
-  sim::RandomAdversary adversary(seed * 31 + 11);
-  sim::RunOptions options;
-  options.seed = seed;
-  auto result = sim::run_simulation(
-      k, [&](Ctx& ctx) { values[ctx.pid()] = fai.fetch_and_increment(ctx); },
-      adversary, options);
-  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  api::BoundedFaiCounter counter(static_cast<std::uint64_t>(m));
+  api::Scenario s;
+  s.nproc = k;
+  s.ops_per_proc = 1;
+  s.seed = seed;
+  const auto run = api::Workload(s).run(counter);
+  ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(k));
   // k <= m concurrent ops must receive exactly {0, ..., k-1}.
-  std::vector<std::uint64_t> sorted = values;
+  std::vector<std::uint64_t> sorted = run.values();
   std::sort(sorted.begin(), sorted.end());
   for (int i = 0; i < k; ++i) {
     EXPECT_EQ(sorted[i], static_cast<std::uint64_t>(i))

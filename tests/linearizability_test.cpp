@@ -6,6 +6,8 @@
 // correctly rejected by the counter spec while passing monotone checks.
 #include <gtest/gtest.h>
 
+#include "api/counters.h"
+#include "api/workload.h"
 #include "counting/bounded_fai.h"
 #include "counting/l_test_and_set.h"
 #include "counting/max_register.h"
@@ -93,23 +95,21 @@ class LTasLinearizable
     : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
 
 TEST_P(LTasLinearizable, ConcurrentHistoriesLinearize) {
+  // The api::Workload harness records the history (kind "tas" so the
+  // sequential spec recognizes the operations).
   const auto [l, k, seed] = GetParam();
   counting::LTestAndSet ltas(static_cast<std::uint64_t>(l));
-  HistoryRecorder recorder;
-  RandomAdversary adversary(seed * 11 + 2);
-  RunOptions options;
-  options.seed = seed;
-  auto result = run_simulation(
-      k,
-      [&](Ctx& ctx) {
-        const std::uint64_t t = recorder.invoke();
-        const bool won = ltas.test_and_set(ctx);
-        recorder.respond(ctx.pid(), "tas", 0, won ? 1 : 0, t);
-      },
-      adversary, options);
-  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  api::Scenario s;
+  s.nproc = k;
+  s.ops_per_proc = 1;
+  s.seed = seed;
+  s.record_history = true;
+  s.history_kind = "tas";
+  const auto run = api::Workload(s).run_ops(
+      [&](Ctx& ctx) { return ltas.test_and_set(ctx) ? 1ULL : 0ULL; });
+  ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(k));
   LTasSpec spec(static_cast<std::uint64_t>(l));
-  EXPECT_TRUE(is_linearizable(recorder.history(), spec))
+  EXPECT_TRUE(is_linearizable(run.history, spec))
       << "l=" << l << " k=" << k << " seed=" << seed;
 }
 
@@ -122,25 +122,18 @@ class FaiLinearizable
     : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
 
 TEST_P(FaiLinearizable, BoundedFaiHistoriesLinearize) {
+  // ICounter adapter + api::Workload with history recording.
   const auto [k, seed] = GetParam();
-  counting::BoundedFetchAndIncrement fai(16);
-  HistoryRecorder recorder;
-  RandomAdversary adversary(seed * 5 + 1);
-  RunOptions options;
-  options.seed = seed;
-  auto result = run_simulation(
-      k,
-      [&](Ctx& ctx) {
-        for (int i = 0; i < 2; ++i) {
-          const std::uint64_t t = recorder.invoke();
-          const std::uint64_t v = fai.fetch_and_increment(ctx);
-          recorder.respond(ctx.pid(), "fai", 0, v, t);
-        }
-      },
-      adversary, options);
-  ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
+  api::BoundedFaiCounter counter(16);
+  api::Scenario s;
+  s.nproc = k;
+  s.ops_per_proc = 2;
+  s.seed = seed;
+  s.record_history = true;
+  const auto run = api::Workload(s).run(counter);
+  ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(k));
   BoundedFaiSpec spec(16);
-  EXPECT_TRUE(is_linearizable(recorder.history(), spec))
+  EXPECT_TRUE(is_linearizable(run.history, spec))
       << "k=" << k << " seed=" << seed;
 }
 
@@ -151,22 +144,16 @@ INSTANTIATE_TEST_SUITE_P(Sweep, FaiLinearizable,
 TEST(FaiLinearizable, SaturatedHistoriesLinearize) {
   // k ops on a tiny m: saturation values must still linearize.
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
-    counting::BoundedFetchAndIncrement fai(4);
-    HistoryRecorder recorder;
-    RandomAdversary adversary(seed + 3);
-    RunOptions options;
-    options.seed = seed;
-    auto result = run_simulation(
-        6,
-        [&](Ctx& ctx) {
-          const std::uint64_t t = recorder.invoke();
-          const std::uint64_t v = fai.fetch_and_increment(ctx);
-          recorder.respond(ctx.pid(), "fai", 0, v, t);
-        },
-        adversary, options);
-    ASSERT_EQ(result.finished_count(), 6u);
+    api::BoundedFaiCounter counter(4);
+    api::Scenario s;
+    s.nproc = 6;
+    s.ops_per_proc = 1;
+    s.seed = seed;
+    s.record_history = true;
+    const auto run = api::Workload(s).run(counter);
+    ASSERT_EQ(run.finished_procs, 6u);
     BoundedFaiSpec spec(4);
-    EXPECT_TRUE(is_linearizable(recorder.history(), spec)) << "seed " << seed;
+    EXPECT_TRUE(is_linearizable(run.history, spec)) << "seed " << seed;
   }
 }
 
@@ -175,25 +162,18 @@ TEST(UnboundedFaiLinearizable, CrossEpochHistoriesLinearize) {
   // second epoch. An unbounded FAI linearizes iff results are a permutation
   // of 0..11 consistent with real time — use the bounded spec with a huge m.
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
-    counting::UnboundedFetchAndIncrement fai;
-    HistoryRecorder recorder;
-    RandomAdversary adversary(seed + 17);
-    RunOptions options;
-    options.seed = seed;
-    auto result = run_simulation(
-        6,
-        [&](Ctx& ctx) {
-          for (int i = 0; i < 2; ++i) {
-            const std::uint64_t t = recorder.invoke();
-            const std::uint64_t v = fai.fetch_and_increment(ctx);
-            recorder.respond(ctx.pid(), "fai", 0, v, t);
-          }
-        },
-        adversary, options);
-    ASSERT_EQ(result.finished_count(), 6u);
+    api::UnboundedFaiCounter counter;
+    api::Scenario s;
+    s.nproc = 6;
+    s.ops_per_proc = 2;
+    s.seed = seed;
+    s.record_history = true;
+    const auto run = api::Workload(s).run(counter);
+    ASSERT_EQ(run.finished_procs, 6u);
     BoundedFaiSpec spec(1ULL << 40);
-    EXPECT_TRUE(is_linearizable(recorder.history(), spec)) << "seed " << seed;
-    EXPECT_GE(fai.current_epoch(), 1u) << "history did not cross an epoch";
+    EXPECT_TRUE(is_linearizable(run.history, spec)) << "seed " << seed;
+    EXPECT_GE(counter.impl().current_epoch(), 1u)
+        << "history did not cross an epoch";
   }
 }
 

@@ -6,10 +6,13 @@
 //   * the O(log k log m) fetch-and-increment surface: per-op steps swept
 //     over both m and k, with the steps/(log k * log m) ratio that should
 //     stay bounded,
-//   * a cross-family shootout: every registered counter on the same
-//     scenario — the N+M wiring the api registry buys.
+//   * a cross-family shootout swept over thread counts: every registered
+//     counter — including the sharded striped/difftree family — on the same
+//     scenarios, the N+M wiring the api registry buys.
 #include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "api/workload.h"
 #include "bench_common.h"
@@ -97,24 +100,56 @@ void fai_surface() {
 
 void counter_shootout() {
   bench::print_header(
-      "Registry shootout: every counter family on one scenario",
-      "Same (k=8, 2 ops/proc) adversarial scenario across all registered "
-      "counters. One facade, one metrics contract: renaming-backed FAI vs "
-      "counting networks vs the 1-step atomic reference.");
-  stats::Table table({"counter", "family", "consistency", "mean op steps",
-                      "max op steps", "coin flips"});
+      "Registry shootout: every counter family, swept over thread counts",
+      "Each registered counter (plus tuned sharded variants) runs the same "
+      "2 ops/proc adversarial scenario at k = 2, 8, 16 processes. One "
+      "facade, one metrics contract: renaming-backed FAI vs counting "
+      "networks vs sharded stripes/trees vs the 1-step atomic reference.");
+
+  // Every registered counter at default params, then the sharded variants
+  // the defaults do not cover (elimination on, deeper tree, composed leaf).
+  std::vector<std::string> specs;
   for (const auto& info : api::Registry::global().counters()) {
-    const auto run =
-        api::Workload::run_counter_spec(info.name, sim_scenario(8, 2, 42));
-    table.add_row({info.name, api::family_name(info.family),
-                   api::consistency_name(info.consistency),
-                   stats::Table::num(run.metrics.mean_op_steps()),
-                   std::to_string(run.metrics.max_op_steps),
-                   std::to_string(run.metrics.coin_flips)});
+    specs.push_back(info.name);
+  }
+  specs.push_back("striped:stripes=16,elim=1");
+  specs.push_back("difftree:depth=2,leaf=[striped:stripes=4]");
+  specs.push_back("difftree:depth=3,leaf=[bounded_fai:m=64]");
+
+  stats::Table table({"spec", "family", "consistency", "k", "mean op steps",
+                      "max op steps", "shared steps", "coin flips"});
+  for (const auto& spec : specs) {
+    const api::CounterInfo* info =
+        api::Registry::global().find_counter(api::parse_spec(spec).name);
+    for (int k : {2, 8, 16}) {
+      const auto run = api::Workload::run_counter_spec(
+          spec, sim_scenario(k, 2, 42 + static_cast<std::uint64_t>(k)));
+      // Every counter family must hand out a dense prefix at quiescence;
+      // the shootout doubles as a cross-family sanity check.
+      std::vector<std::uint64_t> sorted = run.values();
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (sorted[i] != i) {
+          std::cerr << "VALIDATION FAILED: non-dense values for '" << spec
+                    << "' at k=" << k << "\n";
+          std::exit(1);
+        }
+      }
+      table.add_row({spec, api::family_name(info->family),
+                     api::consistency_name(info->consistency),
+                     std::to_string(k),
+                     stats::Table::num(run.metrics.mean_op_steps()),
+                     std::to_string(run.metrics.max_op_steps),
+                     std::to_string(run.metrics.shared_steps),
+                     std::to_string(run.metrics.coin_flips)});
+    }
   }
   table.print(std::cout);
   std::cout << "(Saturation semantics: a bounded object keeps returning m-1 "
-               "once exhausted; the sweep stays below capacity.)\n";
+               "once exhausted; the sweep stays below capacity. Sharded "
+               "specs trade paper-model steps for spread-out contention: "
+               "compare their shared-step totals against bounded_fai's at "
+               "the same k.)\n";
 }
 
 }  // namespace

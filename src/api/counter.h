@@ -1,11 +1,13 @@
-// The unified counter interface of the public API.
-//
-// Every counting-flavored shared object in renamelib — the paper's bounded
-// and unbounded fetch-and-increment (Sec. 8.2), renaming-backed value
-// dispensers, counting networks [26], and the hardware baselines — is usable
-// through ICounter: next() hands the calling operation its value. A single
-// interface means one conformance suite, one bench harness, and N+M instead
-// of N*M wiring between objects and scenarios.
+/// \file
+/// \brief The unified counter interface of the public API.
+///
+/// Every counting-flavored shared object in renamelib — the paper's bounded
+/// and unbounded fetch-and-increment (Sec. 8.2), renaming-backed value
+/// dispensers, counting networks [26], the sharded striped/diffracting-tree
+/// counters, and the hardware baselines — is usable through ICounter: next()
+/// hands the calling operation its value. A single interface means one
+/// conformance suite, one bench harness, and N+M instead of N*M wiring
+/// between objects and scenarios.
 #pragma once
 
 #include <cstdint>
@@ -26,10 +28,16 @@ enum class Consistency {
   kDense,
 };
 
+/// Human-readable label for a Consistency level ("linearizable", ...).
 const char* consistency_name(Consistency c);
 
+/// Abstract counter: one next() operation, one declared consistency level,
+/// an optional saturation bound. Implemented by the adapters in
+/// api/counters.h and api/sharded_counters.h; constructed from spec strings
+/// by the Registry.
 class ICounter {
  public:
+  /// capacity() value meaning "no saturation bound".
   static constexpr std::uint64_t kUnbounded = ~0ULL;
 
   virtual ~ICounter() = default;

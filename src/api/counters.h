@@ -1,8 +1,10 @@
-// ICounter adapters over the concrete shared objects.
-//
-// Thin by design: each adapter forwards next() to the object's native
-// operation and declares its consistency level, so the registry, harness,
-// and conformance suite can treat the whole family uniformly.
+/// \file
+/// \brief ICounter adapters over the concrete shared objects.
+///
+/// Thin by design: each adapter forwards next() to the object's native
+/// operation and declares its consistency level, so the registry, harness,
+/// and conformance suite can treat the whole family uniformly. The sharded
+/// family's adapters live in api/sharded_counters.h.
 #pragma once
 
 #include <atomic>
@@ -20,6 +22,7 @@ namespace renamelib::api {
 /// The m-valued linearizable fetch-and-increment (Sec. 8.2, Theorem 6).
 class BoundedFaiCounter final : public ICounter {
  public:
+  /// Wraps an m-valued bounded FAI; `options` selects comparator arbitration.
   explicit BoundedFaiCounter(
       std::uint64_t m, renaming::AdaptiveStrongRenaming::Options options = {})
       : fai_(m, options) {}
@@ -28,6 +31,7 @@ class BoundedFaiCounter final : public ICounter {
   std::uint64_t capacity() const override { return fai_.m(); }
   Consistency consistency() const override { return Consistency::kLinearizable; }
 
+  /// The native bounded fetch-and-increment object.
   counting::BoundedFetchAndIncrement& impl() { return fai_; }
 
  private:
@@ -37,6 +41,7 @@ class BoundedFaiCounter final : public ICounter {
 /// The epoch-chained unbounded linearizable fetch-and-increment (Sec. 9).
 class UnboundedFaiCounter final : public ICounter {
  public:
+  /// Wraps the unbounded FAI; `options` selects comparator arbitration.
   explicit UnboundedFaiCounter(
       renaming::AdaptiveStrongRenaming::Options options = {})
       : fai_(options) {}
@@ -44,6 +49,7 @@ class UnboundedFaiCounter final : public ICounter {
   std::uint64_t next(Ctx& ctx) override { return fai_.fetch_and_increment(ctx); }
   Consistency consistency() const override { return Consistency::kLinearizable; }
 
+  /// The native unbounded fetch-and-increment object.
   counting::UnboundedFetchAndIncrement& impl() { return fai_; }
 
  private:
@@ -66,6 +72,7 @@ class AtomicFaiCounter final : public ICounter {
 /// Quiescently consistent, not linearizable.
 class CountingNetworkCounter final : public ICounter {
  public:
+  /// Takes ownership of a constructed counting network.
   explicit CountingNetworkCounter(countnet::CountingNetwork net)
       : net_(std::move(net)) {}
 
@@ -79,6 +86,7 @@ class CountingNetworkCounter final : public ICounter {
   }
   Consistency consistency() const override { return Consistency::kQuiescent; }
 
+  /// The native counting network.
   countnet::CountingNetwork& impl() { return net_; }
 
  private:
@@ -91,6 +99,7 @@ class CountingNetworkCounter final : public ICounter {
 /// not linearizable — the Sec. 8.1 counterexample applies.
 class NamingCounter final : public ICounter {
  public:
+  /// Wraps a fresh adaptive strong renaming instance as a value dispenser.
   explicit NamingCounter(renaming::AdaptiveStrongRenaming::Options options = {})
       : renaming_(options) {}
 

@@ -1,12 +1,13 @@
-// The unified metrics contract of the public API.
-//
-// Every harness, bench, and test reports cost through this one struct, in
-// the paper's cost model (shared-memory operations plus one step per batch
-// of coin flips between consecutive shared operations — see core/ctx.h).
-// Per-class instrumented variants remain for algorithm-specific diagnostics
-// (probe counts, temp-name retries, ...); cross-implementation comparison
-// goes through Metrics only, so any two registered objects are measured in
-// exactly the same units.
+/// \file
+/// \brief The unified metrics contract of the public API.
+///
+/// Every harness, bench, and test reports cost through this one struct, in
+/// the paper's cost model (shared-memory operations plus one step per batch
+/// of coin flips between consecutive shared operations — see core/ctx.h).
+/// Per-class instrumented variants remain for algorithm-specific diagnostics
+/// (probe counts, temp-name retries, ...); cross-implementation comparison
+/// goes through Metrics only, so any two registered objects are measured in
+/// exactly the same units.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +16,7 @@
 
 namespace renamelib::api {
 
+/// Aggregated cost of a set of operations in the paper's cost model.
 struct Metrics {
   std::uint64_t ops = 0;             ///< completed operations
   std::uint64_t steps = 0;           ///< total steps, paper cost model
@@ -23,6 +25,7 @@ struct Metrics {
   std::uint64_t max_op_steps = 0;    ///< most expensive single operation
   std::uint64_t max_proc_steps = 0;  ///< most loaded process (total steps)
 
+  /// Average paper-model steps per completed operation (0 when ops == 0).
   double mean_op_steps() const {
     return ops == 0 ? 0.0
                     : static_cast<double>(steps) / static_cast<double>(ops);
@@ -43,6 +46,7 @@ struct Metrics {
 /// charges the delta to a Metrics as a single operation.
 class OpMeter {
  public:
+  /// Snapshots `ctx`'s step/coin counters; the meter charges deltas from here.
   explicit OpMeter(const Ctx& ctx)
       : ctx_(ctx),
         steps_(ctx.steps()),
@@ -52,6 +56,7 @@ class OpMeter {
   /// Steps this operation has cost so far.
   std::uint64_t op_steps() const { return ctx_.steps() - steps_; }
 
+  /// Charges everything since construction to `m` as one completed operation.
   void commit(Metrics& m) const {
     const std::uint64_t op_steps = ctx_.steps() - steps_;
     m.ops += 1;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "api/counters.h"
+#include "api/sharded_counters.h"
 #include "countnet/periodic.h"
 #include "renaming/bit_batching.h"
 #include "renaming/linear_probe.h"
@@ -28,6 +29,7 @@ const char* family_name(Family f) {
     case Family::kRenaming: return "renaming";
     case Family::kFaiCounting: return "fai-counting";
     case Family::kCountingNetwork: return "counting-network";
+    case Family::kSharded: return "sharded";
     case Family::kBaseline: return "baseline";
   }
   return "?";
@@ -70,6 +72,36 @@ std::uint64_t Params::get_u64(std::string_view key, std::uint64_t def) const {
   return def;
 }
 
+namespace {
+
+/// Splits `rest` at top-level commas: commas inside [...] belong to a nested
+/// spec value and do not separate parameters.
+std::vector<std::string> split_params(const std::string& rest,
+                                      const std::string& spec) {
+  std::vector<std::string> items;
+  std::string item;
+  int depth = 0;
+  for (const char c : rest) {
+    if (c == '[') ++depth;
+    if (c == ']' && --depth < 0) {
+      throw std::invalid_argument("unbalanced ']' in spec '" + spec + "'");
+    }
+    if (c == ',' && depth == 0) {
+      items.push_back(std::move(item));
+      item.clear();
+    } else {
+      item.push_back(c);
+    }
+  }
+  if (depth != 0) {
+    throw std::invalid_argument("unbalanced '[' in spec '" + spec + "'");
+  }
+  items.push_back(std::move(item));
+  return items;
+}
+
+}  // namespace
+
 Spec parse_spec(const std::string& spec) {
   Spec out;
   const auto colon = spec.find(':');
@@ -78,20 +110,19 @@ Spec parse_spec(const std::string& spec) {
     throw std::invalid_argument("empty implementation name in spec '" + spec + "'");
   }
   if (colon == std::string::npos) return out;
-  std::string rest = spec.substr(colon + 1);
-  std::size_t pos = 0;
-  while (pos <= rest.size()) {
-    const auto comma = rest.find(',', pos);
-    const std::string item =
-        rest.substr(pos, comma == std::string::npos ? comma : comma - pos);
+  for (const std::string& item : split_params(spec.substr(colon + 1), spec)) {
     const auto eq = item.find('=');
     if (item.empty() || eq == std::string::npos || eq == 0) {
       throw std::invalid_argument("malformed key=value '" + item + "' in spec '" +
                                   spec + "'");
     }
-    out.params.set(item.substr(0, eq), item.substr(eq + 1));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+    std::string value = item.substr(eq + 1);
+    // A bracketed value is a nested spec: strip the outer brackets, keep the
+    // inside verbatim (the enclosing implementation resolves it).
+    if (value.size() >= 2 && value.front() == '[' && value.back() == ']') {
+      value = value.substr(1, value.size() - 2);
+    }
+    out.params.set(item.substr(0, eq), std::move(value));
   }
   return out;
 }
@@ -103,8 +134,16 @@ void check_keys(const Spec& spec, const std::vector<std::string>& allowed) {
     bool ok = false;
     for (const auto& a : allowed) ok |= (a == k);
     if (!ok) {
-      throw std::invalid_argument("unknown param '" + k + "' for '" + spec.name +
-                                  "'");
+      // Name the keys this family accepts: a typo'd key should not force the
+      // user back to the source to learn the valid spelling.
+      std::string valid;
+      for (const auto& a : allowed) {
+        if (!valid.empty()) valid += ", ";
+        valid += a;
+      }
+      throw std::invalid_argument(
+          "unknown param '" + k + "' for '" + spec.name + "' (valid keys: " +
+          (valid.empty() ? "none — this spec takes no params" : valid) + ")");
     }
   }
 }
@@ -128,6 +167,27 @@ std::uint64_t pow2_param(const Params& p, std::string_view key,
   if (v < 2 || (v & (v - 1)) != 0) {
     throw std::invalid_argument("param '" + std::string(key) +
                                 "' must be a power of two >= 2");
+  }
+  return v;
+}
+
+bool bool_param(const Params& p, std::string_view key, bool def) {
+  const std::uint64_t v = p.get_u64(key, def ? 1 : 0);
+  if (v > 1) {
+    throw std::invalid_argument("param '" + std::string(key) +
+                                "' must be 0 or 1");
+  }
+  return v == 1;
+}
+
+std::uint64_t ranged_param(const Params& p, std::string_view key,
+                           std::uint64_t def, std::uint64_t lo,
+                           std::uint64_t hi) {
+  const std::uint64_t v = p.get_u64(key, def);
+  if (v < lo || v > hi) {
+    throw std::invalid_argument("param '" + std::string(key) +
+                                "' must be in [" + std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
   }
   return v;
 }
@@ -267,6 +327,43 @@ void register_builtins(Registry& r) {
       .keys = {},
       .make = [](const Params&) -> std::unique_ptr<ICounter> {
         return std::make_unique<AtomicFaiCounter>();
+      }});
+  r.add_counter(CounterInfo{
+      .name = "striped",
+      .family = Family::kSharded,
+      .summary = "cache-line-striped dispenser: spray-routed per-stripe "
+                 "fetch&add slots, optional elimination pair-combining",
+      .consistency = Consistency::kQuiescent,
+      .keys = {"stripes", "elim", "elim_width", "elim_spins"},
+      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+        sharded::StripedCounter::Options o;
+        o.stripes = ranged_param(p, "stripes", 64, 1, 4096);
+        o.elimination = bool_param(p, "elim", false);
+        o.elim_width = ranged_param(p, "elim_width", 4, 1, 1024);
+        o.elim_spins =
+            static_cast<int>(ranged_param(p, "elim_spins", 4, 1, 1024));
+        return std::make_unique<StripedCounterAdapter>(o);
+      }});
+  r.add_counter(CounterInfo{
+      .name = "difftree",
+      .family = Family::kSharded,
+      .summary = "diffracting-tree counter: prism/toggle balancer tree over "
+                 "composable leaf sub-counters (leaf= is a nested spec)",
+      .consistency = Consistency::kQuiescent,
+      .keys = {"depth", "leaf", "prism", "prism_width", "prism_spins"},
+      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+        sharded::DiffractingTreeCounter::Options o;
+        o.depth = static_cast<int>(ranged_param(p, "depth", 3, 1, 10));
+        o.prism = bool_param(p, "prism", true);
+        o.prism_width = ranged_param(p, "prism_width", 4, 1, 1024);
+        o.prism_spins =
+            static_cast<int>(ranged_param(p, "prism_spins", 4, 1, 1024));
+        // The leaf value is itself a spec, resolved through the registry —
+        // by construction time the global instance is fully populated, and
+        // unknown leaf names fail with the registry's own error message.
+        const std::string leaf = p.get("leaf", "atomic_fai");
+        return std::make_unique<DiffractingTreeCounterAdapter>(
+            o, [leaf]() { return Registry::global().make_counter(leaf); });
       }});
   r.add_counter(CounterInfo{
       .name = "bitonic_countnet",

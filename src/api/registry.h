@@ -1,15 +1,20 @@
-// The object registry: string spec -> shared object.
-//
-// One facade for every renaming/counting implementation in the library.
-// Tests, benches, and examples construct objects from spec strings and
-// iterate list()/counters()/renamings() instead of hand-wiring concrete
-// classes, turning N objects x M scenarios into N + M.
-//
-// Spec grammar:
-//     name[:key=value[,key=value]...]
-// e.g. "adaptive_strong", "bounded_fai:m=1024", "bitonic_countnet:w=64",
-//      "bit_batching:n=128,tas=ratrace". Unknown names or keys throw
-// std::invalid_argument (catching typos beats silently using defaults).
+/// \file
+/// \brief The object registry: string spec -> shared object.
+///
+/// One facade for every renaming/counting implementation in the library.
+/// Tests, benches, and examples construct objects from spec strings and
+/// iterate list()/counters()/renamings() instead of hand-wiring concrete
+/// classes, turning N objects x M scenarios into N + M.
+///
+/// Spec grammar (full reference: docs/SPEC_GRAMMAR.md):
+///     name[:key=value[,key=value]...]
+/// e.g. "adaptive_strong", "bounded_fai:m=1024", "bitonic_countnet:w=64",
+/// "bit_batching:n=128,tas=ratrace". A value may itself be a bracketed
+/// spec — "difftree:depth=3,leaf=[striped:stripes=8]" — resolved through the
+/// registry by the enclosing implementation; commas inside brackets do not
+/// split parameters. Unknown names or keys throw std::invalid_argument
+/// (catching typos beats silently using defaults), and unknown-key errors
+/// list the keys the family accepts.
 #pragma once
 
 #include <cstdint>
@@ -27,11 +32,17 @@ namespace renamelib::api {
 /// Parsed key=value options of a spec string.
 class Params {
  public:
+  /// Appends a key/value pair; throws std::invalid_argument on a duplicate.
   void set(std::string key, std::string value);
+  /// True iff `key` was given in the spec.
   bool has(std::string_view key) const;
+  /// String value of `key`, or `def` when absent.
   std::string get(std::string_view key, std::string_view def) const;
+  /// Unsigned value of `key` (throws std::invalid_argument when the value is
+  /// not an unsigned integer), or `def` when absent.
   std::uint64_t get_u64(std::string_view key, std::uint64_t def) const;
 
+  /// All key/value pairs in spec order.
   const std::vector<std::pair<std::string, std::string>>& entries() const {
     return kv_;
   }
@@ -40,41 +51,54 @@ class Params {
   std::vector<std::pair<std::string, std::string>> kv_;
 };
 
+/// A parsed spec string: implementation name plus its options.
 struct Spec {
-  std::string name;
-  Params params;
+  std::string name;  ///< implementation name (the part before ':')
+  Params params;     ///< parsed key=value options
 };
 
 /// Parses "name:k=v,k=v"; throws std::invalid_argument on malformed input.
 Spec parse_spec(const std::string& spec);
 
 /// Implementation family, for enumeration and reporting.
-enum class Family { kRenaming, kFaiCounting, kCountingNetwork, kBaseline };
+enum class Family {
+  kRenaming,         ///< renaming protocols (IRenaming)
+  kFaiCounting,      ///< renaming-derived fetch-and-increment counters
+  kCountingNetwork,  ///< balancer networks used as counters
+  kSharded,          ///< striped / diffracting-tree sharded counters
+  kBaseline,         ///< hardware reference points
+};
 
+/// Human-readable family label ("renaming", "sharded", ...).
 const char* family_name(Family f);
 
+/// Registry entry describing one counter implementation.
 struct CounterInfo {
-  std::string name;
-  Family family = Family::kFaiCounting;
-  std::string summary;
-  Consistency consistency = Consistency::kLinearizable;
-  std::vector<std::string> keys;  ///< accepted param keys
+  std::string name;                          ///< spec name, unique registry-wide
+  Family family = Family::kFaiCounting;      ///< family, for enumeration
+  std::string summary;                       ///< one-line description
+  Consistency consistency = Consistency::kLinearizable;  ///< declared level
+  std::vector<std::string> keys;             ///< accepted param keys
+  /// Factory: constructs the counter from validated params.
   std::function<std::unique_ptr<ICounter>(const Params&)> make;
 };
 
+/// Registry entry describing one renaming implementation.
 struct RenamingInfo {
-  std::string name;
-  Family family = Family::kRenaming;
-  std::string summary;
+  std::string name;                  ///< spec name, unique registry-wide
+  Family family = Family::kRenaming; ///< family, for enumeration
+  std::string summary;               ///< one-line description
   bool adaptive = false;  ///< namespace bound depends only on participants k
   std::vector<std::string> keys;  ///< accepted param keys
   /// Largest legal name when k dense-id requests run under these params.
   std::function<std::uint64_t(int k, const Params&)> name_bound;
   /// Max supported requests under these params (harnesses must not exceed).
   std::function<int(const Params&)> max_requests;
+  /// Factory: constructs the renaming protocol from validated params.
   std::function<std::unique_ptr<renaming::IRenaming>(const Params&)> make;
 };
 
+/// The spec-string factory over every registered implementation.
 class Registry {
  public:
   /// The process-wide registry, pre-populated with every built-in
@@ -82,20 +106,30 @@ class Registry {
   /// concurrently with use).
   static Registry& global();
 
+  /// An empty registry (rarely useful; prefer global()).
   Registry() = default;
 
+  /// Registers a counter entry; throws std::invalid_argument on a duplicate
+  /// name (across both kinds).
   void add_counter(CounterInfo info);
+  /// Registers a renaming entry; throws std::invalid_argument on a duplicate
+  /// name (across both kinds).
   void add_renaming(RenamingInfo info);
 
   /// Constructs from a spec string; throws std::invalid_argument for unknown
   /// names, unknown keys, or malformed specs.
   std::unique_ptr<ICounter> make_counter(const std::string& spec) const;
+  /// \copydoc make_counter
   std::unique_ptr<renaming::IRenaming> make_renaming(const std::string& spec) const;
 
+  /// Entry for `name`, or nullptr if no such counter is registered.
   const CounterInfo* find_counter(std::string_view name) const;
+  /// Entry for `name`, or nullptr if no such renaming is registered.
   const RenamingInfo* find_renaming(std::string_view name) const;
 
+  /// All registered counter entries, in registration order.
   const std::vector<CounterInfo>& counters() const { return counters_; }
+  /// All registered renaming entries, in registration order.
   const std::vector<RenamingInfo>& renamings() const { return renamings_; }
 
   /// Every registered implementation name (renamings, then counters).

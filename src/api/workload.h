@@ -1,11 +1,13 @@
-// The unified workload harness: one scenario description, every backend.
-//
-// A Scenario says *how* to run (process count, ops per process, hardware
-// threads or the adversarial simulator, adversary strategy, seed); the
-// Workload runs any registered object — or any free-form body — under it and
-// reports the one Metrics contract. Benches sweep scenarios over
-// Registry::list(); tests assert object invariants on the collected values
-// and (optionally) Wing–Gong-checkable histories.
+/// \file
+/// \brief The unified workload harness: one scenario description, every
+/// backend.
+///
+/// A Scenario says *how* to run (process count, ops per process, hardware
+/// threads or the adversarial simulator, adversary strategy, seed); the
+/// Workload runs any registered object — or any free-form body — under it and
+/// reports the one Metrics contract. Benches sweep scenarios over
+/// Registry::list(); tests assert object invariants on the collected values
+/// and (optionally) Wing–Gong-checkable histories.
 #pragma once
 
 #include <cstdint>
@@ -22,17 +24,26 @@
 
 namespace renamelib::api {
 
-enum class Backend { kHardware, kSimulated };
+/// Which execution substrate runs the scenario's processes.
+enum class Backend {
+  kHardware,   ///< real threads, wall-clock interleavings
+  kSimulated,  ///< deterministic adversarial scheduler (sim/)
+};
 
 /// Adversary strategy for the simulated backend.
-enum class Sched { kRandom, kRoundRobin, kObstruction };
+enum class Sched {
+  kRandom,       ///< uniformly random enabled process each step
+  kRoundRobin,   ///< fixed rotation over enabled processes
+  kObstruction,  ///< runs one process solo as long as possible
+};
 
+/// Describes one run: who executes, how often, under which scheduler.
 struct Scenario {
-  int nproc = 4;
-  int ops_per_proc = 1;
-  Backend backend = Backend::kSimulated;
-  Sched sched = Sched::kRandom;
-  std::uint64_t seed = 1;
+  int nproc = 4;                          ///< processes (threads) to run
+  int ops_per_proc = 1;                   ///< operations per process
+  Backend backend = Backend::kSimulated;  ///< execution substrate
+  Sched sched = Sched::kRandom;           ///< adversary (simulated backend)
+  std::uint64_t seed = 1;                 ///< RNG + adversary seed
   /// Fill Run::history with real-time operation intervals, checkable by
   /// sim::is_linearizable.
   bool record_history = false;
@@ -53,7 +64,7 @@ struct OpSample {
 
 /// Outcome of running one object under one scenario.
 struct Run {
-  Metrics metrics;
+  Metrics metrics;                      ///< aggregate cost, unified contract
   std::vector<OpSample> ops;            ///< completed ops, arbitrary order
   std::vector<sim::Operation> history;  ///< only when record_history
   std::vector<double> proc_steps;       ///< finished processes' total steps
@@ -67,10 +78,13 @@ struct Run {
   double mean_proc_steps() const;
 };
 
+/// Runs objects or free-form bodies under a Scenario on either backend.
 class Workload {
  public:
+  /// Captures the scenario; run*() calls share it.
   explicit Workload(Scenario scenario) : scenario_(scenario) {}
 
+  /// The scenario this workload runs.
   const Scenario& scenario() const { return scenario_; }
 
   /// Each process performs ops_per_proc next() calls.
@@ -90,6 +104,7 @@ class Workload {
 
   /// Convenience: construct the object from the global registry and run.
   static Run run_counter_spec(const std::string& spec, const Scenario& s);
+  /// \copydoc run_counter_spec
   static Run run_renaming_spec(const std::string& spec, const Scenario& s);
 
  private:

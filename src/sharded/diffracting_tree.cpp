@@ -1,0 +1,66 @@
+#include "sharded/diffracting_tree.h"
+
+#include "core/assert.h"
+
+namespace renamelib::sharded {
+
+DiffractingTreeCounter::DiffractingTreeCounter(Options options,
+                                               const LeafFactory& make_leaf)
+    : options_(options) {
+  RENAMELIB_ENSURE(options_.depth >= 1 && options_.depth <= 16,
+                   "difftree depth must be in [1, 16]");
+  const std::size_t leaves = std::size_t{1} << options_.depth;
+  balancers_.resize(leaves);  // heap slots 1..L-1 used; slot 0 stays null
+  for (std::size_t node = 1; node < leaves; ++node) {
+    auto b = std::make_unique<Balancer>();
+    if (options_.prism) {
+      b->prism = std::make_unique<EliminationArray>(EliminationArray::Options{
+          options_.prism_width, options_.prism_spins, /*payload=*/false});
+    }
+    balancers_[node] = std::move(b);
+  }
+  leaves_.reserve(leaves);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    leaves_.push_back(make_leaf());
+    RENAMELIB_ENSURE(leaves_.back() != nullptr, "leaf factory returned null");
+  }
+}
+
+std::uint64_t DiffractingTreeCounter::next(Ctx& ctx) {
+  std::size_t node = 1;
+  std::size_t idx = 0;
+  for (int level = 0; level < options_.depth; ++level) {
+    Balancer& b = *balancers_[node];
+    int bit = -1;
+    if (b.prism != nullptr) {
+      // A diffracted pair leaves on opposite outputs: waiter low, leader high.
+      const auto c = b.prism->try_collide(ctx);
+      if (c.role == EliminationArray::Role::kWaiter) bit = 0;
+      if (c.role == EliminationArray::Role::kLeader) bit = 1;
+    }
+    if (bit < 0) {
+      bit = static_cast<int>(b.toggle.fetch_add(ctx, 1) & 1);
+    }
+    // The root decides the low bit of the leaf index: leaf i receives the
+    // operations whose global arrival rank is congruent to i mod leaves().
+    idx |= static_cast<std::size_t>(bit) << level;
+    node = node * 2 + static_cast<std::size_t>(bit);
+  }
+  const std::uint64_t rank = leaves_[idx]->next(ctx);
+  return rank * leaves_.size() + idx;
+}
+
+std::uint64_t DiffractingTreeCounter::capacity() const {
+  std::uint64_t min_cap = api::ICounter::kUnbounded;
+  for (const auto& leaf : leaves_) {
+    if (leaf->capacity() < min_cap) min_cap = leaf->capacity();
+  }
+  if (min_cap == api::ICounter::kUnbounded) return api::ICounter::kUnbounded;
+  // Saturate: a bound too large to represent is effectively no bound.
+  if (min_cap > api::ICounter::kUnbounded / leaves_.size()) {
+    return api::ICounter::kUnbounded;
+  }
+  return min_cap * leaves_.size();
+}
+
+}  // namespace renamelib::sharded

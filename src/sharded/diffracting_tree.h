@@ -1,0 +1,77 @@
+// Diffracting-tree counter (Shavit & Zemach flavor).
+//
+// A binary tree of balancers routes each operation from the root to one of
+// L = 2^depth leaf sub-counters. Each balancer forwards alternate operations
+// to alternate children (a toggle bit: fetch&add parity), so at quiescence
+// the leaf visit counts have the counting-network step property: leaf with
+// index i (root decides the LOW bit of i) is visited exactly
+// ceil((T - i) / L) times out of T operations. The leaf hands its visitor a
+// local rank v, and the overall value v*L + i; the step property makes the
+// handed values exactly {0..T-1} once quiescent — the classic "counting tree"
+// argument, here with composable leaves.
+//
+// The *diffracting* part removes the root bottleneck: in front of each toggle
+// sits a prism (an EliminationArray in pairing mode). Two operations that
+// collide in the prism leave on opposite outputs without touching the toggle
+// at all — a pair contributes one op to each side, so the balancer's step
+// property is untouched while the toggle sees only the un-paired residue.
+//
+// Leaves are arbitrary ICounter instances (any registry spec whose values are
+// a dense prefix at quiescence — all registered families qualify), so the
+// tree composes: bounded_fai leaves give the paper's polylog object a
+// contention funnel; striped leaves give a two-level sharded counter; difftree
+// leaves deepen the tree. Real-time order is not preserved across leaves, so
+// the composite is quiescently consistent regardless of leaf consistency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/counter.h"
+#include "core/ctx.h"
+#include "core/register.h"
+#include "sharded/elimination.h"
+
+namespace renamelib::sharded {
+
+class DiffractingTreeCounter {
+ public:
+  struct Options {
+    int depth = 3;                ///< balancer levels; 2^depth leaves
+    bool prism = true;            ///< enable diffraction at each balancer
+    std::size_t prism_width = 4;  ///< collision slots per balancer
+    int prism_spins = 4;          ///< bounded waiter spins per collision
+  };
+
+  /// Builds one leaf sub-counter; called 2^depth times at construction.
+  using LeafFactory = std::function<std::unique_ptr<api::ICounter>()>;
+
+  DiffractingTreeCounter(Options options, const LeafFactory& make_leaf);
+
+  /// Traverses root-to-leaf (diffracting or toggling at each balancer) and
+  /// returns leaf_rank * leaves() + leaf_index. Sequential calls return
+  /// exactly 0, 1, 2, ...
+  std::uint64_t next(Ctx& ctx);
+
+  /// Smallest leaf capacity times leaves(), or ICounter::kUnbounded if every
+  /// leaf is unbounded. Values are < capacity(); the exact saturating
+  /// sequential spec is the leaves' affair.
+  std::uint64_t capacity() const;
+
+  std::size_t leaves() const noexcept { return leaves_.size(); }
+
+ private:
+  struct Balancer {
+    Register<std::uint64_t> toggle{0};
+    std::unique_ptr<EliminationArray> prism;  ///< null when diffraction is off
+  };
+
+  Options options_;
+  std::vector<std::unique_ptr<Balancer>> balancers_;  ///< heap-indexed 1..L-1
+  std::vector<std::unique_ptr<api::ICounter>> leaves_;
+};
+
+}  // namespace renamelib::sharded

@@ -1,0 +1,88 @@
+#include "sharded/elimination.h"
+
+#include "core/assert.h"
+
+namespace renamelib::sharded {
+namespace {
+
+// Slot state encoding: kEmpty, or (pid+1) << 2 | tag. A process runs one
+// operation at a time, so pid+1 uniquely identifies the parked op and the
+// claim CAS cannot suffer ABA within a handshake.
+constexpr std::uint64_t kEmpty = 0;
+constexpr std::uint64_t kTagWaiting = 1;
+constexpr std::uint64_t kTagClaimed = 2;
+constexpr std::uint64_t kTagMask = 3;
+
+constexpr std::uint64_t kNoValue = ~0ULL;
+
+std::uint64_t waiting(std::uint64_t token) { return token << 2 | kTagWaiting; }
+std::uint64_t claimed(std::uint64_t token) { return token << 2 | kTagClaimed; }
+
+}  // namespace
+
+EliminationArray::EliminationArray(Options options) : options_(options) {
+  RENAMELIB_ENSURE(options_.width >= 1, "elimination width must be >= 1");
+  RENAMELIB_ENSURE(options_.spins >= 1, "elimination spins must be >= 1");
+  state_ = std::make_unique<RegisterArray<std::uint64_t>>(options_.width, kEmpty);
+  if (options_.payload) {
+    answer_ =
+        std::make_unique<RegisterArray<std::uint64_t>>(options_.width, kNoValue);
+  }
+}
+
+EliminationArray::Collision EliminationArray::try_collide(Ctx& ctx) {
+  const std::uint64_t me = static_cast<std::uint64_t>(ctx.pid()) + 1;
+  const std::size_t slot =
+      options_.width == 1 ? 0 : static_cast<std::size_t>(
+                                    ctx.rng().below(options_.width));
+  Register<std::uint64_t>& st = (*state_)[slot];
+
+  std::uint64_t seen = st.load(ctx);
+  if (seen == kEmpty) {
+    // Park as a waiter.
+    std::uint64_t expected = kEmpty;
+    if (!st.compare_exchange(ctx, expected, waiting(me))) {
+      return Collision{Role::kNone, slot, 0};
+    }
+    for (int i = 0; i < options_.spins; ++i) {
+      if (st.load(ctx) == claimed(me)) return finish_as_waiter(ctx, slot);
+    }
+    // Timed out: back out, unless a leader claimed us concurrently.
+    expected = waiting(me);
+    if (st.compare_exchange(ctx, expected, kEmpty)) {
+      return Collision{Role::kNone, slot, 0};
+    }
+    return finish_as_waiter(ctx, slot);
+  }
+  if ((seen & kTagMask) == kTagWaiting) {
+    // Someone is parked: try to claim them.
+    if (st.compare_exchange(ctx, seen, (seen & ~kTagMask) | kTagClaimed)) {
+      return Collision{Role::kLeader, slot, 0};
+    }
+  }
+  return Collision{Role::kNone, slot, 0};
+}
+
+EliminationArray::Collision EliminationArray::finish_as_waiter(
+    Ctx& ctx, std::size_t slot) {
+  Collision out{Role::kWaiter, slot, 0};
+  if (options_.payload) {
+    Register<std::uint64_t>& ans = (*answer_)[slot];
+    std::uint64_t v = ans.load(ctx);
+    while (v == kNoValue) v = ans.load(ctx);  // leader is committed to deliver
+    ans.store(ctx, kNoValue);
+    out.value = v;
+  }
+  // Reset ordering matters: the answer sentinel must be restored before the
+  // slot reopens, or the next pair could observe this pair's value.
+  (*state_)[slot].store(ctx, kEmpty);
+  return out;
+}
+
+void EliminationArray::deliver(Ctx& ctx, std::size_t slot, std::uint64_t value) {
+  RENAMELIB_ENSURE(options_.payload, "deliver() requires payload mode");
+  RENAMELIB_ENSURE(value != kNoValue, "~0 is reserved as the no-value sentinel");
+  (*answer_)[slot].store(ctx, value);
+}
+
+}  // namespace renamelib::sharded

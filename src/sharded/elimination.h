@@ -1,0 +1,77 @@
+// Elimination-backoff collision layer shared by the sharded counters.
+//
+// An EliminationArray lets two concurrent operations meet away from the hot
+// path: each op hashes to a random slot, one parks there briefly (the
+// *waiter*), and a second op that lands on the same slot claims it (the
+// *leader*). A successful collision serves two operations with one pairing:
+//   * the diffracting tree uses pairing alone — a diffracted pair leaves a
+//     balancer on opposite outputs without touching the toggle bit,
+//   * the striped counter uses the payload flavor — the leader performs both
+//     slot fetch&adds and hands the second value to its waiter.
+// All waits on the fast path are bounded (`spins`); a timed-out waiter backs
+// out with a CAS and falls through to the object's normal path, so the layer
+// never blocks progress. The one unbounded wait is a *paired* waiter in
+// payload mode awaiting its leader's delivery — the same short handoff window
+// every elimination stack has (lock-free overall: the leader is already
+// committed to delivering).
+//
+// Every slot access goes through core/Register, so collisions cost paper-model
+// steps like any other shared-memory traffic and the simulator's adversary
+// can schedule around (or into) them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/ctx.h"
+#include "core/register.h"
+
+namespace renamelib::sharded {
+
+class EliminationArray {
+ public:
+  /// How a try_collide() attempt ended.
+  enum class Role {
+    kNone,    ///< no partner found; caller takes the object's normal path
+    kWaiter,  ///< parked and was claimed; in payload mode `value` is the result
+    kLeader,  ///< claimed a waiter; in payload mode caller MUST deliver()
+  };
+
+  /// Outcome of one collision attempt.
+  struct Collision {
+    Role role = Role::kNone;
+    std::size_t slot = 0;     ///< slot index (leaders pass it to deliver())
+    std::uint64_t value = 0;  ///< payload mode, kWaiter: the delivered value
+  };
+
+  struct Options {
+    std::size_t width = 4;  ///< number of collision slots
+    int spins = 4;          ///< bounded loads a waiter spends parked
+    bool payload = false;   ///< leaders deliver a uint64 to their waiter
+  };
+
+  explicit EliminationArray(Options options);
+
+  /// One bounded collision attempt on a random slot. In payload mode a
+  /// claimed waiter additionally awaits its leader's deliver() before
+  /// returning (values of ~0 are reserved as the "not yet" sentinel).
+  Collision try_collide(Ctx& ctx);
+
+  /// Payload mode, leader side: hands `value` to the waiter parked at `slot`.
+  /// Must be called exactly once after try_collide() returned kLeader.
+  void deliver(Ctx& ctx, std::size_t slot, std::uint64_t value);
+
+  std::size_t width() const noexcept { return options_.width; }
+
+ private:
+  /// A claimed waiter finishes the handshake: in payload mode await the
+  /// leader's value, then return the slot to EMPTY for the next pair.
+  Collision finish_as_waiter(Ctx& ctx, std::size_t slot);
+
+  Options options_;
+  std::unique_ptr<RegisterArray<std::uint64_t>> state_;
+  std::unique_ptr<RegisterArray<std::uint64_t>> answer_;  ///< payload mode only
+};
+
+}  // namespace renamelib::sharded

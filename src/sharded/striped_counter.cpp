@@ -1,0 +1,53 @@
+#include "sharded/striped_counter.h"
+
+#include "core/assert.h"
+
+namespace renamelib::sharded {
+
+StripedCounter::StripedCounter(Options options) : options_(options) {
+  RENAMELIB_ENSURE(options_.stripes >= 1, "stripes must be >= 1");
+  slots_ = std::make_unique<Slot[]>(options_.stripes);
+  if (options_.elimination) {
+    elim_ = std::make_unique<EliminationArray>(EliminationArray::Options{
+        options_.elim_width, options_.elim_spins, /*payload=*/true});
+  }
+}
+
+void StripedCounter::increment(Ctx& ctx) {
+  const std::size_t stripe =
+      static_cast<std::size_t>(ctx.pid()) % options_.stripes;
+  slots_[stripe].count.fetch_add(ctx, 1);
+}
+
+std::uint64_t StripedCounter::read(Ctx& ctx) {
+  std::uint64_t sum = 0;
+  for (std::size_t i = 0; i < options_.stripes; ++i) {
+    sum += slots_[i].count.load(ctx);
+  }
+  return sum;
+}
+
+std::uint64_t StripedCounter::take(Ctx& ctx, std::uint64_t ticket) {
+  const std::uint64_t stripe = ticket % options_.stripes;
+  const std::uint64_t rank = slots_[stripe].count.fetch_add(ctx, 1);
+  return rank * options_.stripes + stripe;
+}
+
+std::uint64_t StripedCounter::next(Ctx& ctx) {
+  if (elim_ != nullptr) {
+    const auto collision = elim_->try_collide(ctx);
+    if (collision.role == EliminationArray::Role::kWaiter) {
+      return collision.value;
+    }
+    if (collision.role == EliminationArray::Role::kLeader) {
+      // Serve both ops: two consecutive tickets, deliver the partner's value
+      // first so the waiter unparks while we finish our own.
+      const std::uint64_t t = spray_.fetch_add(ctx, 2);
+      elim_->deliver(ctx, collision.slot, take(ctx, t + 1));
+      return take(ctx, t);
+    }
+  }
+  return take(ctx, spray_.fetch_add(ctx, 1));
+}
+
+}  // namespace renamelib::sharded

@@ -7,13 +7,17 @@
 //     permutation of the prefix,
 //   * renamings — uniqueness and namespace tightness (renaming/validate.h)
 //     against each entry's declared name_bound,
-//   * the registry itself — enumeration, spec grammar, error paths.
+//   * the registry itself — enumeration, spec grammar (including nested
+//     bracketed values), error paths and error-message quality,
+//   * the sharded family — an extra sweep over stripe counts, tree depths,
+//     elimination settings, and composed leaf specs.
 //
 // Because the suite iterates Registry::list(), a newly registered
 // implementation is conformance-tested with zero new test code.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -29,17 +33,18 @@ namespace {
 
 // ------------------------------------------------------------- registry ---
 
-TEST(Registry, ListsAtLeastSixImplementationsAcrossThreeFamilies) {
+TEST(Registry, ListsAtLeastSixImplementationsAcrossFourFamilies) {
   const auto& reg = Registry::global();
   EXPECT_GE(reg.list().size(), 6u);
   std::set<std::string> families;
   for (const auto& r : reg.renamings()) families.insert(family_name(r.family));
   for (const auto& c : reg.counters()) families.insert(family_name(c.family));
-  EXPECT_GE(families.size(), 3u);
-  // The three families the paper's machinery spans must all be present.
+  EXPECT_GE(families.size(), 4u);
+  // The families the paper's machinery spans must all be present.
   EXPECT_TRUE(families.count("renaming"));
   EXPECT_TRUE(families.count("fai-counting"));
   EXPECT_TRUE(families.count("counting-network"));
+  EXPECT_TRUE(families.count("sharded"));
 }
 
 TEST(Registry, SpecGrammarRoundTrip) {
@@ -70,6 +75,66 @@ TEST(Registry, RejectsMalformedAndUnknownSpecs) {
   EXPECT_THROW(reg.make_renaming("bounded_fai"), std::invalid_argument);
 }
 
+TEST(Registry, UnknownKeyErrorsListTheValidKeys) {
+  auto& reg = Registry::global();
+  // A typo'd key must name the keys the family accepts, not just echo the
+  // spec back.
+  try {
+    reg.make_counter("bounded_fai:bogus=1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid keys"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("m"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tas"), std::string::npos) << msg;
+  }
+  try {
+    reg.make_counter("difftree:leef=x");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("leaf"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("depth"), std::string::npos) << msg;
+  }
+  // A spec with no params at all says so rather than listing nothing.
+  try {
+    reg.make_counter("atomic_fai:x=1");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no params"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Registry, NestedSpecValuesSurviveBracketing) {
+  // Commas inside [...] belong to the nested spec, and one bracket layer is
+  // stripped so the enclosing implementation can resolve the value directly.
+  const Spec s = parse_spec("difftree:depth=2,leaf=[striped:stripes=8,elim=1]");
+  EXPECT_EQ(s.name, "difftree");
+  EXPECT_EQ(s.params.get_u64("depth", 0), 2u);
+  EXPECT_EQ(s.params.get("leaf", ""), "striped:stripes=8,elim=1");
+
+  // Unbracketed nested specs still work when they carry no comma.
+  const Spec bare = parse_spec("difftree:leaf=bounded_fai");
+  EXPECT_EQ(bare.params.get("leaf", ""), "bounded_fai");
+
+  // Unbalanced brackets are malformed, not silently reinterpreted.
+  EXPECT_THROW(parse_spec("difftree:leaf=[striped"), std::invalid_argument);
+  EXPECT_THROW(parse_spec("difftree:leaf=striped]"), std::invalid_argument);
+
+  // The composite constructs, and a bogus leaf fails with the registry's
+  // own unknown-name error.
+  auto& reg = Registry::global();
+  EXPECT_NE(reg.make_counter("difftree:depth=1,leaf=[striped:stripes=4]"),
+            nullptr);
+  EXPECT_THROW(reg.make_counter("difftree:leaf=no_such_leaf"),
+               std::invalid_argument);
+  // A renaming is not a valid leaf counter.
+  EXPECT_THROW(reg.make_counter("difftree:leaf=adaptive_strong"),
+               std::invalid_argument);
+}
+
 TEST(Registry, ConstructsEveryBuiltinWithCustomParams) {
   auto& reg = Registry::global();
   EXPECT_NE(reg.make_counter("bounded_fai:m=64,tas=hw"), nullptr);
@@ -78,6 +143,8 @@ TEST(Registry, ConstructsEveryBuiltinWithCustomParams) {
   EXPECT_NE(reg.make_renaming("renaming_network:w=16,tas=hw"), nullptr);
   EXPECT_NE(reg.make_renaming("linear_probe:cap=128"), nullptr);
   EXPECT_NE(reg.make_renaming("moir_anderson:n=16"), nullptr);
+  EXPECT_NE(reg.make_counter("striped:stripes=8,elim=1,elim_width=2"), nullptr);
+  EXPECT_NE(reg.make_counter("difftree:depth=2,prism=0"), nullptr);
 }
 
 // ---------------------------------------------------- shared param sweep ---
@@ -174,6 +241,71 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
 INSTANTIATE_TEST_SUITE_P(Registry, CounterConformance,
                          ::testing::ValuesIn(sweep(registered_counters())),
                          ParamName{});
+
+// --------------------------------------------------- sharded spec sweep ---
+
+// The registered-name sweep above already covers `striped` and `difftree`
+// at default params; this sweep exercises the geometry and composition axes
+// (stripe counts, tree depths, elimination/prism toggles, nested leaves)
+// under both backends.
+class ShardedSpecConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, Backend>> {};
+
+struct SpecName {
+  template <typename T>
+  std::string operator()(const ::testing::TestParamInfo<T>& info) const {
+    const auto& [spec, backend] = info.param;
+    std::string out;
+    for (const char c : spec) {
+      out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+    }
+    return out + (backend == Backend::kHardware ? "_hw" : "_sim");
+  }
+};
+
+TEST_P(ShardedSpecConformance, DenseValuePrefix) {
+  const auto& [spec, backend] = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto counter = Registry::global().make_counter(spec);
+    ASSERT_EQ(counter->consistency(), Consistency::kQuiescent) << spec;
+    Scenario s;
+    s.nproc = 6;
+    s.ops_per_proc = 4;
+    s.backend = backend;
+    s.seed = seed + 1;
+    const api::Run run = Workload(s).run(*counter);
+
+    const std::size_t total = static_cast<std::size_t>(s.nproc) * s.ops_per_proc;
+    ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
+    ASSERT_EQ(run.ops.size(), total);
+    ASSERT_LT(total, counter->capacity()) << spec;
+
+    std::vector<std::uint64_t> sorted = run.values();
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < total; ++i) {
+      ASSERT_EQ(sorted[i], i) << spec << " seed=" << seed;
+    }
+    EXPECT_EQ(run.metrics.ops, total);
+    EXPECT_GT(run.metrics.steps, 0u);
+    EXPECT_GE(run.metrics.steps, run.metrics.shared_steps);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ShardedSpecConformance,
+    ::testing::ValuesIn(sweep({
+        "striped:stripes=1",
+        "striped:stripes=16",
+        "striped:stripes=64,elim=1",
+        "striped:stripes=8,elim=1,elim_width=1,elim_spins=2",
+        "difftree:depth=1",
+        "difftree:depth=3",
+        "difftree:depth=2,prism=0",
+        "difftree:depth=2,leaf=[striped:stripes=4]",
+        "difftree:depth=1,leaf=[bounded_fai:m=64]",
+        "difftree:depth=2,leaf=[difftree:depth=1,prism=0]",
+    })),
+    SpecName{});
 
 // ------------------------------------------------------------ renamings ---
 

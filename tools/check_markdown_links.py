@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Fails when any intra-repo markdown link is broken.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, resolves relative targets against
+the containing file, and reports targets that do not exist. External links
+(http/https/mailto) are skipped; `#anchor` targets are checked against the
+target file's headings (GitHub slug rules, simplified).
+
+Run from the repository root:  python3 tools/check_markdown_links.py
+CI runs this in the docs job; CMake registers it as the `docs_links` test
+when a Python interpreter is available.
+"""
+import re
+import sys
+from pathlib import Path
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REFDEF_RE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+SKIP_DIRS = {"build", "build-asan", "build-docs", ".git"}
+
+
+def slugify(heading: str) -> str:
+    """GitHub-style anchor slug (simplified: enough for this repo)."""
+    s = re.sub(r"[`*_]", "", heading.strip().lower())
+    s = re.sub(r"[^\w\- ]", "", s)
+    return s.replace(" ", "-")
+
+
+def headings_of(path: Path) -> set:
+    return {slugify(h) for h in HEADING_RE.findall(path.read_text(encoding="utf-8"))}
+
+
+def markdown_files(root: Path):
+    for p in sorted(root.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in p.parts):
+            yield p
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    broken = []
+    for md in markdown_files(root):
+        text = md.read_text(encoding="utf-8")
+        targets = LINK_RE.findall(text) + REFDEF_RE.findall(text)
+        for target in targets:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            path_part, _, anchor = target.partition("#")
+            dest = md if not path_part else (md.parent / path_part).resolve()
+            if not dest.exists():
+                broken.append(f"{md.relative_to(root)}: missing target '{target}'")
+                continue
+            if anchor and dest.suffix == ".md":
+                if slugify(anchor) not in headings_of(dest):
+                    broken.append(
+                        f"{md.relative_to(root)}: no heading '#{anchor}' in "
+                        f"'{path_part or md.name}'")
+    if broken:
+        print("Broken intra-repo markdown links:", file=sys.stderr)
+        for b in broken:
+            print(f"  {b}", file=sys.stderr)
+        return 1
+    count = len(list(markdown_files(root)))
+    print(f"OK: all intra-repo links resolve across {count} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,7 +30,7 @@ void base_network_ablation() {
     const char* name;
     sortnet::ComparatorNetwork net;
   };
-  for (std::size_t width : {8u, 16u}) {
+  for (std::size_t width : bench::sweep_or_first<std::size_t>({8, 16})) {
     std::vector<Base> bases;
     bases.push_back({"odd-even", sortnet::odd_even_merge_sort(width)});
     bases.push_back({"bitonic", sortnet::bitonic_sort(width)});
@@ -44,7 +44,7 @@ void base_network_ablation() {
       const int k = static_cast<int>(width);
       std::vector<std::uint64_t> names(k, 0);
       std::vector<double> all;
-      for (std::uint64_t run = 0; run < 4; ++run) {
+      for (std::uint64_t run = 0; run < bench::pick<std::uint64_t>(4, 2); ++run) {
         renaming::RenamingNetwork fresh{sortnet::ComparatorNetwork(base.net)};
         auto steps = bench::run_simulated(k, run * 97 + width, [&](Ctx& ctx) {
           names[ctx.pid()] =
@@ -75,7 +75,7 @@ void arbitration_ablation() {
   for (const auto kind : {renaming::ComparatorKind::kRandomized,
                           renaming::ComparatorKind::kHardware}) {
     std::vector<double> all;
-    for (std::uint64_t run = 0; run < 4; ++run) {
+    for (std::uint64_t run = 0; run < bench::pick<std::uint64_t>(4, 1); ++run) {
       renaming::RenamingNetwork net(sortnet::odd_even_merge_sort(64), kind);
       auto steps = bench::run_simulated(64, run * 31 + 5, [&](Ctx& ctx) {
         (void)net.rename(ctx, static_cast<std::uint64_t>(ctx.pid()) + 1);
@@ -98,7 +98,7 @@ void stage_breakdown() {
       "unbounded initial namespace; the table shows what it costs.");
   stats::Table table({"k", "total steps", "stage1 share %", "stage2 comps",
                       "temp retries"});
-  for (int k : {4, 16, 64}) {
+  for (int k : bench::sweep_or_first<int>({4, 16, 64})) {
     renaming::AdaptiveStrongRenaming renaming;
     std::vector<renaming::AdaptiveStrongRenaming::Outcome> outs(k);
     std::vector<double> stage1_steps(k, 0);
@@ -133,7 +133,7 @@ void long_lived_probes() {
       "Mean probes per acquire with h concurrent holders on a 4096-slot "
       "table; claim O(log h) probes, independent of capacity.");
   stats::Table table({"holders", "mean probes", "max name seen"});
-  for (int holders : {1, 4, 16, 64, 256}) {
+  for (int holders : bench::pick<std::vector<int>>({1, 4, 16, 64, 256}, {1, 16})) {
     renaming::LongLivedRenaming names(4096);
     Ctx ctx(0, 77);
     // Pre-occupy `holders - 1` slots.
@@ -157,7 +157,8 @@ void long_lived_probes() {
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::base_network_ablation();
   renamelib::arbitration_ablation();
   renamelib::stage_breakdown();

@@ -125,7 +125,8 @@ void memory_footprint() {
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::geometry();
   renamelib::verification();
   renamelib::traversal_cost();

@@ -96,9 +96,9 @@ void deterministic_mode() {
 }  // namespace renamelib
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  renamelib::bench::parse_args(argc, argv);
   renamelib::adaptive_costs(/*simulated=*/true);
-  if (!quick) renamelib::adaptive_costs(/*simulated=*/false);
+  if (!renamelib::bench::g_smoke) renamelib::adaptive_costs(/*simulated=*/false);
   renamelib::deterministic_mode();
   return 0;
 }

@@ -144,7 +144,8 @@ void adaptivity() {
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::who_wins();
   renamelib::crossover_at_scale();
   renamelib::adaptivity();

@@ -112,10 +112,10 @@ void ratrace_slots() {
 }  // namespace renamelib
 
 int main(int argc, char** argv) {
-  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  renamelib::bench::parse_args(argc, argv);
   renamelib::batch_layout();
   renamelib::probe_complexity(/*simulated=*/true);
-  if (!quick) renamelib::probe_complexity(/*simulated=*/false);
+  if (!renamelib::bench::g_smoke) renamelib::probe_complexity(/*simulated=*/false);
   renamelib::ratrace_slots();
   return 0;
 }

@@ -5,10 +5,17 @@
 // from two sources:
 //   * simulated mode (adversarial scheduler, exact counts) for k <= ~128,
 //   * hardware mode (real threads) for larger sweeps and throughput.
+//
+// Every bench binary accepts --smoke: a tiny preset (shrunk sweeps and
+// iteration counts) that still runs every table and every validation check,
+// exiting non-zero on failure. CI and ctest run the smoke preset so a bench
+// that stops building — or starts producing invalid values — fails loudly
+// instead of silently rotting.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <iostream>
 #include <thread>
@@ -22,6 +29,41 @@
 #include "stats/table.h"
 
 namespace renamelib::bench {
+
+/// True after parse_args saw --smoke: benches shrink their presets.
+inline bool g_smoke = false;
+
+/// Parses the common bench flags (currently just --smoke); call first thing
+/// in main(). Unknown flags abort with a usage message so typos do not
+/// silently run the full preset.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    // --quick predates --smoke; both select the shrunk preset.
+    if (std::strcmp(argv[i], "--smoke") == 0 ||
+        std::strcmp(argv[i], "--quick") == 0) {
+      g_smoke = true;
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--smoke]\n"
+                << "unknown flag '" << argv[i] << "'\n";
+      std::exit(2);
+    }
+  }
+  if (g_smoke) std::cout << "[smoke preset]\n";
+}
+
+/// `full` normally, `smoke` under --smoke.
+template <typename T>
+T pick(T full, T smoke) {
+  return g_smoke ? smoke : full;
+}
+
+/// The sweep values for one axis: the full list, or just its first element
+/// under --smoke (the smallest config still exercises the code path).
+template <typename T>
+std::vector<T> sweep_or_first(std::vector<T> full) {
+  if (g_smoke && full.size() > 1) full.resize(1);
+  return full;
+}
 
 /// Runs `body` on `nproc` real threads (hardware mode) and returns the
 /// per-process paper-model step counts.
@@ -67,6 +109,18 @@ inline api::Scenario sim_scenario(int k, int ops, std::uint64_t seed) {
   s.nproc = k;
   s.ops_per_proc = ops;
   s.backend = api::Backend::kSimulated;
+  s.seed = seed;
+  return s;
+}
+
+/// A hardware-backend api::Scenario: k real threads, `ops` operations each.
+/// The resulting Run carries wall-clock throughput (Metrics::ops_per_sec)
+/// and per-op latency samples (Run::op_latencies_ns).
+inline api::Scenario hw_scenario(int k, int ops, std::uint64_t seed) {
+  api::Scenario s;
+  s.nproc = k;
+  s.ops_per_proc = ops;
+  s.backend = api::Backend::kHardware;
   s.seed = seed;
   return s;
 }

@@ -29,7 +29,7 @@ void increment_cost() {
       "steps should grow ~log v (expected), not linearly.");
   stats::Table table({"k", "total v", "mean inc steps", "p99 inc steps",
                       "steps/log2 v", "final read"});
-  for (int k : {2, 4, 8, 16, 32}) {
+  for (int k : bench::sweep_or_first<int>({2, 4, 8, 16, 32})) {
     const int per = 6;
     counting::MonotoneCounter counter;
     const auto run = api::Workload(sim_scenario(
@@ -65,7 +65,7 @@ void vs_linearizable_baseline() {
       "variant, where renaming comparators cost one step each.");
   stats::Table table({"k", "monotone mean inc", "monotone(hw tas)",
                       "[17] tree mean inc", "ratio vs rnd", "ratio vs hw"});
-  for (int k : {2, 4, 8, 16, 32}) {
+  for (int k : bench::sweep_or_first<int>({2, 4, 8, 16, 32})) {
     const int per = 5;
 
     counting::MonotoneCounter mono;
@@ -114,7 +114,8 @@ void read_cost() {
   stats::Table table({"v", "read steps"});
   counting::MonotoneCounter counter;
   Ctx ctx(0, 99);
-  for (std::uint64_t target : {4u, 16u, 64u, 256u}) {
+  for (std::uint64_t target : bench::pick<std::vector<std::uint64_t>>(
+           {4, 16, 64, 256}, {4, 16})) {
     while (counter.read(ctx) < target) counter.increment(ctx);
     const std::uint64_t before = ctx.steps();
     (void)counter.read(ctx);
@@ -127,7 +128,8 @@ void read_cost() {
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::increment_cost();
   renamelib::vs_linearizable_baseline();
   renamelib::read_cost();

@@ -28,8 +28,8 @@ void ltas_table() {
       "Lemma 5: l-test-and-set (adversarial simulation)",
       "Exactly min(l, k) winners in every execution; expected O(log k) steps.");
   stats::Table table({"l", "k", "winners", "mean steps", "p99 steps"});
-  for (int l : {1, 2, 8}) {
-    for (int k : {4, 16, 48}) {
+  for (int l : bench::sweep_or_first<int>({1, 2, 8})) {
+    for (int k : bench::sweep_or_first<int>({4, 16, 48})) {
       counting::LTestAndSet ltas(static_cast<std::uint64_t>(l));
       const auto run =
           api::Workload(sim_scenario(k, 1, static_cast<std::uint64_t>(l * 100 + k)))
@@ -61,8 +61,8 @@ void fai_surface() {
       "steps/(log2 k * log2 m) should stay bounded across the sweep.");
   stats::Table table({"m", "k", "mean steps", "p99 steps",
                       "steps/(log k*log m)", "values 0..k-1"});
-  for (std::uint64_t m : {8u, 64u, 1024u}) {
-    for (int k : {2, 8, 24}) {
+  for (std::uint64_t m : bench::sweep_or_first<std::uint64_t>({8, 64, 1024})) {
+    for (int k : bench::sweep_or_first<int>({2, 8, 24})) {
       const auto run = api::Workload::run_counter_spec(
           "bounded_fai:m=" + std::to_string(m),
           sim_scenario(k, 1, m * 13 + static_cast<std::uint64_t>(k)));
@@ -98,11 +98,28 @@ void fai_surface() {
   table.print(std::cout);
 }
 
+/// Validates that `run` handed out exactly {0..N-1}; exits non-zero if not.
+void check_dense(const api::Run& run, const std::string& spec, int k,
+                 const char* backend) {
+  std::vector<std::uint64_t> sorted = run.values();
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i] != i) {
+      std::cerr << "VALIDATION FAILED: non-dense values for '" << spec
+                << "' at k=" << k << " (" << backend << ")\n";
+      std::exit(1);
+    }
+  }
+}
+
 void counter_shootout() {
   bench::print_header(
       "Registry shootout: every counter family, swept over thread counts",
       "Each registered counter (plus tuned sharded variants) runs the same "
-      "2 ops/proc adversarial scenario at k = 2, 8, 16 processes. One "
+      "scenarios at k = 2, 8, 16 processes, on both backends. Cost-model "
+      "columns come from the 2 ops/proc adversarial simulation (exact step "
+      "counts); the wall-clock columns from a hardware run on real threads "
+      "(ops/sec across all threads, per-op latency percentiles). One "
       "facade, one metrics contract: renaming-backed FAI vs counting "
       "networks vs sharded stripes/trees vs the 1-step atomic reference.");
 
@@ -117,45 +134,61 @@ void counter_shootout() {
   specs.push_back("difftree:depth=3,leaf=[bounded_fai:m=64]");
 
   stats::Table table({"spec", "family", "consistency", "k", "mean op steps",
-                      "max op steps", "shared steps", "coin flips"});
+                      "max op steps", "shared steps", "coin flips",
+                      "hw ops/sec", "hw p50 ns", "hw p99 ns"});
   for (const auto& spec : specs) {
     const api::CounterInfo* info =
         api::Registry::global().find_counter(api::parse_spec(spec).name);
-    for (int k : {2, 8, 16}) {
+    const std::uint64_t capacity =
+        api::Registry::global().make_counter(spec)->capacity();
+    for (int k : bench::sweep_or_first<int>({2, 8, 16})) {
       const auto run = api::Workload::run_counter_spec(
           spec, sim_scenario(k, 2, 42 + static_cast<std::uint64_t>(k)));
       // Every counter family must hand out a dense prefix at quiescence;
       // the shootout doubles as a cross-family sanity check.
-      std::vector<std::uint64_t> sorted = run.values();
-      std::sort(sorted.begin(), sorted.end());
-      for (std::size_t i = 0; i < sorted.size(); ++i) {
-        if (sorted[i] != i) {
-          std::cerr << "VALIDATION FAILED: non-dense values for '" << spec
-                    << "' at k=" << k << "\n";
-          std::exit(1);
-        }
+      check_dense(run, spec, k, "sim");
+
+      // Hardware wall-clock leg: same object, real threads, enough ops for
+      // the clock to resolve — capped below any saturation bound so the
+      // dense-prefix validation applies here too.
+      std::uint64_t hw_ops = bench::pick<std::uint64_t>(256, 8);
+      if (capacity != api::ICounter::kUnbounded) {
+        hw_ops = std::min(hw_ops, (capacity - 1) / static_cast<std::uint64_t>(k));
       }
+      const auto hw = api::Workload::run_counter_spec(
+          spec, bench::hw_scenario(k, static_cast<int>(hw_ops),
+                                   91 + static_cast<std::uint64_t>(k)));
+      check_dense(hw, spec, k, "hw");
+      const auto lat = stats::summarize(hw.op_latencies_ns());
+
       table.add_row({spec, api::family_name(info->family),
                      api::consistency_name(info->consistency),
                      std::to_string(k),
                      stats::Table::num(run.metrics.mean_op_steps()),
                      std::to_string(run.metrics.max_op_steps),
                      std::to_string(run.metrics.shared_steps),
-                     std::to_string(run.metrics.coin_flips)});
+                     std::to_string(run.metrics.coin_flips),
+                     stats::Table::num(hw.metrics.ops_per_sec(), 0),
+                     stats::Table::num(lat.p50, 0),
+                     stats::Table::num(lat.p99, 0)});
     }
   }
   table.print(std::cout);
   std::cout << "(Saturation semantics: a bounded object keeps returning m-1 "
-               "once exhausted; the sweep stays below capacity. Sharded "
+               "once exhausted; both sweeps stay below capacity. Sharded "
                "specs trade paper-model steps for spread-out contention: "
                "compare their shared-step totals against bounded_fai's at "
-               "the same k.)\n";
+               "the same k, and their hw ops/sec against atomic_fai's. "
+               "Wall-clock columns are hardware-backend only — the "
+               "simulator serializes steps, so its wall time is "
+               "meaningless.)\n";
 }
 
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::ltas_table();
   renamelib::fai_surface();
   renamelib::counter_shootout();

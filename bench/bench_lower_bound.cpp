@@ -22,11 +22,11 @@ void bound_vs_measured() {
       "Batcher + TempName).");
   stats::Table table({"k", "lower bound c*log2(k)", "wakeup mean steps",
                       "renaming mean steps", "renaming/bound"});
-  for (int k : {2, 4, 8, 16, 32, 64}) {
+  for (int k : bench::sweep_or_first<int>({2, 4, 8, 16, 32, 64})) {
     const double bound = wakeup::step_lower_bound(1.0, static_cast<std::uint64_t>(k));
 
     double wakeup_total = 0;
-    const int kRuns = 5;
+    const int kRuns = bench::pick(5, 2);
     for (int run = 0; run < kRuns; ++run) {
       wakeup::WakeupFromRenaming wk(static_cast<std::uint64_t>(k));
       auto steps = bench::run_simulated(
@@ -64,7 +64,7 @@ void fai_bound() {
       "Any f&i terminating with probability c costs Omega(c log k); the "
       "analytic bound per k and c.");
   stats::Table table({"k", "c=1.0", "c=0.5", "c=0.1"});
-  for (int k : {2, 8, 64, 1024}) {
+  for (int k : bench::sweep_or_first<int>({2, 8, 64, 1024})) {
     table.add_row({std::to_string(k),
                    stats::Table::num(wakeup::step_lower_bound(1.0, k)),
                    stats::Table::num(wakeup::step_lower_bound(0.5, k)),
@@ -76,7 +76,8 @@ void fai_bound() {
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::bound_vs_measured();
   renamelib::fai_bound();
   return 0;

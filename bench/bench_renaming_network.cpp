@@ -106,7 +106,8 @@ void hardware_comparators() {
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::depth_vs_models();
   renamelib::rename_costs();
   renamelib::hardware_comparators();

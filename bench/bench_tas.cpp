@@ -98,7 +98,8 @@ void hardware_unit_cost() {
 }  // namespace
 }  // namespace renamelib
 
-int main() {
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
   renamelib::two_process_distribution();
   renamelib::ratrace_scaling();
   renamelib::hardware_unit_cost();

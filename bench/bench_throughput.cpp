@@ -10,6 +10,8 @@
 
 #include <atomic>
 #include <memory>
+#include <string_view>
+#include <vector>
 
 #include "counting/baselines.h"
 #include "counting/bounded_fai.h"
@@ -114,4 +116,27 @@ BENCHMARK(BM_HardwareTas)->Threads(1);
 }  // namespace
 }  // namespace renamelib
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the repo-wide --smoke contract
+// maps onto google-benchmark's own flags (one tiny repetition per benchmark)
+// so the CI smoke job can run every bench binary the same way.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  bool smoke = false;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string_view(argv[i]) == "--smoke") {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.001";
+  if (smoke) args.push_back(min_time);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

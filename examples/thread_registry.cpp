@@ -3,16 +3,22 @@
 // A classic systems problem the paper's introduction motivates: per-thread
 // state (stats counters, hazard-pointer slots, epoch records) wants a dense
 // index 0..k-1, but threads arrive with huge sparse ids and unknown k.
-// Renaming solves exactly this: the registry below hands each worker a
-// dense slot via adaptive strong renaming, then the workers bump per-slot
-// counters with zero false sharing and a reader aggregates.
+// Renaming solves exactly this, and the api::IRenaming facet covers both
+// lifetimes of the problem:
+//
+//   * a STATIC pool registers each worker once — one-shot adaptive strong
+//     renaming hands out slots 0..k-1 and the namespace adapts to the
+//     actual thread count,
+//   * an ELASTIC pool has workers come and go — `longlived` recycles a
+//     released worker's slot for the next arrival, so the slot array stays
+//     O(max concurrent workers) across unboundedly many worker lifetimes.
 #include <atomic>
 #include <cstdio>
+#include <set>
 #include <thread>
 #include <vector>
 
-#include "counting/monotone_counter.h"
-#include "renaming/adaptive_strong.h"
+#include "api/registry.h"
 
 namespace {
 
@@ -20,20 +26,22 @@ struct alignas(64) Slot {
   std::atomic<std::uint64_t> work_items{0};
 };
 
+/// Dense per-thread slots over any api::IRenaming spec: acquire() on
+/// register, release() on unregister (a no-op slot-hold for one-shot specs).
 class ThreadRegistry {
  public:
-  explicit ThreadRegistry(std::size_t max_threads) : slots_(max_threads) {
-    renamelib::renaming::AdaptiveStrongRenaming::Options options;
-    options.comparators =
-        renamelib::renaming::AdaptiveComparatorKind::kHardware;
-    renaming_ =
-        std::make_unique<renamelib::renaming::AdaptiveStrongRenaming>(options);
-  }
+  ThreadRegistry(const std::string& spec, std::size_t max_threads)
+      : slots_(max_threads),
+        renaming_(renamelib::api::Registry::global().make_renaming(spec)) {}
 
   /// Registers the calling thread; returns its dense slot (0-based).
-  std::size_t register_thread(renamelib::Ctx& ctx, std::uint64_t sparse_id) {
-    const std::uint64_t name = renaming_->rename(ctx, sparse_id);
-    return static_cast<std::size_t>(name - 1);  // names are 1..k
+  std::size_t register_thread(renamelib::Ctx& ctx) {
+    return static_cast<std::size_t>(renaming_->acquire(ctx) - 1);
+  }
+
+  /// Unregisters: reusable specs recycle the slot for the next arrival.
+  void unregister_thread(renamelib::Ctx& ctx, std::size_t slot) {
+    renaming_->release(ctx, static_cast<std::uint64_t>(slot) + 1);
   }
 
   Slot& slot(std::size_t i) { return slots_[i]; }
@@ -47,24 +55,22 @@ class ThreadRegistry {
 
  private:
   std::vector<Slot> slots_;
-  std::unique_ptr<renamelib::renaming::AdaptiveStrongRenaming> renaming_;
+  std::unique_ptr<renamelib::api::IRenaming> renaming_;
 };
 
-}  // namespace
-
-int main() {
+bool static_pool() {
   constexpr int kWorkers = 12;
   constexpr int kItemsPerWorker = 10000;
-  ThreadRegistry registry(64);  // provisioned for up to 64 threads
+  // One-shot: every worker registers exactly once, deterministic hardware
+  // comparators, names adapt to the actual participant count.
+  ThreadRegistry registry("adaptive_strong:tas=hw", 64);
 
   std::vector<std::size_t> assigned(kWorkers);
   std::vector<std::thread> workers;
   for (int w = 0; w < kWorkers; ++w) {
     workers.emplace_back([&, w] {
       renamelib::Ctx ctx(w, 1000 + w);
-      // Sparse identity: in production, e.g. hash of std::this_thread::get_id().
-      const std::uint64_t sparse = 0xABCDEF1234567ULL * (w + 7);
-      const std::size_t slot = registry.register_thread(ctx, sparse);
+      const std::size_t slot = registry.register_thread(ctx);
       assigned[w] = slot;
       for (int i = 0; i < kItemsPerWorker; ++i) {
         registry.slot(slot).work_items.fetch_add(1, std::memory_order_relaxed);
@@ -73,19 +79,73 @@ int main() {
   }
   for (auto& t : workers) t.join();
 
-  std::printf("worker -> dense slot assignments:\n");
+  std::printf("static pool: worker -> dense slot assignments:\n");
   for (int w = 0; w < kWorkers; ++w) {
     std::printf("  worker %2d -> slot %zu  (%llu items)\n", w, assigned[w],
                 static_cast<unsigned long long>(
                     registry.slot(assigned[w]).work_items.load()));
   }
-  std::printf("\ntotal work items: %llu (expected %d)\n",
+  std::printf("total work items: %llu (expected %d); slots used: %d of %zu "
+              "provisioned — the namespace adapted to the thread count.\n\n",
               static_cast<unsigned long long>(registry.total()),
-              kWorkers * kItemsPerWorker);
-  std::printf("slots used: %d of %zu provisioned — the namespace adapted to "
-              "the actual thread count.\n",
-              kWorkers, registry.capacity());
-  return registry.total() == static_cast<std::uint64_t>(kWorkers) * kItemsPerWorker
-             ? 0
-             : 1;
+              kWorkers * kItemsPerWorker, kWorkers, registry.capacity());
+  return registry.total() ==
+         static_cast<std::uint64_t>(kWorkers) * kItemsPerWorker;
+}
+
+bool elastic_pool() {
+  constexpr int kWaves = 6;
+  constexpr int kWorkersPerWave = 8;
+  constexpr int kItemsPerWorker = 1000;
+  // Long-lived: workers release their slot on exit, so 48 worker lifetimes
+  // reuse the slots of at most 8 concurrent workers.
+  ThreadRegistry registry("longlived:cap=64", 64);
+
+  std::set<std::size_t> slots_ever_used;
+  std::atomic<std::uint64_t> max_slot{0};
+  for (int wave = 0; wave < kWaves; ++wave) {
+    std::vector<std::size_t> used(kWorkersPerWave);
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kWorkersPerWave; ++w) {
+      workers.emplace_back([&, wave, w] {
+        renamelib::Ctx ctx(w, 5000 + wave * 100 + w);
+        const std::size_t slot = registry.register_thread(ctx);
+        used[w] = slot;
+        std::uint64_t seen = max_slot.load();
+        while (slot > seen && !max_slot.compare_exchange_weak(seen, slot)) {
+        }
+        for (int i = 0; i < kItemsPerWorker; ++i) {
+          registry.slot(slot).work_items.fetch_add(1,
+                                                   std::memory_order_relaxed);
+        }
+        registry.unregister_thread(ctx, slot);
+      });
+    }
+    for (auto& t : workers) t.join();
+    slots_ever_used.insert(used.begin(), used.end());
+  }
+
+  std::printf("elastic pool: %d worker lifetimes over %d waves used %zu "
+              "distinct slots (max slot index %llu of %zu provisioned) — "
+              "released slots were recycled.\n",
+              kWaves * kWorkersPerWave, kWaves, slots_ever_used.size(),
+              static_cast<unsigned long long>(max_slot.load()),
+              registry.capacity());
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kWaves) * kWorkersPerWave * kItemsPerWorker;
+  std::printf("total work items: %llu (expected %llu)\n",
+              static_cast<unsigned long long>(registry.total()),
+              static_cast<unsigned long long>(expected));
+  // Reuse must actually happen: far fewer distinct slots than lifetimes.
+  return registry.total() == expected &&
+         slots_ever_used.size() <
+             static_cast<std::size_t>(kWaves) * kWorkersPerWave;
+}
+
+}  // namespace
+
+int main() {
+  const bool a = static_pool();
+  const bool b = elastic_pool();
+  return (a && b) ? 0 : 1;
 }

@@ -26,6 +26,10 @@ enum class Consistency {
   /// Values unique and dense per execution, order arbitrary (renaming-backed
   /// dispensers — the Sec. 8.1 non-linearizability argument applies).
   kDense,
+  /// Readable-counter level (Lemma 4): reads are totally ordered, never below
+  /// the completed and never above the started increment count — but need not
+  /// respect real-time order (the monotone counter, striped statistic mode).
+  kMonotone,
 };
 
 /// Human-readable label for a Consistency level ("linearizable", ...).

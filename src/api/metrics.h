@@ -16,7 +16,8 @@
 
 namespace renamelib::api {
 
-/// Aggregated cost of a set of operations in the paper's cost model.
+/// Aggregated cost of a set of operations in the paper's cost model, plus —
+/// for the hardware backend — wall-clock throughput.
 struct Metrics {
   std::uint64_t ops = 0;             ///< completed operations
   std::uint64_t steps = 0;           ///< total steps, paper cost model
@@ -24,6 +25,10 @@ struct Metrics {
   std::uint64_t coin_flips = 0;      ///< total raw random draws
   std::uint64_t max_op_steps = 0;    ///< most expensive single operation
   std::uint64_t max_proc_steps = 0;  ///< most loaded process (total steps)
+  /// Wall time of the run region (thread spawn to last join), hardware
+  /// backend only; 0 on the simulated backend, whose serialized grants make
+  /// wall time meaningless.
+  double wall_seconds = 0;
 
   /// Average paper-model steps per completed operation (0 when ops == 0).
   double mean_op_steps() const {
@@ -31,7 +36,15 @@ struct Metrics {
                     : static_cast<double>(steps) / static_cast<double>(ops);
   }
 
-  /// Combines two disjoint measurements (e.g. per-process partials).
+  /// Hardware wall-clock throughput across all threads (0 when wall time was
+  /// not measured — i.e. on the simulated backend).
+  double ops_per_sec() const {
+    return wall_seconds <= 0.0 ? 0.0
+                               : static_cast<double>(ops) / wall_seconds;
+  }
+
+  /// Combines two disjoint measurements (e.g. per-process partials). Wall
+  /// times of concurrent partials overlap, so the maximum is kept.
   void merge(const Metrics& o) {
     ops += o.ops;
     steps += o.steps;
@@ -39,6 +52,7 @@ struct Metrics {
     coin_flips += o.coin_flips;
     if (o.max_op_steps > max_op_steps) max_op_steps = o.max_op_steps;
     if (o.max_proc_steps > max_proc_steps) max_proc_steps = o.max_proc_steps;
+    if (o.wall_seconds > wall_seconds) wall_seconds = o.wall_seconds;
   }
 };
 

@@ -1,0 +1,53 @@
+/// \file
+/// \brief The readable-counter interface of the public API (the
+/// IReadableCounter facet).
+///
+/// The paper's Sec. 8.1 counters are *read/increment* objects, not value
+/// dispensers: increment() bumps the count, read() observes it, and the
+/// interesting guarantee is what reads may return while increments are in
+/// flight. This facet brings them behind the facade next to ICounter: the
+/// monotone counter (rename + write_max, Lemma 4), the deterministic
+/// max-register-tree counter of [17] it is compared against, and
+/// StripedCounter's statistic mode. One facet means one conformance family
+/// (monotonicity, read bounds, quiescent exactness) shared by all of them.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "api/counter.h"
+#include "core/ctx.h"
+
+namespace renamelib::api {
+
+/// Abstract read/increment counter: increment() has no return value, read()
+/// observes the count. Implemented by the adapters in api/readables.h;
+/// constructed from spec strings by the Registry's readable facet.
+class IReadableCounter {
+ public:
+  /// capacity() value meaning "no saturation bound".
+  static constexpr std::uint64_t kUnbounded = ~0ULL;
+
+  virtual ~IReadableCounter() = default;
+
+  /// Adds one to the count. Thread-safe; every shared step is charged to
+  /// `ctx`.
+  virtual void increment(Ctx& ctx) = 0;
+
+  /// Observes the count. What the value may be relative to concurrent
+  /// increments is declared by consistency(): kLinearizable reads respect
+  /// real-time order; kMonotone reads are totally ordered and always between
+  /// the completed and the started increment counts.
+  virtual std::uint64_t read(Ctx& ctx) = 0;
+
+  /// Saturation bound: reads stay < capacity(); kUnbounded if none.
+  virtual std::uint64_t capacity() const { return kUnbounded; }
+
+  /// Most processes that may operate on this instance (pid-keyed state such
+  /// as single-writer leaves bounds it; unbounded otherwise).
+  virtual int max_procs() const { return std::numeric_limits<int>::max(); }
+
+  virtual Consistency consistency() const = 0;
+};
+
+}  // namespace renamelib::api

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "api/counters.h"
+#include "api/readables.h"
+#include "api/renamings.h"
 #include "api/sharded_counters.h"
 #include "countnet/periodic.h"
 #include "renaming/bit_batching.h"
@@ -20,6 +22,7 @@ const char* consistency_name(Consistency c) {
     case Consistency::kLinearizable: return "linearizable";
     case Consistency::kQuiescent: return "quiescent";
     case Consistency::kDense: return "dense";
+    case Consistency::kMonotone: return "monotone";
   }
   return "?";
 }
@@ -31,6 +34,15 @@ const char* family_name(Family f) {
     case Family::kCountingNetwork: return "counting-network";
     case Family::kSharded: return "sharded";
     case Family::kBaseline: return "baseline";
+  }
+  return "?";
+}
+
+const char* facet_name(Facet f) {
+  switch (f) {
+    case Facet::kCounter: return "counter";
+    case Facet::kRenaming: return "renaming";
+    case Facet::kReadable: return "readable-counter";
   }
   return "?";
 }
@@ -192,6 +204,11 @@ std::uint64_t ranged_param(const Params& p, std::string_view key,
   return v;
 }
 
+/// Wraps a native one-shot protocol in the dense-id facet adapter.
+std::unique_ptr<IRenaming> one_shot(std::unique_ptr<renaming::IRenaming> impl) {
+  return std::make_unique<OneShotRenamingAdapter>(std::move(impl));
+}
+
 void register_builtins(Registry& r) {
   // ------------------------------------------------------------ renamings
   r.add_renaming(RenamingInfo{
@@ -202,9 +219,9 @@ void register_builtins(Registry& r) {
       .keys = {"tas"},
       .name_bound = [](int k, const Params&) { return std::uint64_t(k); },
       .max_requests = [](const Params&) { return std::numeric_limits<int>::max(); },
-      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
-        return std::make_unique<renaming::AdaptiveStrongRenaming>(
-            adaptive_options(p));
+      .make = [](const Params& p) {
+        return one_shot(std::make_unique<renaming::AdaptiveStrongRenaming>(
+            adaptive_options(p)));
       }});
   r.add_renaming(RenamingInfo{
       .name = "linear_probe",
@@ -216,13 +233,13 @@ void register_builtins(Registry& r) {
       .max_requests = [](const Params& p) {
         return static_cast<int>(p.get_u64("cap", 1024));
       },
-      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+      .make = [](const Params& p) {
         const std::string tas = p.get("tas", "hw");
         if (tas != "hw" && tas != "ratrace") {
           throw std::invalid_argument("param tas must be 'hw' or 'ratrace'");
         }
-        return std::make_unique<renaming::LinearProbeRenaming>(
-            p.get_u64("cap", 1024), /*hardware_tas=*/tas == "hw");
+        return one_shot(std::make_unique<renaming::LinearProbeRenaming>(
+            p.get_u64("cap", 1024), /*hardware_tas=*/tas == "hw"));
       }});
   r.add_renaming(RenamingInfo{
       .name = "bit_batching",
@@ -234,7 +251,7 @@ void register_builtins(Registry& r) {
       .max_requests = [](const Params& p) {
         return static_cast<int>(p.get_u64("n", 64));
       },
-      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+      .make = [](const Params& p) {
         const std::string tas = p.get("tas", "hw");
         renaming::SlotTasKind kind;
         if (tas == "hw") {
@@ -244,7 +261,8 @@ void register_builtins(Registry& r) {
         } else {
           throw std::invalid_argument("param tas must be 'hw' or 'ratrace'");
         }
-        return std::make_unique<renaming::BitBatching>(p.get_u64("n", 64), kind);
+        return one_shot(
+            std::make_unique<renaming::BitBatching>(p.get_u64("n", 64), kind));
       }});
   r.add_renaming(RenamingInfo{
       .name = "moir_anderson",
@@ -258,9 +276,9 @@ void register_builtins(Registry& r) {
       .max_requests = [](const Params& p) {
         return static_cast<int>(p.get_u64("n", 64));
       },
-      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
-        return std::make_unique<renaming::MoirAndersonRenaming>(
-            p.get_u64("n", 64));
+      .make = [](const Params& p) {
+        return one_shot(
+            std::make_unique<renaming::MoirAndersonRenaming>(p.get_u64("n", 64)));
       }});
   r.add_renaming(RenamingInfo{
       .name = "renaming_network",
@@ -272,7 +290,7 @@ void register_builtins(Registry& r) {
       .max_requests = [](const Params& p) {
         return static_cast<int>(pow2_param(p, "w", 32));
       },
-      .make = [](const Params& p) -> std::unique_ptr<renaming::IRenaming> {
+      .make = [](const Params& p) {
         const std::string tas = p.get("tas", "rnd");
         renaming::ComparatorKind kind;
         if (tas == "rnd") {
@@ -282,8 +300,30 @@ void register_builtins(Registry& r) {
         } else {
           throw std::invalid_argument("param tas must be 'rnd' or 'hw'");
         }
-        return std::make_unique<renaming::RenamingNetwork>(
-            sortnet::bitonic_sort(pow2_param(p, "w", 32)), kind);
+        return one_shot(std::make_unique<renaming::RenamingNetwork>(
+            sortnet::bitonic_sort(pow2_param(p, "w", 32)), kind));
+      }});
+  r.add_renaming(RenamingInfo{
+      .name = "longlived",
+      .summary = "long-lived renaming (Sec. 9 direction): acquire/release "
+                 "over a slot vector, names O(concurrent holders) w.h.p., "
+                 "O(log k) expected probes per acquire",
+      // The w.h.p. O(k) adaptivity is real but the *every-execution* bound —
+      // what name_bound must declare — is the capacity; the dedicated churn
+      // test asserts the probabilistic adaptivity.
+      .adaptive = false,
+      .reusable = true,
+      .keys = {"cap"},
+      .name_bound = [](int, const Params& p) {
+        return ranged_param(p, "cap", 256, 2, 1u << 20);
+      },
+      .max_requests = [](const Params& p) {
+        // Bounds *concurrent holders*: release recycles request budget.
+        return static_cast<int>(ranged_param(p, "cap", 256, 2, 1u << 20));
+      },
+      .make = [](const Params& p) -> std::unique_ptr<IRenaming> {
+        return std::make_unique<LongLivedRenamingAdapter>(
+            ranged_param(p, "cap", 256, 2, 1u << 20));
       }});
 
   // ------------------------------------------------------------- counters
@@ -387,11 +427,76 @@ void register_builtins(Registry& r) {
         return std::make_unique<CountingNetworkCounter>(
             countnet::periodic_counting_network(pow2_param(p, "w", 16)));
       }});
+
+  // ------------------------------------------------------------ readables
+  r.add_readable(ReadableInfo{
+      .name = "monotone",
+      .family = Family::kFaiCounting,
+      .summary = "Sec. 8.1 monotone counter: rename then write_max, reads "
+                 "between completed and started increments, O(log v) steps",
+      .consistency = Consistency::kMonotone,
+      .keys = {"tas"},
+      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+        return std::make_unique<MonotoneCounterAdapter>(adaptive_options(p));
+      }});
+  r.add_readable(ReadableInfo{
+      .name = "maxregtree",
+      .family = Family::kBaseline,
+      .summary = "deterministic linearizable counter of [17]: single-writer "
+                 "leaves under a max-register tree, O(log n log m) steps — "
+                 "the log factor the monotone counter removes",
+      .consistency = Consistency::kLinearizable,
+      .keys = {"n", "cap"},
+      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+        return std::make_unique<MaxRegTreeCounterAdapter>(
+            static_cast<std::size_t>(ranged_param(p, "n", 64, 1, 4096)),
+            ranged_param(p, "cap", 1u << 16, 2, 1u << 26));
+      }});
+  r.add_readable(ReadableInfo{
+      .name = "striped",
+      .family = Family::kSharded,
+      .summary = "striped statistic counter: pid-striped 1-step increments, "
+                 "full-collect reads, monotone across non-overlapping reads",
+      .consistency = Consistency::kMonotone,
+      .keys = {"stripes"},
+      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+        sharded::StripedCounter::Options o;
+        o.stripes = ranged_param(p, "stripes", 64, 1, 4096);
+        return std::make_unique<StripedStatisticAdapter>(o);
+      }});
 }
 
 }  // namespace
 
 // ----------------------------------------------------------------- registry
+
+template <typename Info>
+void FacetTable<Info>::add(Info info) {
+  if (find(info.name) != nullptr) {
+    throw std::invalid_argument("duplicate registration '" + info.name + "'");
+  }
+  entries_.push_back(std::move(info));
+}
+
+template <typename Info>
+const Info* FacetTable<Info>::find(std::string_view name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+template <typename Info>
+std::vector<std::string> FacetTable<Info>::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.name);
+  return out;
+}
+
+template class FacetTable<CounterInfo>;
+template class FacetTable<RenamingInfo>;
+template class FacetTable<ReadableInfo>;
 
 Registry& Registry::global() {
   static Registry* instance = [] {
@@ -402,64 +507,118 @@ Registry& Registry::global() {
   return *instance;
 }
 
-void Registry::add_counter(CounterInfo info) {
-  if (find_counter(info.name) != nullptr || find_renaming(info.name) != nullptr) {
-    throw std::invalid_argument("duplicate registration '" + info.name + "'");
-  }
-  counters_.push_back(std::move(info));
-}
-
+void Registry::add_counter(CounterInfo info) { counters_.add(std::move(info)); }
 void Registry::add_renaming(RenamingInfo info) {
-  if (find_counter(info.name) != nullptr || find_renaming(info.name) != nullptr) {
-    throw std::invalid_argument("duplicate registration '" + info.name + "'");
-  }
-  renamings_.push_back(std::move(info));
+  renamings_.add(std::move(info));
+}
+void Registry::add_readable(ReadableInfo info) {
+  readables_.add(std::move(info));
 }
 
 const CounterInfo* Registry::find_counter(std::string_view name) const {
-  for (const auto& c : counters_) {
-    if (c.name == name) return &c;
-  }
-  return nullptr;
+  return counters_.find(name);
 }
 
 const RenamingInfo* Registry::find_renaming(std::string_view name) const {
-  for (const auto& r : renamings_) {
-    if (r.name == name) return &r;
-  }
-  return nullptr;
+  return renamings_.find(name);
 }
+
+const ReadableInfo* Registry::find_readable(std::string_view name) const {
+  return readables_.find(name);
+}
+
+std::vector<Facet> Registry::facets_knowing(std::string_view name,
+                                            Facet self) const {
+  std::vector<Facet> out;
+  if (self != Facet::kCounter && counters_.find(name) != nullptr) {
+    out.push_back(Facet::kCounter);
+  }
+  if (self != Facet::kRenaming && renamings_.find(name) != nullptr) {
+    out.push_back(Facet::kRenaming);
+  }
+  if (self != Facet::kReadable && readables_.find(name) != nullptr) {
+    out.push_back(Facet::kReadable);
+  }
+  return out;
+}
+
+namespace {
+
+/// Shared unknown-name error: names the facet asked for, and — so a wrong
+/// make_*() call is a one-read fix — any other facet that does know the name.
+[[noreturn]] void throw_unknown(const std::string& name, Facet facet,
+                                const std::vector<Facet>& elsewhere) {
+  std::string msg = std::string("unknown ") + facet_name(facet) + " '" + name + "'";
+  if (!elsewhere.empty()) {
+    msg += " (registered under the ";
+    for (std::size_t i = 0; i < elsewhere.size(); ++i) {
+      if (i > 0) msg += " and ";
+      msg += facet_name(elsewhere[i]);
+    }
+    msg += " facet" + std::string(elsewhere.size() > 1 ? "s)" : ")");
+  }
+  throw std::invalid_argument(msg);
+}
+
+}  // namespace
 
 std::unique_ptr<ICounter> Registry::make_counter(const std::string& spec) const {
   const Spec parsed = parse_spec(spec);
-  const CounterInfo* info = find_counter(parsed.name);
+  const CounterInfo* info = counters_.find(parsed.name);
   if (info == nullptr) {
-    throw std::invalid_argument(
-        "unknown counter '" + parsed.name + "'" +
-        (find_renaming(parsed.name) != nullptr ? " (it is a renaming)" : ""));
+    throw_unknown(parsed.name, Facet::kCounter,
+                  facets_knowing(parsed.name, Facet::kCounter));
   }
   check_keys(parsed, info->keys);
   return info->make(parsed.params);
 }
 
-std::unique_ptr<renaming::IRenaming> Registry::make_renaming(
+std::unique_ptr<IRenaming> Registry::make_renaming(
     const std::string& spec) const {
   const Spec parsed = parse_spec(spec);
-  const RenamingInfo* info = find_renaming(parsed.name);
+  const RenamingInfo* info = renamings_.find(parsed.name);
   if (info == nullptr) {
-    throw std::invalid_argument(
-        "unknown renaming '" + parsed.name + "'" +
-        (find_counter(parsed.name) != nullptr ? " (it is a counter)" : ""));
+    throw_unknown(parsed.name, Facet::kRenaming,
+                  facets_knowing(parsed.name, Facet::kRenaming));
   }
   check_keys(parsed, info->keys);
   return info->make(parsed.params);
+}
+
+std::unique_ptr<IReadableCounter> Registry::make_readable(
+    const std::string& spec) const {
+  const Spec parsed = parse_spec(spec);
+  const ReadableInfo* info = readables_.find(parsed.name);
+  if (info == nullptr) {
+    throw_unknown(parsed.name, Facet::kReadable,
+                  facets_knowing(parsed.name, Facet::kReadable));
+  }
+  check_keys(parsed, info->keys);
+  return info->make(parsed.params);
+}
+
+std::vector<Facet> Registry::facets() const {
+  std::vector<Facet> out;
+  if (!counters_.entries().empty()) out.push_back(Facet::kCounter);
+  if (!renamings_.entries().empty()) out.push_back(Facet::kRenaming);
+  if (!readables_.entries().empty()) out.push_back(Facet::kReadable);
+  return out;
+}
+
+std::vector<std::string> Registry::list(Facet facet) const {
+  switch (facet) {
+    case Facet::kCounter: return counters_.names();
+    case Facet::kRenaming: return renamings_.names();
+    case Facet::kReadable: return readables_.names();
+  }
+  return {};
 }
 
 std::vector<std::string> Registry::list() const {
   std::vector<std::string> out;
-  out.reserve(renamings_.size() + counters_.size());
-  for (const auto& r : renamings_) out.push_back(r.name);
-  for (const auto& c : counters_) out.push_back(c.name);
+  for (auto name : renamings_.names()) out.push_back(std::move(name));
+  for (auto name : counters_.names()) out.push_back(std::move(name));
+  for (auto name : readables_.names()) out.push_back(std::move(name));
   return out;
 }
 

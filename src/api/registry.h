@@ -1,20 +1,33 @@
 /// \file
-/// \brief The object registry: string spec -> shared object.
+/// \brief The multi-role object registry: string spec -> shared object, per
+/// facet.
 ///
 /// One facade for every renaming/counting implementation in the library.
-/// Tests, benches, and examples construct objects from spec strings and
-/// iterate list()/counters()/renamings() instead of hand-wiring concrete
-/// classes, turning N objects x M scenarios into N + M.
+/// The registry is organized by *facet* — the public role an object plays:
+///
+///   * ICounter          (make_counter)  — value dispensers, next(),
+///   * IRenaming         (make_renaming) — acquire/release name objects,
+///   * IReadableCounter  (make_readable) — increment/read counters.
+///
+/// Each facet owns its own factory table; names are unique per facet, not
+/// registry-wide, so one implementation may serve several roles under one
+/// name (e.g. "striped" is both a dispenser counter and a readable
+/// statistic counter). Tests, benches, and examples construct objects from
+/// spec strings and iterate the facet tables instead of hand-wiring concrete
+/// classes, turning N objects x M scenarios into N + M — and a new facet
+/// joins by adding one Info struct and one table, without touching the
+/// existing ones.
 ///
 /// Spec grammar (full reference: docs/SPEC_GRAMMAR.md):
 ///     name[:key=value[,key=value]...]
-/// e.g. "adaptive_strong", "bounded_fai:m=1024", "bitonic_countnet:w=64",
+/// e.g. "adaptive_strong", "bounded_fai:m=1024", "longlived:cap=256",
 /// "bit_batching:n=128,tas=ratrace". A value may itself be a bracketed
 /// spec — "difftree:depth=3,leaf=[striped:stripes=8]" — resolved through the
 /// registry by the enclosing implementation; commas inside brackets do not
 /// split parameters. Unknown names or keys throw std::invalid_argument
-/// (catching typos beats silently using defaults), and unknown-key errors
-/// list the keys the family accepts.
+/// (catching typos beats silently using defaults), unknown-key errors list
+/// the keys the family accepts, and unknown-name errors say which other
+/// facet knows the name, if any.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +38,8 @@
 #include <vector>
 
 #include "api/counter.h"
-#include "renaming/renaming.h"
+#include "api/readable.h"
+#include "api/renaming.h"
 
 namespace renamelib::api {
 
@@ -62,7 +76,7 @@ Spec parse_spec(const std::string& spec);
 
 /// Implementation family, for enumeration and reporting.
 enum class Family {
-  kRenaming,         ///< renaming protocols (IRenaming)
+  kRenaming,         ///< renaming protocols (one-shot and long-lived)
   kFaiCounting,      ///< renaming-derived fetch-and-increment counters
   kCountingNetwork,  ///< balancer networks used as counters
   kSharded,          ///< striped / diffracting-tree sharded counters
@@ -72,9 +86,19 @@ enum class Family {
 /// Human-readable family label ("renaming", "sharded", ...).
 const char* family_name(Family f);
 
+/// The public role a registry entry plays — one factory table per facet.
+enum class Facet {
+  kCounter,   ///< ICounter: value dispensers (next())
+  kRenaming,  ///< IRenaming: acquire/release name objects
+  kReadable,  ///< IReadableCounter: increment/read counters
+};
+
+/// Human-readable facet label ("counter", "renaming", "readable-counter").
+const char* facet_name(Facet f);
+
 /// Registry entry describing one counter implementation.
 struct CounterInfo {
-  std::string name;                          ///< spec name, unique registry-wide
+  std::string name;                          ///< spec name, unique per facet
   Family family = Family::kFaiCounting;      ///< family, for enumeration
   std::string summary;                       ///< one-line description
   Consistency consistency = Consistency::kLinearizable;  ///< declared level
@@ -83,22 +107,56 @@ struct CounterInfo {
   std::function<std::unique_ptr<ICounter>(const Params&)> make;
 };
 
-/// Registry entry describing one renaming implementation.
+/// Registry entry describing one renaming implementation (IRenaming facet:
+/// one-shot protocols behind the dense-id adapter, long-lived natively).
 struct RenamingInfo {
-  std::string name;                  ///< spec name, unique registry-wide
+  std::string name;                  ///< spec name, unique per facet
   Family family = Family::kRenaming; ///< family, for enumeration
   std::string summary;               ///< one-line description
   bool adaptive = false;  ///< namespace bound depends only on participants k
+  bool reusable = false;  ///< release() recycles names (long-lived family)
   std::vector<std::string> keys;  ///< accepted param keys
-  /// Largest legal name when k dense-id requests run under these params.
+  /// Largest legal name when k dense-id requests run under these params (for
+  /// reusable entries: k concurrent holders).
   std::function<std::uint64_t(int k, const Params&)> name_bound;
-  /// Max supported requests under these params (harnesses must not exceed).
+  /// Max supported requests under these params (harnesses must not exceed;
+  /// for reusable entries this bounds *concurrent holders*, not requests).
   std::function<int(const Params&)> max_requests;
-  /// Factory: constructs the renaming protocol from validated params.
-  std::function<std::unique_ptr<renaming::IRenaming>(const Params&)> make;
+  /// Factory: constructs the facet object from validated params.
+  std::function<std::unique_ptr<IRenaming>(const Params&)> make;
 };
 
-/// The spec-string factory over every registered implementation.
+/// Registry entry describing one readable (increment/read) counter.
+struct ReadableInfo {
+  std::string name;                      ///< spec name, unique per facet
+  Family family = Family::kFaiCounting;  ///< family, for enumeration
+  std::string summary;                   ///< one-line description
+  Consistency consistency = Consistency::kMonotone;  ///< declared level
+  std::vector<std::string> keys;         ///< accepted param keys
+  /// Factory: constructs the readable counter from validated params.
+  std::function<std::unique_ptr<IReadableCounter>(const Params&)> make;
+};
+
+/// One facet's factory table: registration order preserved, names unique
+/// within the table. Info must have `name` and `keys` members.
+template <typename Info>
+class FacetTable {
+ public:
+  /// Registers an entry; throws std::invalid_argument on a duplicate name.
+  void add(Info info);
+  /// Entry for `name`, or nullptr.
+  const Info* find(std::string_view name) const;
+  /// All entries, in registration order.
+  const std::vector<Info>& entries() const { return entries_; }
+  /// All entry names, in registration order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<Info> entries_;
+};
+
+/// The spec-string factory over every registered implementation, keyed by
+/// facet.
 class Registry {
  public:
   /// The process-wide registry, pre-populated with every built-in
@@ -109,35 +167,59 @@ class Registry {
   /// An empty registry (rarely useful; prefer global()).
   Registry() = default;
 
-  /// Registers a counter entry; throws std::invalid_argument on a duplicate
-  /// name (across both kinds).
+  /// Registers an entry in the facet's table; throws std::invalid_argument
+  /// on a duplicate name within that facet.
   void add_counter(CounterInfo info);
-  /// Registers a renaming entry; throws std::invalid_argument on a duplicate
-  /// name (across both kinds).
+  /// \copydoc add_counter
   void add_renaming(RenamingInfo info);
+  /// \copydoc add_counter
+  void add_readable(ReadableInfo info);
 
   /// Constructs from a spec string; throws std::invalid_argument for unknown
-  /// names, unknown keys, or malformed specs.
+  /// names, unknown keys, or malformed specs. The unknown-name error names
+  /// any other facet that does know the name.
   std::unique_ptr<ICounter> make_counter(const std::string& spec) const;
   /// \copydoc make_counter
-  std::unique_ptr<renaming::IRenaming> make_renaming(const std::string& spec) const;
+  std::unique_ptr<IRenaming> make_renaming(const std::string& spec) const;
+  /// \copydoc make_counter
+  std::unique_ptr<IReadableCounter> make_readable(const std::string& spec) const;
 
-  /// Entry for `name`, or nullptr if no such counter is registered.
+  /// Entry for `name` in the counter facet, or nullptr.
   const CounterInfo* find_counter(std::string_view name) const;
-  /// Entry for `name`, or nullptr if no such renaming is registered.
+  /// Entry for `name` in the renaming facet, or nullptr.
   const RenamingInfo* find_renaming(std::string_view name) const;
+  /// Entry for `name` in the readable facet, or nullptr.
+  const ReadableInfo* find_readable(std::string_view name) const;
 
   /// All registered counter entries, in registration order.
-  const std::vector<CounterInfo>& counters() const { return counters_; }
+  const std::vector<CounterInfo>& counters() const {
+    return counters_.entries();
+  }
   /// All registered renaming entries, in registration order.
-  const std::vector<RenamingInfo>& renamings() const { return renamings_; }
+  const std::vector<RenamingInfo>& renamings() const {
+    return renamings_.entries();
+  }
+  /// All registered readable entries, in registration order.
+  const std::vector<ReadableInfo>& readables() const {
+    return readables_.entries();
+  }
 
-  /// Every registered implementation name (renamings, then counters).
+  /// Every facet with at least one registered entry.
+  std::vector<Facet> facets() const;
+  /// Every name registered under `facet`, in registration order.
+  std::vector<std::string> list(Facet facet) const;
+  /// Every registered implementation name across all facets (renamings,
+  /// counters, readables; a multi-facet name appears once per facet).
   std::vector<std::string> list() const;
 
  private:
-  std::vector<CounterInfo> counters_;
-  std::vector<RenamingInfo> renamings_;
+  /// Facets other than `self` that know `name` — feeds the unknown-name
+  /// error's "did you mean another facet" hint.
+  std::vector<Facet> facets_knowing(std::string_view name, Facet self) const;
+
+  FacetTable<CounterInfo> counters_;
+  FacetTable<RenamingInfo> renamings_;
+  FacetTable<ReadableInfo> readables_;
 };
 
 }  // namespace renamelib::api

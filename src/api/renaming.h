@@ -1,0 +1,49 @@
+/// \file
+/// \brief The unified renaming interface of the public API (the IRenaming
+/// facet).
+///
+/// Every renaming-flavored shared object in renamelib — the paper's one-shot
+/// adaptive strong renaming and its baselines, the renaming networks, and the
+/// long-lived acquire/release extension (Sec. 9's "long-lived renaming [24]"
+/// direction) — is usable through this one facet: acquire() hands the calling
+/// operation a name, release() gives it back. For one-shot protocols a name
+/// is permanent and release() is a no-op; long-lived protocols recycle
+/// released names, which reusable() declares so harnesses know whether churn
+/// scenarios make sense.
+#pragma once
+
+#include <cstdint>
+
+#include "core/ctx.h"
+
+namespace renamelib::api {
+
+/// Abstract renaming object: acquire a unique name, optionally release it.
+/// Implemented by the adapters in api/renamings.h; constructed from spec
+/// strings by the Registry's renaming facet.
+class IRenaming {
+ public:
+  virtual ~IRenaming() = default;
+
+  /// Acquires a name (>= 1) for the calling operation. Names of concurrent
+  /// holders are distinct; the registry entry's name_bound declares how
+  /// tight the namespace is. Thread-safe; every shared step is charged to
+  /// `ctx`.
+  virtual std::uint64_t acquire(Ctx& ctx) = 0;
+
+  /// Releases a name this process acquired. Long-lived protocols recycle it
+  /// for later acquires; one-shot protocols treat names as permanent and
+  /// ignore the call.
+  virtual void release(Ctx& ctx, std::uint64_t name) = 0;
+
+  /// True iff release() recycles names for later acquires (the long-lived
+  /// family). One-shot protocols return false.
+  virtual bool reusable() const = 0;
+
+  /// Names currently held: acquired and not (effectively) released. For
+  /// one-shot protocols this is the all-time acquire count. Quiescent
+  /// diagnostic — call only when no operation is in flight.
+  virtual std::uint64_t holders() const = 0;
+};
+
+}  // namespace renamelib::api

@@ -1,0 +1,89 @@
+/// \file
+/// \brief IRenaming facet adapters over the concrete renaming protocols.
+///
+/// Same shape as api/counters.h: forward the facet operations to the native
+/// object, declare the honest semantics, expose the native object via impl().
+/// Two adapters cover every registered renaming:
+///
+///   * OneShotRenamingAdapter — wraps any renaming::IRenaming protocol. Each
+///     acquire() mints the next dense initial id 1, 2, 3, ... from an
+///     internal dispenser and calls rename(). Initial ids are the
+///     *environment's* input to a renaming object (the paper's initial
+///     namespace), not protocol state, so the dispenser is a plain atomic
+///     charged zero steps — the same meta-level status as a counting
+///     network's entry-wire spray. release() is a no-op: one-shot names are
+///     permanent.
+///   * LongLivedRenamingAdapter — wraps renaming::LongLivedRenaming, whose
+///     native operations already are acquire/release.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "api/renaming.h"
+#include "renaming/long_lived.h"
+#include "renaming/renaming.h"
+
+namespace renamelib::api {
+
+/// Adapts a one-shot renaming::IRenaming protocol to the acquire/release
+/// facet (see file comment for the id-dispenser rationale).
+class OneShotRenamingAdapter final : public IRenaming {
+ public:
+  /// Takes ownership of the native one-shot protocol.
+  explicit OneShotRenamingAdapter(std::unique_ptr<renaming::IRenaming> impl)
+      : impl_(std::move(impl)) {}
+
+  /// rename() under the next dense initial id.
+  std::uint64_t acquire(Ctx& ctx) override {
+    const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return impl_->rename(ctx, id);
+  }
+
+  /// One-shot names are permanent; releasing is a no-op.
+  void release(Ctx&, std::uint64_t) override {}
+
+  bool reusable() const override { return false; }
+
+  /// All-time acquire count (nothing is ever released).
+  std::uint64_t holders() const override {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+
+  /// The native one-shot protocol.
+  renaming::IRenaming& impl() { return *impl_; }
+
+ private:
+  std::unique_ptr<renaming::IRenaming> impl_;
+  std::atomic<std::uint64_t> next_id_{0};
+};
+
+/// Adapts the long-lived acquire/release protocol to the facet.
+class LongLivedRenamingAdapter final : public IRenaming {
+ public:
+  /// Builds the underlying LongLivedRenaming with `capacity` slots.
+  explicit LongLivedRenamingAdapter(std::uint64_t capacity)
+      : impl_(capacity) {}
+
+  std::uint64_t acquire(Ctx& ctx) override { return impl_.acquire(ctx); }
+
+  /// Recycles the name: a later acquire may hand it out again.
+  void release(Ctx& ctx, std::uint64_t name) override {
+    impl_.release(ctx, name);
+  }
+
+  bool reusable() const override { return true; }
+
+  /// Currently taken slots.
+  std::uint64_t holders() const override { return impl_.holders(); }
+
+  /// The native long-lived object (instrumented acquire lives here).
+  renaming::LongLivedRenaming& impl() { return impl_; }
+
+ private:
+  renaming::LongLivedRenaming impl_;
+};
+
+}  // namespace renamelib::api

@@ -1,5 +1,7 @@
 #include "api/workload.h"
 
+#include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -18,10 +20,25 @@ std::vector<std::uint64_t> Run::values() const {
   return out;
 }
 
+std::vector<std::uint64_t> Run::values_of(std::string_view kind) const {
+  std::vector<std::uint64_t> out;
+  for (const auto& op : ops) {
+    if (op.kind == kind) out.push_back(op.value);
+  }
+  return out;
+}
+
 std::vector<double> Run::op_steps() const {
   std::vector<double> out;
   out.reserve(ops.size());
   for (const auto& op : ops) out.push_back(static_cast<double>(op.steps));
+  return out;
+}
+
+std::vector<double> Run::op_latencies_ns() const {
+  std::vector<double> out;
+  out.reserve(ops.size());
+  for (const auto& op : ops) out.push_back(static_cast<double>(op.wall_ns));
   return out;
 }
 
@@ -34,7 +51,7 @@ double Run::mean_proc_steps() const {
 
 namespace {
 
-std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
+std::unique_ptr<sim::Adversary> make_base_adversary(const Scenario& s) {
   switch (s.sched) {
     case Sched::kRoundRobin:
       return std::make_unique<sim::RoundRobinAdversary>();
@@ -47,24 +64,59 @@ std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
   return std::make_unique<sim::RandomAdversary>(s.seed * 7919 + 13);
 }
 
+std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
+  auto base = make_base_adversary(s);
+  if (!s.crashes.enabled()) return base;
+  // Deterministic crash plan: victims are a seed-derived subset of the pids,
+  // each killed once its shared-step count reaches a threshold drawn from
+  // [1, crash_step_max]. The salt keeps the plan independent of the process
+  // seeds and the base adversary's stream.
+  Rng rng(Rng::derive(s.seed, /*salt=*/0xC7A54ULL));
+  std::vector<int> pids(static_cast<std::size_t>(s.nproc));
+  for (int p = 0; p < s.nproc; ++p) pids[static_cast<std::size_t>(p)] = p;
+  for (std::size_t i = pids.size(); i > 1; --i) {
+    std::swap(pids[i - 1], pids[rng.below(i)]);
+  }
+  std::vector<std::int64_t> crash_at(static_cast<std::size_t>(s.nproc), -1);
+  const std::size_t victims =
+      std::min(s.crashes.max_crashes, static_cast<std::size_t>(s.nproc));
+  for (std::size_t i = 0; i < victims; ++i) {
+    crash_at[static_cast<std::size_t>(pids[i])] =
+        static_cast<std::int64_t>(1 + rng.below(s.crashes.crash_step_max));
+  }
+  return std::make_unique<sim::CrashAdversary>(std::move(base),
+                                               std::move(crash_at), victims);
+}
+
 }  // namespace
 
-Run Workload::run_metered(const std::function<std::uint64_t(Ctx&)>& op,
-                          const char* history_kind) const {
+Run Workload::run_metered(
+    const std::function<std::uint64_t(Ctx&, int)>& op,
+    const std::function<const char*(int)>& kind_of) const {
+  using clock = std::chrono::steady_clock;
   Run run;
   std::mutex mu;  // meta-level instrumentation, not part of any protocol
   std::optional<sim::HistoryRecorder> recorder;
   if (scenario_.record_history) recorder.emplace();
+  const bool timed = scenario_.backend == Backend::kHardware;
 
   auto body = [&](Ctx& ctx) {
     for (int i = 0; i < scenario_.ops_per_proc; ++i) {
+      const char* kind = kind_of(i);
       const std::uint64_t token = recorder ? recorder->invoke() : 0;
       OpMeter meter(ctx);
-      const std::uint64_t v = op(ctx);
-      if (recorder) recorder->respond(ctx.pid(), history_kind, 0, v, token);
+      const auto t0 = timed ? clock::now() : clock::time_point{};
+      const std::uint64_t v = op(ctx, i);
+      const std::uint64_t wall_ns =
+          timed ? static_cast<std::uint64_t>(
+                      std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          clock::now() - t0)
+                          .count())
+                : 0;
+      if (recorder) recorder->respond(ctx.pid(), kind, 0, v, token);
       std::scoped_lock lock{mu};
       meter.commit(run.metrics);
-      run.ops.push_back(OpSample{ctx.pid(), v, meter.op_steps()});
+      run.ops.push_back(OpSample{ctx.pid(), v, meter.op_steps(), wall_ns, kind});
     }
   };
   execute(body, mu, run);
@@ -74,27 +126,29 @@ Run Workload::run_metered(const std::function<std::uint64_t(Ctx&)>& op,
 }
 
 Run Workload::run_ops(const std::function<std::uint64_t(Ctx&)>& op) const {
-  return run_metered(op, scenario_.history_kind.c_str());
+  return run_metered([&op](Ctx& ctx, int) { return op(ctx); },
+                     [this](int) { return scenario_.history_kind.c_str(); });
 }
 
 Run Workload::run(ICounter& counter) const {
-  return run_metered([&counter](Ctx& ctx) { return counter.next(ctx); }, "fai");
+  return run_metered([&counter](Ctx& ctx, int) { return counter.next(ctx); },
+                     [](int) { return "fai"; });
 }
 
-Run Workload::run(renaming::IRenaming& obj) const {
-  // Dense initial ids 1..nproc*ops_per_proc: request r of process p uses
-  // p*ops_per_proc + r + 1. Each element of `next_request` is touched by one
-  // process only.
-  std::vector<int> next_request(scenario_.nproc, 0);
-  const int per = scenario_.ops_per_proc;
+Run Workload::run(IRenaming& obj) const {
+  return run_metered([&obj](Ctx& ctx, int) { return obj.acquire(ctx); },
+                     [](int) { return "rename"; });
+}
+
+Run Workload::run(IReadableCounter& counter) const {
+  auto is_read = [](int i) { return i % 3 == 2; };
   return run_metered(
-      [&obj, &next_request, per](Ctx& ctx) {
-        const int r = next_request[ctx.pid()]++;
-        const std::uint64_t id =
-            static_cast<std::uint64_t>(ctx.pid()) * per + r + 1;
-        return obj.rename(ctx, id);
+      [&counter, is_read](Ctx& ctx, int i) -> std::uint64_t {
+        if (is_read(i)) return counter.read(ctx);
+        counter.increment(ctx);
+        return 0;
       },
-      "rename");
+      [is_read](int i) { return is_read(i) ? "read" : "inc"; });
 }
 
 Run Workload::run_body(const std::function<void(Ctx&)>& body) const {
@@ -116,6 +170,12 @@ Run Workload::run_body(const std::function<void(Ctx&)>& body) const {
 void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
                        Run& run) const {
   RENAMELIB_ENSURE(scenario_.nproc > 0, "scenario needs at least one process");
+  RENAMELIB_ENSURE(
+      scenario_.backend == Backend::kSimulated || !scenario_.crashes.enabled(),
+      "crash injection requires the simulated backend");
+  RENAMELIB_ENSURE(!scenario_.crashes.enabled() ||
+                       scenario_.crashes.crash_step_max >= 1,
+                   "crash plan needs crash_step_max >= 1");
   // Appends the finishing process's totals; only reached by processes that
   // complete their body (crashed ones stop at the throw).
   auto with_totals = [&](Ctx& ctx) {
@@ -129,6 +189,7 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
   };
 
   if (scenario_.backend == Backend::kHardware) {
+    const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> threads;
     threads.reserve(scenario_.nproc);
     for (int p = 0; p < scenario_.nproc; ++p) {
@@ -138,6 +199,9 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
       });
     }
     for (auto& t : threads) t.join();
+    run.metrics.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     return;
   }
 
@@ -147,6 +211,7 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
   options.max_total_steps = scenario_.max_total_steps;
   const auto result =
       sim::run_simulation(scenario_.nproc, with_totals, *adversary, options);
+  run.crashed_procs = result.crashed_count();
   // Crashed processes never ran the totals hook; fold their cost into the
   // process maximum so the metrics reflect the whole execution.
   if (result.max_proc_steps() > run.metrics.max_proc_steps) {
@@ -162,6 +227,11 @@ Run Workload::run_counter_spec(const std::string& spec, const Scenario& s) {
 Run Workload::run_renaming_spec(const std::string& spec, const Scenario& s) {
   const auto obj = Registry::global().make_renaming(spec);
   return Workload(s).run(*obj);
+}
+
+Run Workload::run_readable_spec(const std::string& spec, const Scenario& s) {
+  const auto counter = Registry::global().make_readable(spec);
+  return Workload(s).run(*counter);
 }
 
 }  // namespace renamelib::api

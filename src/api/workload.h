@@ -1,13 +1,16 @@
 /// \file
 /// \brief The unified workload harness: one scenario description, every
-/// backend.
+/// backend, every facet.
 ///
 /// A Scenario says *how* to run (process count, ops per process, hardware
-/// threads or the adversarial simulator, adversary strategy, seed); the
-/// Workload runs any registered object — or any free-form body — under it and
-/// reports the one Metrics contract. Benches sweep scenarios over
-/// Registry::list(); tests assert object invariants on the collected values
-/// and (optionally) Wing–Gong-checkable histories.
+/// threads or the adversarial simulator, adversary strategy, crash plan,
+/// seed); the Workload runs any registered object — counter, renaming, or
+/// readable counter — or any free-form body under it and reports the one
+/// Metrics contract. On the hardware backend the Run additionally carries
+/// wall-clock throughput (Metrics::ops_per_sec) and per-op latency samples.
+/// Benches sweep scenarios over the Registry's facet tables; tests assert
+/// object invariants on the collected values and (optionally)
+/// Wing–Gong-checkable histories.
 #pragma once
 
 #include <cstdint>
@@ -18,8 +21,9 @@
 
 #include "api/counter.h"
 #include "api/metrics.h"
+#include "api/readable.h"
 #include "api/registry.h"
-#include "renaming/renaming.h"
+#include "api/renaming.h"
 #include "sim/linearizability.h"
 
 namespace renamelib::api {
@@ -30,11 +34,26 @@ enum class Backend {
   kSimulated,  ///< deterministic adversarial scheduler (sim/)
 };
 
-/// Adversary strategy for the simulated backend.
+/// Adversary strategy for the simulated backend. Any strategy can
+/// additionally inject crashes via Scenario::crashes (sim::CrashAdversary
+/// wraps the chosen strategy).
 enum class Sched {
   kRandom,       ///< uniformly random enabled process each step
   kRoundRobin,   ///< fixed rotation over enabled processes
   kObstruction,  ///< runs one process solo as long as possible
+};
+
+/// Crash-injection plan layered over the Sched strategy (simulated backend
+/// only — the hardware backend cannot kill a thread mid-protocol). Victims
+/// and crash points are derived deterministically from Scenario::seed: each
+/// victim is killed once its shared-step count reaches a threshold drawn
+/// from [1, crash_step_max], modeling the paper's t < n crash failures.
+struct CrashPlan {
+  std::size_t max_crashes = 0;        ///< processes to crash; 0 disables
+  std::uint64_t crash_step_max = 12;  ///< crash thresholds drawn from [1, this]
+
+  /// True iff this plan injects any crashes.
+  bool enabled() const { return max_crashes > 0; }
 };
 
 /// Describes one run: who executes, how often, under which scheduler.
@@ -43,13 +62,15 @@ struct Scenario {
   int ops_per_proc = 1;                   ///< operations per process
   Backend backend = Backend::kSimulated;  ///< execution substrate
   Sched sched = Sched::kRandom;           ///< adversary (simulated backend)
+  CrashPlan crashes;                      ///< crash injection (simulated only)
   std::uint64_t seed = 1;                 ///< RNG + adversary seed
   /// Fill Run::history with real-time operation intervals, checkable by
   /// sim::is_linearizable.
   bool record_history = false;
   /// Operation kind recorded by run_ops (the sequential specs in
-  /// sim/linearizability.h match on it). run(ICounter&) records "fai" and
-  /// run(IRenaming&) "rename" regardless.
+  /// sim/linearizability.h match on it). run(ICounter&) records "fai",
+  /// run(IRenaming&) "rename", and run(IReadableCounter&) "inc"/"read"
+  /// regardless.
   std::string history_kind = "op";
   /// Simulated backend: abort runaway executions after this many steps.
   std::uint64_t max_total_steps = 50'000'000;
@@ -58,8 +79,10 @@ struct Scenario {
 /// One completed operation.
 struct OpSample {
   int pid = 0;
-  std::uint64_t value = 0;  ///< counter value / acquired name
-  std::uint64_t steps = 0;  ///< paper-model steps this op cost
+  std::uint64_t value = 0;    ///< counter value / acquired name / read result
+  std::uint64_t steps = 0;    ///< paper-model steps this op cost
+  std::uint64_t wall_ns = 0;  ///< hardware backend: op latency; 0 on sim
+  std::string kind;           ///< operation kind ("fai", "rename", "inc", ...)
 };
 
 /// Outcome of running one object under one scenario.
@@ -69,11 +92,18 @@ struct Run {
   std::vector<sim::Operation> history;  ///< only when record_history
   std::vector<double> proc_steps;       ///< finished processes' total steps
   std::size_t finished_procs = 0;       ///< bodies that ran to completion
+  std::size_t crashed_procs = 0;        ///< bodies killed by crash injection
 
   /// All completed ops' values (convenience for invariant checks).
   std::vector<std::uint64_t> values() const;
+  /// Completed ops' values restricted to one kind, in ops order (which
+  /// preserves each process's program order).
+  std::vector<std::uint64_t> values_of(std::string_view kind) const;
   /// Per-op paper-model step counts (for stats::summarize).
   std::vector<double> op_steps() const;
+  /// Per-op wall-clock latencies in nanoseconds (hardware backend; empty
+  /// samples are 0 on the simulated backend).
+  std::vector<double> op_latencies_ns() const;
   /// Mean of proc_steps.
   double mean_proc_steps() const;
 };
@@ -87,13 +117,21 @@ class Workload {
   /// The scenario this workload runs.
   const Scenario& scenario() const { return scenario_; }
 
-  /// Each process performs ops_per_proc next() calls.
+  /// Each process performs ops_per_proc next() calls (kind "fai").
   Run run(ICounter& counter) const;
 
-  /// Each process performs ops_per_proc rename() calls with dense initial
-  /// ids (request r of process p uses id p*ops_per_proc + r + 1, so ids are
-  /// exactly 1..nproc*ops_per_proc).
-  Run run(renaming::IRenaming& obj) const;
+  /// Each process performs ops_per_proc acquire() calls and holds every
+  /// name (kind "rename") — the uniqueness/tightness scenario. Churn
+  /// scenarios (acquire-release cycles) go through run_ops with a free-form
+  /// body.
+  Run run(IRenaming& obj) const;
+
+  /// Mixed readable workload: every third operation (i % 3 == 2) is a
+  /// read() (kind "read", value = the observed count), the rest are
+  /// increment() (kind "inc", value 0). Recorded histories use the same
+  /// kinds as sim::CounterSpec, so linearizable readables are
+  /// Wing–Gong-checkable.
+  Run run(IReadableCounter& counter) const;
 
   /// Generic harness: ops_per_proc invocations of `op` per process, each
   /// metered into the unified Metrics. `op` returns the operation's value.
@@ -106,10 +144,14 @@ class Workload {
   static Run run_counter_spec(const std::string& spec, const Scenario& s);
   /// \copydoc run_counter_spec
   static Run run_renaming_spec(const std::string& spec, const Scenario& s);
+  /// \copydoc run_counter_spec
+  static Run run_readable_spec(const std::string& spec, const Scenario& s);
 
  private:
-  Run run_metered(const std::function<std::uint64_t(Ctx&)>& op,
-                  const char* history_kind) const;
+  /// Shared metered loop: `op(ctx, i)` runs the process's i-th operation,
+  /// `kind_of(i)` names it (for OpSample::kind and recorded histories).
+  Run run_metered(const std::function<std::uint64_t(Ctx&, int)>& op,
+                  const std::function<const char*(int)>& kind_of) const;
   void execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
                Run& run) const;
 

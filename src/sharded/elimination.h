@@ -13,7 +13,11 @@
 // never blocks progress. The one unbounded wait is a *paired* waiter in
 // payload mode awaiting its leader's delivery — the same short handoff window
 // every elimination stack has (lock-free overall: the leader is already
-// committed to delivering).
+// committed to delivering). That window is also the layer's one crash
+// vulnerability: a leader killed between claiming and delivering strands its
+// waiter forever, so payload-mode objects (striped elim=1) are excluded from
+// the crash-injection conformance schedules. Pairing mode has no such window
+// — a claimed pairing waiter needs nothing further from its leader.
 //
 // Every slot access goes through core/Register, so collisions cost paper-model
 // steps like any other shared-memory traffic and the simulator's adversary

@@ -1,23 +1,32 @@
-// Registry-driven conformance suite: every registered implementation, both
-// backends, one set of checks.
+// Facet-driven conformance suite: every registered implementation of every
+// facet, every schedule, one set of checks per facet.
 //
-//   * counters — values are a dense prefix {0..N-1}; linearizable ones are
-//     additionally machine-checked with the Wing–Gong checker on recorded
-//     concurrent histories; quiescent/dense ones must still hand out a
-//     permutation of the prefix,
-//   * renamings — uniqueness and namespace tightness (renaming/validate.h)
-//     against each entry's declared name_bound,
-//   * the registry itself — enumeration, spec grammar (including nested
-//     bracketed values), error paths and error-message quality,
+//   * counter facet — values are a dense prefix {0..N-1}; linearizable ones
+//     are additionally machine-checked with the Wing–Gong checker on
+//     recorded concurrent histories; quiescent/dense ones must still hand
+//     out a permutation of the prefix,
+//   * renaming facet — uniqueness and namespace tightness
+//     (renaming/validate.h) against each entry's declared name_bound, plus
+//     concurrent-holder and reuse checks for the long-lived family,
+//   * readable facet — per-process read monotonicity, read bounds
+//     (completed <= reads <= started increments), quiescent exactness, and
+//     Wing–Gong on inc/read histories for linearizable entries,
+//   * the registry itself — facet enumeration, spec grammar (including
+//     nested bracketed values), error paths and error-message quality,
 //   * the sharded family — an extra sweep over stripe counts, tree depths,
 //     elimination settings, and composed leaf specs.
 //
-// Because the suite iterates Registry::list(), a newly registered
-// implementation is conformance-tested with zero new test code.
+// Every sweep runs under three schedules: hardware threads, the adversarial
+// simulator, and the simulator with crash injection (Scenario::crashes
+// wrapping sim::CrashAdversary) — under crashes the surviving processes'
+// invariants must still hold. Because the suite iterates the Registry's
+// facet tables, a newly registered implementation is conformance-tested
+// with zero new test code.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cctype>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -33,18 +42,59 @@ namespace {
 
 // ------------------------------------------------------------- registry ---
 
-TEST(Registry, ListsAtLeastSixImplementationsAcrossFourFamilies) {
+TEST(Registry, ExposesThreeFacets) {
+  const auto& reg = Registry::global();
+  const auto facets = reg.facets();
+  ASSERT_GE(facets.size(), 3u);
+  EXPECT_NE(std::find(facets.begin(), facets.end(), Facet::kCounter),
+            facets.end());
+  EXPECT_NE(std::find(facets.begin(), facets.end(), Facet::kRenaming),
+            facets.end());
+  EXPECT_NE(std::find(facets.begin(), facets.end(), Facet::kReadable),
+            facets.end());
+
+  // Acceptance names: the long-lived family and the readable counters are
+  // resolvable by spec string through their facets.
+  EXPECT_NE(reg.find_renaming("longlived"), nullptr);
+  EXPECT_NE(reg.find_readable("monotone"), nullptr);
+  EXPECT_NE(reg.find_readable("maxregtree"), nullptr);
+  EXPECT_NE(reg.find_readable("striped"), nullptr);
+  EXPECT_NE(reg.make_renaming("longlived:cap=64"), nullptr);
+  EXPECT_NE(reg.make_readable("monotone"), nullptr);
+  EXPECT_NE(reg.make_readable("maxregtree:n=8,cap=1024"), nullptr);
+  EXPECT_NE(reg.make_readable("striped:stripes=8"), nullptr);
+}
+
+TEST(Registry, NamesAreUniquePerFacetNotRegistryWide) {
+  const auto& reg = Registry::global();
+  // "striped" plays two roles: dispenser counter and readable statistic
+  // counter — same name, two facets, two distinct objects.
+  EXPECT_NE(reg.find_counter("striped"), nullptr);
+  EXPECT_NE(reg.find_readable("striped"), nullptr);
+  const auto dispenser = reg.make_counter("striped:stripes=8");
+  const auto statistic = reg.make_readable("striped:stripes=8");
+  ASSERT_NE(dispenser, nullptr);
+  ASSERT_NE(statistic, nullptr);
+  // But it is not a renaming.
+  EXPECT_THROW(reg.make_renaming("striped"), std::invalid_argument);
+}
+
+TEST(Registry, ListsAtLeastSixImplementationsAcrossFiveFamilies) {
   const auto& reg = Registry::global();
   EXPECT_GE(reg.list().size(), 6u);
+  EXPECT_GE(reg.list(Facet::kCounter).size(), 4u);
+  EXPECT_GE(reg.list(Facet::kRenaming).size(), 5u);
+  EXPECT_GE(reg.list(Facet::kReadable).size(), 3u);
   std::set<std::string> families;
   for (const auto& r : reg.renamings()) families.insert(family_name(r.family));
   for (const auto& c : reg.counters()) families.insert(family_name(c.family));
-  EXPECT_GE(families.size(), 4u);
+  for (const auto& d : reg.readables()) families.insert(family_name(d.family));
   // The families the paper's machinery spans must all be present.
   EXPECT_TRUE(families.count("renaming"));
   EXPECT_TRUE(families.count("fai-counting"));
   EXPECT_TRUE(families.count("counting-network"));
   EXPECT_TRUE(families.count("sharded"));
+  EXPECT_TRUE(families.count("baseline"));
 }
 
 TEST(Registry, SpecGrammarRoundTrip) {
@@ -65,14 +115,48 @@ TEST(Registry, RejectsMalformedAndUnknownSpecs) {
   EXPECT_THROW(parse_spec("x:notakv"), std::invalid_argument);
   EXPECT_THROW(reg.make_counter("no_such_counter"), std::invalid_argument);
   EXPECT_THROW(reg.make_renaming("no_such_renaming"), std::invalid_argument);
+  EXPECT_THROW(reg.make_readable("no_such_readable"), std::invalid_argument);
   // Typo'd key: rejected, not silently defaulted.
   EXPECT_THROW(reg.make_counter("bounded_fai:bogus=1"), std::invalid_argument);
+  EXPECT_THROW(reg.make_readable("maxregtree:bogus=1"), std::invalid_argument);
   // Non-power-of-two geometry.
   EXPECT_THROW(reg.make_counter("bounded_fai:m=3"), std::invalid_argument);
   EXPECT_THROW(reg.make_counter("bounded_fai:m=x"), std::invalid_argument);
-  // Wrong kind: a renaming name is not a counter and vice versa.
+  // Wrong facet: a renaming name is not a counter and vice versa.
   EXPECT_THROW(reg.make_counter("adaptive_strong"), std::invalid_argument);
   EXPECT_THROW(reg.make_renaming("bounded_fai"), std::invalid_argument);
+  EXPECT_THROW(reg.make_readable("bounded_fai"), std::invalid_argument);
+}
+
+TEST(Registry, WrongFacetErrorsNameTheFacetThatKnowsTheName) {
+  auto& reg = Registry::global();
+  // Asking the wrong facet is a one-read fix: the error names where the
+  // spec actually lives.
+  try {
+    reg.make_counter("adaptive_strong");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown counter"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("renaming facet"), std::string::npos) << msg;
+  }
+  try {
+    reg.make_renaming("monotone");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("readable-counter facet"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    reg.make_renaming("striped");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    // Registered under both other facets; the hint lists both.
+    EXPECT_NE(msg.find("counter"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("readable-counter"), std::string::npos) << msg;
+  }
 }
 
 TEST(Registry, UnknownKeyErrorsListTheValidKeys) {
@@ -96,6 +180,13 @@ TEST(Registry, UnknownKeyErrorsListTheValidKeys) {
     const std::string msg = e.what();
     EXPECT_NE(msg.find("leaf"), std::string::npos) << msg;
     EXPECT_NE(msg.find("depth"), std::string::npos) << msg;
+  }
+  try {
+    reg.make_renaming("longlived:capacity=8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos)
+        << e.what();
   }
   // A spec with no params at all says so rather than listing nothing.
   try {
@@ -143,49 +234,74 @@ TEST(Registry, ConstructsEveryBuiltinWithCustomParams) {
   EXPECT_NE(reg.make_renaming("renaming_network:w=16,tas=hw"), nullptr);
   EXPECT_NE(reg.make_renaming("linear_probe:cap=128"), nullptr);
   EXPECT_NE(reg.make_renaming("moir_anderson:n=16"), nullptr);
+  EXPECT_NE(reg.make_renaming("longlived:cap=32"), nullptr);
   EXPECT_NE(reg.make_counter("striped:stripes=8,elim=1,elim_width=2"), nullptr);
   EXPECT_NE(reg.make_counter("difftree:depth=2,prism=0"), nullptr);
+  EXPECT_NE(reg.make_readable("monotone:tas=hw"), nullptr);
+  EXPECT_NE(reg.make_readable("maxregtree:n=16,cap=4096"), nullptr);
+  EXPECT_NE(reg.make_readable("striped:stripes=4"), nullptr);
 }
 
-// ---------------------------------------------------- shared param sweep ---
+// ---------------------------------------------------- shared mode sweep ---
+
+/// One schedule of the three-way sweep: hardware threads, the adversarial
+/// simulator, or the simulator with crash injection.
+enum class Mode { kSim, kHardware, kCrash };
+
+const char* mode_suffix(Mode m) {
+  switch (m) {
+    case Mode::kSim: return "_sim";
+    case Mode::kHardware: return "_hw";
+    case Mode::kCrash: return "_crash";
+  }
+  return "_?";
+}
+
+/// Scenario for `mode`; crash mode kills `max_crashes` seed-chosen victims
+/// within their first `crash_step_max` shared steps. Callers size
+/// ops_per_proc so every victim still has work at its threshold — then the
+/// crash count is exact, not best-effort.
+Scenario scenario_for(Mode mode, int nproc, int ops_per_proc,
+                      std::uint64_t seed, std::size_t max_crashes = 1,
+                      std::uint64_t crash_step_max = 2) {
+  Scenario s;
+  s.nproc = nproc;
+  s.ops_per_proc = ops_per_proc;
+  s.backend = mode == Mode::kHardware ? Backend::kHardware : Backend::kSimulated;
+  s.seed = seed;
+  if (mode == Mode::kCrash) {
+    s.crashes.max_crashes = max_crashes;
+    s.crashes.crash_step_max = crash_step_max;
+  }
+  return s;
+}
 
 struct ParamName {
   template <typename T>
   std::string operator()(const ::testing::TestParamInfo<T>& info) const {
-    const auto& [name, backend] = info.param;
-    return name + (backend == Backend::kHardware ? "_hw" : "_sim");
+    const auto& [name, mode] = info.param;
+    return name + mode_suffix(mode);
   }
 };
 
-std::vector<std::tuple<std::string, Backend>> sweep(
+std::vector<std::tuple<std::string, Mode>> sweep(
     const std::vector<std::string>& names) {
-  std::vector<std::tuple<std::string, Backend>> out;
+  std::vector<std::tuple<std::string, Mode>> out;
   for (const auto& n : names) {
-    out.emplace_back(n, Backend::kSimulated);
-    out.emplace_back(n, Backend::kHardware);
+    out.emplace_back(n, Mode::kSim);
+    out.emplace_back(n, Mode::kHardware);
+    out.emplace_back(n, Mode::kCrash);
   }
-  return out;
-}
-
-std::vector<std::string> registered_counters() {
-  std::vector<std::string> out;
-  for (const auto& c : Registry::global().counters()) out.push_back(c.name);
-  return out;
-}
-
-std::vector<std::string> registered_renamings() {
-  std::vector<std::string> out;
-  for (const auto& r : Registry::global().renamings()) out.push_back(r.name);
   return out;
 }
 
 // ------------------------------------------------------------- counters ---
 
 class CounterConformance
-    : public ::testing::TestWithParam<std::tuple<std::string, Backend>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, Mode>> {};
 
 TEST_P(CounterConformance, DenseValuesAndLinearizability) {
-  const auto& [name, backend] = GetParam();
+  const auto& [name, mode] = GetParam();
   const CounterInfo* info = Registry::global().find_counter(name);
   ASSERT_NE(info, nullptr);
 
@@ -198,29 +314,57 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
 
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const auto counter = Registry::global().make_counter(name);
-    Scenario s;
-    s.nproc = 4;
-    s.ops_per_proc = 2;
-    s.backend = backend;
-    s.seed = seed + 1;
-    s.record_history = (info->consistency == Consistency::kLinearizable);
-    const api::Run run = Workload(s).run(*counter);
+    // Crash mode: every counter op costs >= 1 shared step, so with 4 ops per
+    // process and thresholds in [1, 2] both victims are killed mid-run.
+    const Scenario s = scenario_for(mode, 4, mode == Mode::kCrash ? 4 : 2,
+                                    seed + 1, /*max_crashes=*/2);
+    Workload workload = [&] {
+      Scenario with_history = s;
+      with_history.record_history =
+          (mode != Mode::kCrash &&
+           info->consistency == Consistency::kLinearizable);
+      return Workload(with_history);
+    }();
+    const api::Run run = workload.run(*counter);
 
-    const std::size_t total =
+    const std::size_t attempted =
         static_cast<std::size_t>(s.nproc) * s.ops_per_proc;
+    ASSERT_LT(attempted, counter->capacity()) << "scenario must not saturate";
+
+    if (mode == Mode::kCrash) {
+      // Exactly the planned crashes happened; survivors completed all ops,
+      // and victims contributed only the ops they finished before dying.
+      ASSERT_EQ(run.crashed_procs, 2u) << name << " seed=" << seed;
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc) - 2);
+      ASSERT_GE(run.ops.size(),
+                run.finished_procs * static_cast<std::size_t>(s.ops_per_proc));
+      ASSERT_LT(run.ops.size(), attempted);
+      // Crashed operations may have consumed values, so the survivors'
+      // values need not be a dense prefix — but they must stay unique and
+      // within the started-operation bound.
+      std::set<std::uint64_t> unique;
+      for (const std::uint64_t v : run.values()) {
+        EXPECT_TRUE(unique.insert(v).second)
+            << name << " seed=" << seed << ": duplicate value " << v;
+        EXPECT_LT(v, attempted) << name << " seed=" << seed;
+      }
+      EXPECT_EQ(run.metrics.ops, run.ops.size());
+      continue;
+    }
+
+    ASSERT_EQ(run.crashed_procs, 0u);
     ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
-    ASSERT_EQ(run.ops.size(), total);
-    ASSERT_LT(total, counter->capacity()) << "scenario must not saturate";
+    ASSERT_EQ(run.ops.size(), attempted);
 
     // Every counter family hands out a dense prefix once quiescent.
     std::vector<std::uint64_t> sorted = run.values();
     std::sort(sorted.begin(), sorted.end());
-    for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t i = 0; i < attempted; ++i) {
       EXPECT_EQ(sorted[i], i) << name << " seed=" << seed;
     }
 
     // Unified metrics sanity.
-    EXPECT_EQ(run.metrics.ops, total);
+    EXPECT_EQ(run.metrics.ops, attempted);
     EXPECT_GT(run.metrics.steps, 0u);
     EXPECT_GE(run.metrics.steps, run.metrics.shared_steps);
     EXPECT_LE(run.metrics.max_op_steps, run.metrics.steps);
@@ -238,54 +382,72 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Registry, CounterConformance,
-                         ::testing::ValuesIn(sweep(registered_counters())),
-                         ParamName{});
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CounterConformance,
+    ::testing::ValuesIn(sweep(Registry::global().list(Facet::kCounter))),
+    ParamName{});
 
 // --------------------------------------------------- sharded spec sweep ---
 
 // The registered-name sweep above already covers `striped` and `difftree`
 // at default params; this sweep exercises the geometry and composition axes
 // (stripe counts, tree depths, elimination/prism toggles, nested leaves)
-// under both backends.
+// under all three schedules.
 class ShardedSpecConformance
-    : public ::testing::TestWithParam<std::tuple<std::string, Backend>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, Mode>> {};
 
 struct SpecName {
   template <typename T>
   std::string operator()(const ::testing::TestParamInfo<T>& info) const {
-    const auto& [spec, backend] = info.param;
+    const auto& [spec, mode] = info.param;
     std::string out;
     for (const char c : spec) {
       out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
     }
-    return out + (backend == Backend::kHardware ? "_hw" : "_sim");
+    return out + mode_suffix(mode);
   }
 };
 
 TEST_P(ShardedSpecConformance, DenseValuePrefix) {
-  const auto& [spec, backend] = GetParam();
+  const auto& [spec, mode] = GetParam();
+  // Striped payload elimination has one unbounded wait: a claimed waiter
+  // awaits its leader's delivery, and a leader crashed inside that window
+  // blocks the waiter forever (sharded/elimination.h documents the
+  // trade-off). Crash schedules therefore exclude elim=1 striped specs.
+  if (mode == Mode::kCrash && spec.find("elim=1") != std::string::npos) {
+    GTEST_SKIP() << "payload elimination is not crash-tolerant";
+  }
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const auto counter = Registry::global().make_counter(spec);
     ASSERT_EQ(counter->consistency(), Consistency::kQuiescent) << spec;
-    Scenario s;
-    s.nproc = 6;
-    s.ops_per_proc = 4;
-    s.backend = backend;
-    s.seed = seed + 1;
+    const Scenario s = scenario_for(mode, 6, 4, seed + 1, /*max_crashes=*/2);
     const api::Run run = Workload(s).run(*counter);
 
-    const std::size_t total = static_cast<std::size_t>(s.nproc) * s.ops_per_proc;
+    const std::size_t attempted =
+        static_cast<std::size_t>(s.nproc) * s.ops_per_proc;
+    ASSERT_LT(attempted, counter->capacity()) << spec;
+
+    if (mode == Mode::kCrash) {
+      ASSERT_EQ(run.crashed_procs, 2u) << spec << " seed=" << seed;
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc) - 2);
+      std::set<std::uint64_t> unique;
+      for (const std::uint64_t v : run.values()) {
+        ASSERT_TRUE(unique.insert(v).second)
+            << spec << " seed=" << seed << ": duplicate value " << v;
+        ASSERT_LT(v, attempted) << spec << " seed=" << seed;
+      }
+      continue;
+    }
+
     ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
-    ASSERT_EQ(run.ops.size(), total);
-    ASSERT_LT(total, counter->capacity()) << spec;
+    ASSERT_EQ(run.ops.size(), attempted);
 
     std::vector<std::uint64_t> sorted = run.values();
     std::sort(sorted.begin(), sorted.end());
-    for (std::size_t i = 0; i < total; ++i) {
+    for (std::size_t i = 0; i < attempted; ++i) {
       ASSERT_EQ(sorted[i], i) << spec << " seed=" << seed;
     }
-    EXPECT_EQ(run.metrics.ops, total);
+    EXPECT_EQ(run.metrics.ops, attempted);
     EXPECT_GT(run.metrics.steps, 0u);
     EXPECT_GE(run.metrics.steps, run.metrics.shared_steps);
   }
@@ -310,43 +472,104 @@ INSTANTIATE_TEST_SUITE_P(
 // ------------------------------------------------------------ renamings ---
 
 class RenamingConformance
-    : public ::testing::TestWithParam<std::tuple<std::string, Backend>> {};
+    : public ::testing::TestWithParam<std::tuple<std::string, Mode>> {};
 
 TEST_P(RenamingConformance, UniqueAndTightNames) {
-  const auto& [name, backend] = GetParam();
+  const auto& [name, mode] = GetParam();
   const RenamingInfo* info = Registry::global().find_renaming(name);
   ASSERT_NE(info, nullptr);
 
   const Params defaults;  // run under each entry's default geometry
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
-    Scenario s;
-    s.nproc = 4;
-    s.ops_per_proc = 2;
-    s.backend = backend;
-    s.seed = seed + 1;
-    const int requests = s.nproc * s.ops_per_proc;
-    ASSERT_LE(requests, info->max_requests(defaults));
+    // Hold-all scenario: every acquire keeps its name, so uniqueness and
+    // tightness are checkable from the value set. Crash mode: acquires cost
+    // >= 1 shared step each, so 4 ops per process outlast thresholds in
+    // [1, 2] and the single victim is killed mid-run.
+    const Scenario s =
+        scenario_for(mode, 4, mode == Mode::kCrash ? 4 : 2, seed + 1);
+    const int attempted = s.nproc * s.ops_per_proc;
+    ASSERT_LE(attempted, info->max_requests(defaults));
 
     const auto obj = Registry::global().make_renaming(name);
     const api::Run run = Workload(s).run(*obj);
 
-    ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
-    ASSERT_EQ(run.ops.size(), static_cast<std::size_t>(requests));
+    if (mode == Mode::kCrash) {
+      ASSERT_EQ(run.crashed_procs, 1u) << name << " seed=" << seed;
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc) - 1);
+    } else {
+      ASSERT_EQ(run.crashed_procs, 0u);
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
+      ASSERT_EQ(run.ops.size(), static_cast<std::size_t>(attempted));
+      // Nothing was released, so every acquired name is still held.
+      EXPECT_EQ(obj->holders(), static_cast<std::uint64_t>(attempted)) << name;
+    }
 
+    // Survivors' names are unique and within the bound for the started
+    // requests — crashes may strand names but never violate either.
     const auto unique = renaming::check_unique(run.values());
     EXPECT_TRUE(unique.ok) << name << " seed=" << seed << ": " << unique.error;
     const auto tight = renaming::check_tight(
-        run.values(), info->name_bound(requests, defaults));
+        run.values(), info->name_bound(attempted, defaults));
     EXPECT_TRUE(tight.ok) << name << " seed=" << seed << ": " << tight.error;
 
-    EXPECT_EQ(run.metrics.ops, static_cast<std::uint64_t>(requests));
+    EXPECT_EQ(run.metrics.ops, run.ops.size());
     EXPECT_GT(run.metrics.steps, 0u);
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Registry, RenamingConformance,
-                         ::testing::ValuesIn(sweep(registered_renamings())),
-                         ParamName{});
+TEST_P(RenamingConformance, ReusableEntriesRecycleReleasedNames) {
+  const auto& [name, mode] = GetParam();
+  const RenamingInfo* info = Registry::global().find_renaming(name);
+  ASSERT_NE(info, nullptr);
+  {
+    const auto probe = Registry::global().make_renaming(name);
+    ASSERT_EQ(probe->reusable(), info->reusable) << name;
+  }
+  if (!info->reusable) return;  // churn is meaningless for one-shot entries
+
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    // Churn scenario: each operation acquires and immediately releases, so
+    // at most nproc names are concurrently held even though far more
+    // requests run than max_requests would allow a hold-all run.
+    const Scenario s = scenario_for(mode, 6, 12, seed + 1);
+    const auto obj = Registry::global().make_renaming(name);
+    const api::Run run = Workload(s).run_ops([&obj](Ctx& ctx) {
+      const std::uint64_t n = obj->acquire(ctx);
+      obj->release(ctx, n);
+      return n;
+    });
+
+    if (mode == Mode::kCrash) {
+      ASSERT_EQ(run.crashed_procs, 1u) << name << " seed=" << seed;
+      // A holder that crashed between acquire and release leaks exactly its
+      // own name; everyone else drained.
+      EXPECT_LE(obj->holders(), 1u) << name << " seed=" << seed;
+    } else {
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
+      EXPECT_EQ(obj->holders(), 0u) << name << " seed=" << seed;
+    }
+
+    // Names recycle: far fewer distinct names than completed acquires
+    // (72 acquires over at most nproc concurrent holders), and every name
+    // stays within the entry's hard bound for nproc concurrent holders.
+    // (The *whp* O(holders) smallness is asserted by the long-lived unit
+    // tests; here the facet only promises the every-execution bound.)
+    const Params defaults;
+    const auto values = run.values();
+    const std::set<std::uint64_t> distinct(values.begin(), values.end());
+    EXPECT_LT(distinct.size(), values.size()) << name << " seed=" << seed;
+    const std::uint64_t bound = info->name_bound(s.nproc, defaults);
+    for (const std::uint64_t v : values) {
+      EXPECT_GE(v, 1u) << name << " seed=" << seed;
+      EXPECT_LE(v, bound) << name << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, RenamingConformance,
+    ::testing::ValuesIn(sweep(Registry::global().list(Facet::kRenaming))),
+    ParamName{});
 
 // --------------------------------------------------- adaptivity contract ---
 
@@ -361,6 +584,119 @@ TEST(RenamingConformance, AdaptiveEntriesDeclareKOnlyBounds) {
       EXPECT_GT(r.name_bound(2, defaults), 3u) << r.name;
     }
   }
+}
+
+// ------------------------------------------------------------- readables ---
+
+class ReadableConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, Mode>> {};
+
+TEST_P(ReadableConformance, MonotoneReadsWithinIncrementBounds) {
+  const auto& [name, mode] = GetParam();
+  const ReadableInfo* info = Registry::global().find_readable(name);
+  ASSERT_NE(info, nullptr);
+
+  {
+    const auto counter = Registry::global().make_readable(name);
+    ASSERT_EQ(counter->consistency(), info->consistency) << name;
+  }
+
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto counter = Registry::global().make_readable(name);
+    // Mixed workload: Workload::run makes every third op a read. Crash
+    // mode: 6 ops per process (each >= 1 shared step) outlast thresholds
+    // in [1, 2].
+    Scenario s = scenario_for(mode, 4, 6, seed + 1);
+    ASSERT_LE(s.nproc, counter->max_procs()) << name;
+    s.record_history = (mode != Mode::kCrash &&
+                        info->consistency == Consistency::kLinearizable);
+    const api::Run run = Workload(s).run(*counter);
+
+    const std::size_t inc_per_proc = 4, read_per_proc = 2;  // of 6 ops
+    const std::uint64_t attempted_incs =
+        static_cast<std::uint64_t>(s.nproc) * inc_per_proc;
+    const std::uint64_t completed_incs = run.values_of("inc").size();
+
+    if (mode == Mode::kCrash) {
+      ASSERT_EQ(run.crashed_procs, 1u) << name << " seed=" << seed;
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc) - 1);
+    } else {
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
+      ASSERT_EQ(completed_incs, attempted_incs);
+      ASSERT_EQ(run.values_of("read").size(),
+                static_cast<std::size_t>(s.nproc) * read_per_proc);
+    }
+
+    // Reads never exceed the started increments, and each process's own
+    // reads are non-decreasing (they never overlap each other).
+    std::map<int, std::uint64_t> last_read;
+    for (const auto& op : run.ops) {
+      if (op.kind != "read") continue;
+      EXPECT_LE(op.value, attempted_incs) << name << " seed=" << seed;
+      auto [it, fresh] = last_read.try_emplace(op.pid, op.value);
+      if (!fresh) {
+        EXPECT_GE(op.value, it->second)
+            << name << " seed=" << seed << " pid=" << op.pid
+            << ": reads went backwards";
+        it->second = op.value;
+      }
+    }
+
+    // Quiescent exactness: a fresh read sees every completed increment and
+    // nothing beyond the started ones (crashed increments may or may not
+    // have landed).
+    Ctx quiescent_ctx(0, /*seed=*/987 + seed);
+    const std::uint64_t final_read = counter->read(quiescent_ctx);
+    EXPECT_GE(final_read, completed_incs) << name << " seed=" << seed;
+    EXPECT_LE(final_read, attempted_incs) << name << " seed=" << seed;
+    if (mode != Mode::kCrash) {
+      EXPECT_EQ(final_read, completed_incs) << name << " seed=" << seed;
+    }
+
+    EXPECT_EQ(run.metrics.ops, run.ops.size());
+    EXPECT_GT(run.metrics.steps, 0u);
+
+    if (s.record_history) {
+      sim::CounterSpec spec;
+      EXPECT_TRUE(sim::is_linearizable(run.history, spec))
+          << name << " seed=" << seed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, ReadableConformance,
+    ::testing::ValuesIn(sweep(Registry::global().list(Facet::kReadable))),
+    ParamName{});
+
+// ------------------------------------------------------ harness contract ---
+
+TEST(WorkloadMetrics, HardwareRunsReportWallClockThroughput) {
+  Scenario s;
+  s.nproc = 4;
+  s.ops_per_proc = 8;
+  s.backend = Backend::kHardware;
+  s.seed = 7;
+  const api::Run run = Workload::run_counter_spec("atomic_fai", s);
+  ASSERT_EQ(run.ops.size(), 32u);
+  EXPECT_GT(run.metrics.wall_seconds, 0.0);
+  EXPECT_GT(run.metrics.ops_per_sec(), 0.0);
+  // Per-op latency samples are populated (clock granularity can zero out an
+  // individual sample, but not the whole run's maximum).
+  const auto lat = run.op_latencies_ns();
+  ASSERT_EQ(lat.size(), 32u);
+  EXPECT_GT(*std::max_element(lat.begin(), lat.end()), 0.0);
+}
+
+TEST(WorkloadMetrics, SimulatedRunsHaveNoWallClock) {
+  Scenario s;
+  s.nproc = 2;
+  s.ops_per_proc = 2;
+  s.backend = Backend::kSimulated;
+  const api::Run run = Workload::run_counter_spec("atomic_fai", s);
+  EXPECT_EQ(run.metrics.wall_seconds, 0.0);
+  EXPECT_EQ(run.metrics.ops_per_sec(), 0.0);
+  for (const auto& op : run.ops) EXPECT_EQ(op.wall_ns, 0u);
 }
 
 }  // namespace

@@ -2,15 +2,32 @@
 // holders, reuse after release (names stay small across unboundedly many
 // acquire/release cycles — the property one-shot renaming cannot give), and
 // adaptive acquisition cost.
+//
+// Scheduling goes through the api facade: concurrent, churn, and crash
+// scenarios run as `longlived` specs under api::Workload (the facet-driven
+// conformance suite adds the generic uniqueness/tightness sweep on top).
+// Only the assertions that need the native object — instrumented probe
+// counts and the deterministic capacity sweep — drive LongLivedRenaming
+// directly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
+#include "api/workload.h"
 #include "renaming/long_lived.h"
-#include "sim/executor.h"
 
 namespace renamelib::renaming {
 namespace {
+
+api::Scenario sim_scenario(int nproc, int ops_per_proc, std::uint64_t seed) {
+  api::Scenario s;
+  s.nproc = nproc;
+  s.ops_per_proc = ops_per_proc;
+  s.backend = api::Backend::kSimulated;
+  s.seed = seed;
+  return s;
+}
 
 TEST(LongLived, SoloAcquireReleaseReuse) {
   LongLivedRenaming names(16);
@@ -30,19 +47,15 @@ TEST(LongLived, SoloAcquireReleaseReuse) {
 
 TEST(LongLived, ConcurrentHoldersDistinct) {
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
-    LongLivedRenaming names(64);
+    const auto names = api::Registry::global().make_renaming("longlived:cap=64");
     const int k = 12;
-    std::vector<std::uint64_t> held(k, 0);
-    sim::RandomAdversary adversary(seed * 3 + 5);
-    sim::RunOptions options;
-    options.seed = seed;
-    auto result = sim::run_simulation(
-        k, [&](Ctx& ctx) { held[ctx.pid()] = names.acquire(ctx); }, adversary,
-        options);
-    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
-    std::set<std::uint64_t> unique(held.begin(), held.end());
+    // Hold-all run: every process acquires once and keeps the name.
+    const api::Run run = api::Workload(sim_scenario(k, 1, seed + 1)).run(*names);
+    ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(k));
+    const auto held = run.values();
+    const std::set<std::uint64_t> unique(held.begin(), held.end());
     EXPECT_EQ(unique.size(), static_cast<std::size_t>(k));
-    EXPECT_EQ(names.holders(), static_cast<std::uint64_t>(k));
+    EXPECT_EQ(names->holders(), static_cast<std::uint64_t>(k));
   }
 }
 
@@ -50,28 +63,22 @@ TEST(LongLived, ChurnKeepsNamespaceSmall) {
   // k processes cycle acquire/release many times; every held name must stay
   // well below capacity because releases recycle the namespace.
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
-    LongLivedRenaming names(256);
+    const auto names =
+        api::Registry::global().make_renaming("longlived:cap=256");
     const int k = 8;
-    std::vector<std::uint64_t> max_name(k, 0);
-    sim::RandomAdversary adversary(seed + 31);
-    sim::RunOptions options;
-    options.seed = seed;
-    auto result = sim::run_simulation(
-        k,
-        [&](Ctx& ctx) {
-          for (int cycle = 0; cycle < 25; ++cycle) {
-            const std::uint64_t n = names.acquire(ctx);
-            max_name[ctx.pid()] = std::max(max_name[ctx.pid()], n);
-            names.release(ctx, n);
-          }
-        },
-        adversary, options);
-    ASSERT_EQ(result.finished_count(), static_cast<std::size_t>(k));
-    for (int p = 0; p < k; ++p) {
-      // With k = 8 concurrent holders max, names O(k) w.h.p.: generous 8x.
-      EXPECT_LE(max_name[p], 64u) << "pid " << p << " seed " << seed;
-    }
-    EXPECT_EQ(names.holders(), 0u);
+    const api::Run run =
+        api::Workload(sim_scenario(k, 25, seed + 1)).run_ops([&](Ctx& ctx) {
+          const std::uint64_t n = names->acquire(ctx);
+          names->release(ctx, n);
+          return n;
+        });
+    ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(k));
+    // With k = 8 concurrent holders max, names O(k) w.h.p.: generous 8x.
+    const auto values = run.values();
+    ASSERT_FALSE(values.empty());
+    EXPECT_LE(*std::max_element(values.begin(), values.end()), 64u)
+        << "seed " << seed;
+    EXPECT_EQ(names->holders(), 0u);
   }
 }
 
@@ -93,24 +100,21 @@ TEST(LongLived, AdaptiveAcquisitionCost) {
 TEST(LongLived, CrashedHolderLeaksOnlyItsName) {
   // A holder that crashes never releases: its name stays taken, everyone
   // else keeps cycling fine (graceful degradation, paper's crash model).
-  LongLivedRenaming names(64);
-  std::vector<std::int64_t> crash_at = {6, -1, -1, -1};
-  sim::CrashAdversary adversary(std::make_unique<sim::RandomAdversary>(3),
-                                crash_at, 1);
-  sim::RunOptions options;
-  options.seed = 11;
-  auto result = sim::run_simulation(
-      4,
-      [&](Ctx& ctx) {
-        for (int cycle = 0; cycle < 10; ++cycle) {
-          const std::uint64_t n = names.acquire(ctx);
-          names.release(ctx, n);
-        }
-      },
-      adversary, options);
-  EXPECT_EQ(result.crashed_count(), 1u);
+  // The crash plan is the harness's seed-derived injection, not a hand-built
+  // sim::CrashAdversary.
+  const auto names = api::Registry::global().make_renaming("longlived:cap=64");
+  api::Scenario s = sim_scenario(4, 10, 11);
+  s.crashes.max_crashes = 1;
+  s.crashes.crash_step_max = 6;
+  const api::Run run = api::Workload(s).run_ops([&](Ctx& ctx) {
+    const std::uint64_t n = names->acquire(ctx);
+    names->release(ctx, n);
+    return n;
+  });
+  EXPECT_EQ(run.crashed_procs, 1u);
+  EXPECT_EQ(run.finished_procs, 3u);
   // At most one leaked holder slot.
-  EXPECT_LE(names.holders(), 1u);
+  EXPECT_LE(names->holders(), 1u);
 }
 
 TEST(LongLived, CapacityExhaustionSweepStillWorks) {

@@ -58,6 +58,8 @@ void base_network_ablation() {
         }
       }
       const auto s = stats::summarize(all);
+      bench::report_samples("base_network/" + std::string(base.name), "",
+                            "simulated", k, all);
       table.add_row({base.name, std::to_string(width), std::to_string(size),
                      std::to_string(depth), stats::Table::num(s.mean),
                      stats::Table::num(s.p99)});
@@ -163,5 +165,5 @@ int main(int argc, char** argv) {
   renamelib::arbitration_ablation();
   renamelib::stage_breakdown();
   renamelib::long_lived_probes();
-  return 0;
+  return renamelib::bench::finish();
 }

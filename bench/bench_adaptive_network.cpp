@@ -92,6 +92,8 @@ void traversal_cost() {
       lens.push_back(static_cast<double>(met));
     }
     const auto s = stats::summarize(lens);
+    bench::report_samples("traversal/kmax=" + std::to_string(kmax), "",
+                          "analytic", 1, lens, "comparators");
     const double lg = std::log2(static_cast<double>(kmax));
     table.add_row({std::to_string(kmax), stats::Table::num(s.mean),
                    stats::Table::num(s.max, 0),
@@ -131,5 +133,5 @@ int main(int argc, char** argv) {
   renamelib::verification();
   renamelib::traversal_cost();
   renamelib::memory_footprint();
-  return 0;
+  return renamelib::bench::finish();
 }

@@ -52,6 +52,9 @@ void adaptive_costs(bool simulated) {
       std::exit(1);
     }
     const auto ss = stats::summarize(steps);
+    bench::report_samples(simulated ? "thm3/simulated" : "thm3/hardware",
+                          "adaptive_strong",
+                          simulated ? "simulated" : "hardware", k, steps);
     const auto cs = stats::summarize(comps);
     const double lg = std::log2(static_cast<double>(k) + 1);
     table.add_row({std::to_string(k), stats::Table::num(ss.mean),
@@ -100,5 +103,5 @@ int main(int argc, char** argv) {
   renamelib::adaptive_costs(/*simulated=*/true);
   if (!renamelib::bench::g_smoke) renamelib::adaptive_costs(/*simulated=*/false);
   renamelib::deterministic_mode();
-  return 0;
+  return renamelib::bench::finish();
 }

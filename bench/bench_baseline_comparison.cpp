@@ -39,14 +39,18 @@ std::vector<std::string> specs_for(int k) {
   };
 }
 
-double mean_steps(const std::string& spec, int k, std::uint64_t seed,
-                  api::Backend backend) {
+double mean_steps(const char* table_name, const std::string& spec, int k,
+                  std::uint64_t seed, api::Backend backend) {
   api::Scenario s;
   s.nproc = k;
   s.ops_per_proc = 1;
   s.backend = backend;
   s.seed = seed;
   const auto run = api::Workload::run_renaming_spec(spec, s);
+  bench::report_samples(table_name, spec,
+                        backend == api::Backend::kHardware ? "hardware"
+                                                           : "simulated",
+                        k, run.proc_steps);
   return stats::summarize(run.proc_steps).mean;
 }
 
@@ -79,7 +83,8 @@ void who_wins() {
         std::exit(1);
       }
       const double mean =
-          mean_steps(specs[i], k, static_cast<std::uint64_t>(k) + salt++,
+          mean_steps("who_wins", specs[i], k,
+                     static_cast<std::uint64_t>(k) + salt++,
                      api::Backend::kSimulated);
       if (name == "linear_probe") linear = mean;
       if (name == "adaptive_strong") adaptive = mean;
@@ -103,12 +108,12 @@ void crossover_at_scale() {
   stats::Table table({"k", "linear probe", "adaptive strong",
                       "linear/adaptive"});
   for (int k : {64, 128, 256, 512, 1024}) {
-    const double lp_mean =
-        mean_steps("linear_probe:cap=" + std::to_string(2 * k), k,
-                   static_cast<std::uint64_t>(k) + 11, api::Backend::kHardware);
-    const double ad_mean =
-        mean_steps("adaptive_strong:tas=hw", k,
-                   static_cast<std::uint64_t>(k) + 12, api::Backend::kHardware);
+    const double lp_mean = mean_steps(
+        "crossover", "linear_probe:cap=" + std::to_string(2 * k), k,
+        static_cast<std::uint64_t>(k) + 11, api::Backend::kHardware);
+    const double ad_mean = mean_steps(
+        "crossover", "adaptive_strong:tas=hw", k,
+        static_cast<std::uint64_t>(k) + 12, api::Backend::kHardware);
     table.add_row({std::to_string(k), stats::Table::num(lp_mean),
                    stats::Table::num(ad_mean),
                    stats::Table::num(lp_mean / ad_mean, 2)});
@@ -129,10 +134,10 @@ void adaptivity() {
   const int n = 1024;
   for (int k : {2, 8, 32}) {
     const double bb_mean = mean_steps(
-        "bit_batching:n=" + std::to_string(n) + ",tas=hw", k,
+        "adaptivity", "bit_batching:n=" + std::to_string(n) + ",tas=hw", k,
         static_cast<std::uint64_t>(k) * 5 + 1, api::Backend::kSimulated);
     const double ad_mean =
-        mean_steps("adaptive_strong:tas=hw", k,
+        mean_steps("adaptivity", "adaptive_strong:tas=hw", k,
                    static_cast<std::uint64_t>(k) * 5 + 2,
                    api::Backend::kSimulated);
     table.add_row({std::to_string(k), std::to_string(n),
@@ -149,5 +154,5 @@ int main(int argc, char** argv) {
   renamelib::who_wins();
   renamelib::crossover_at_scale();
   renamelib::adaptivity();
-  return 0;
+  return renamelib::bench::finish();
 }

@@ -70,6 +70,10 @@ void probe_complexity(bool simulated) {
       std::exit(1);
     }
     const auto s = stats::summarize(probes);
+    bench::report_samples(simulated ? "probes/simulated" : "probes/hardware",
+                          "bit_batching:n=" + std::to_string(n),
+                          simulated ? "simulated" : "hardware", k, probes,
+                          "probes");
     const double log2n = std::log2(static_cast<double>(n));
     table.add_row({std::to_string(n), std::to_string(k),
                    stats::Table::num(s.mean), stats::Table::num(s.p99),
@@ -117,5 +121,5 @@ int main(int argc, char** argv) {
   renamelib::probe_complexity(/*simulated=*/true);
   if (!renamelib::bench::g_smoke) renamelib::probe_complexity(/*simulated=*/false);
   renamelib::ratrace_slots();
-  return 0;
+  return renamelib::bench::finish();
 }

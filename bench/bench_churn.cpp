@@ -1,0 +1,195 @@
+// Experiment: IRenaming churn — acquire/release throughput across the whole
+// renaming facet (the ROADMAP's churn bench, next to the shootout).
+//
+// Every registry entry runs the same acquire+release cycle through the
+// Workload harness: the long-lived family recycles names (real churn), the
+// one-shot protocols treat release as a no-op and run a bounded acquire
+// sweep (their namespace is finite — ops are capped by the entry's
+// max_requests). Two legs per entry and thread count:
+//   * adversarial simulation — exact paper-model step distribution,
+//   * hardware threads — wall-clock ops/sec with tail-faithful latency
+//     percentiles from the lock-free LatencyRecorder (Run::latency).
+// A third, high-volume leg churns the long-lived table with per-op samples
+// dropped (Scenario::keep_op_samples = false): memory stays O(1) in the op
+// count and validation goes through IRenaming::holders.
+//
+// Validations (exit non-zero on failure):
+//   * reusable entries: every name within name_bound(k) and holders() == 0
+//     once every acquire was released,
+//   * one-shot entries: all acquired names unique and within
+//     name_bound(total requests).
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "api/workload.h"
+#include "bench_common.h"
+
+namespace renamelib {
+namespace {
+
+/// Acquire+release cycle; returns the acquired name (one-shot releases are
+/// no-ops, so the same body serves both families).
+api::Run churn_run(api::IRenaming& obj, const api::Scenario& s) {
+  return api::Workload(s).run_ops([&obj](Ctx& ctx) {
+    const std::uint64_t name = obj.acquire(ctx);
+    obj.release(ctx, name);
+    return name;
+  });
+}
+
+void validate(const api::RenamingInfo& info, const api::Run& run,
+              api::IRenaming& obj, int k, const char* backend) {
+  const api::Params defaults;
+  const auto names = run.values();
+  if (info.reusable) {
+    // Churn recycles: at quiescence nothing is held, and every name stays
+    // within the entry's bound for k concurrent holders.
+    if (obj.holders() != 0) {
+      std::cerr << "VALIDATION FAILED: " << info.name << " (" << backend
+                << ") holders=" << obj.holders() << " after full release\n";
+      std::exit(1);
+    }
+    const std::uint64_t bound = info.name_bound(k, defaults);
+    for (const std::uint64_t n : names) {
+      if (n < 1 || n > bound) {
+        std::cerr << "VALIDATION FAILED: " << info.name << " (" << backend
+                  << ") name " << n << " outside 1.." << bound << "\n";
+        std::exit(1);
+      }
+    }
+  } else {
+    // One-shot: names are permanent, so the whole run must be distinct and
+    // within the bound for `names.size()` dense-id requests.
+    std::vector<std::uint64_t> sorted = names;
+    std::sort(sorted.begin(), sorted.end());
+    const std::uint64_t bound =
+        info.name_bound(static_cast<int>(sorted.size()), defaults);
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (i > 0 && sorted[i] == sorted[i - 1]) {
+        std::cerr << "VALIDATION FAILED: " << info.name << " (" << backend
+                  << ") duplicate name " << sorted[i] << "\n";
+        std::exit(1);
+      }
+      if (sorted[i] < 1 || sorted[i] > bound) {
+        std::cerr << "VALIDATION FAILED: " << info.name << " (" << backend
+                  << ") name " << sorted[i] << " outside 1.." << bound << "\n";
+        std::exit(1);
+      }
+    }
+  }
+}
+
+void churn_table() {
+  bench::print_header(
+      "IRenaming churn: acquire/release throughput, every facet entry",
+      "Cost-model columns from the adversarial simulation; wall-clock "
+      "columns (ops/sec across threads, latency percentiles from the "
+      "log-bucketed recorder) from hardware threads. 'churn' mode recycles "
+      "names via release; 'one-shot' entries acquire from their finite "
+      "namespace with no-op releases.");
+  stats::Table table({"spec", "mode", "k", "ops", "mean steps", "p99 steps",
+                      "hw ops/sec", "hw p50 ns", "hw p99 ns", "hw p999 ns"});
+  const api::Params defaults;
+  std::vector<double> churn_k, churn_p99;  // reusable entries' tail growth
+  for (const auto& info : api::Registry::global().renamings()) {
+    const std::string& spec = info.name;
+    for (int k : bench::sweep_or_first<int>({2, 4, 8})) {
+      // Per-process op budget: reusable entries churn freely; one-shot
+      // namespaces cap the total request count.
+      int ops = bench::pick(info.reusable ? 512 : 48, 4);
+      const int max_requests = info.max_requests(defaults);
+      if (!info.reusable && max_requests / k < ops) ops = max_requests / k;
+      if (ops < 1) continue;
+
+      const auto sim_s =
+          bench::sim_scenario(k, ops, 17 * static_cast<std::uint64_t>(k) + 5);
+      const auto sim_obj = api::Registry::global().make_renaming(spec);
+      const auto sim = churn_run(*sim_obj, sim_s);
+      validate(info, sim, *sim_obj, k, "sim");
+      bench::report_run("churn/simulated", spec, sim_s, sim);
+
+      const auto hw_s =
+          bench::hw_scenario(k, ops, 23 * static_cast<std::uint64_t>(k) + 7);
+      const auto hw_obj = api::Registry::global().make_renaming(spec);
+      const auto hw = churn_run(*hw_obj, hw_s);
+      validate(info, hw, *hw_obj, k, "hw");
+      bench::report_run("churn/hardware", spec, hw_s, hw);
+
+      if (info.reusable) {
+        // Snapshot percentiles feed the growth fitting directly: the claim
+        // under test is O(log k) probes per acquire, tail included.
+        churn_k.push_back(static_cast<double>(k));
+        churn_p99.push_back(static_cast<double>(
+            stats::LatencySnapshot::of(sim.op_steps()).percentile(0.99)));
+      }
+      const auto ss = stats::summarize(sim.op_steps());
+      table.add_row(
+          {spec, info.reusable ? "churn" : "one-shot", std::to_string(k),
+           std::to_string(sim.metrics.ops), stats::Table::num(ss.mean),
+           stats::Table::num(ss.p99),
+           stats::Table::num(hw.metrics.ops_per_sec(), 0),
+           std::to_string(hw.latency.percentile(0.50)),
+           std::to_string(hw.latency.percentile(0.99)),
+           std::to_string(hw.latency.percentile(0.999))});
+    }
+  }
+  table.print(std::cout);
+  if (churn_k.size() >= 3) {
+    const auto fit = stats::fit_growth(churn_k, churn_p99);
+    std::cout << "growth fit for reusable-entry p99 churn steps: " << fit.model
+              << " (constant " << stats::Table::num(fit.constant, 2)
+              << ", R^2 " << stats::Table::num(fit.r2, 3) << ")\n";
+  }
+  std::cout << "(One-shot entries consume their namespace, so their ops are "
+               "capped by max_requests; the long-lived family is the only "
+               "one whose throughput is sustainable — which is the Sec. 9 "
+               "point this bench records.)\n";
+}
+
+void longlived_hot_loop() {
+  bench::print_header(
+      "Long-lived churn, high volume (per-op samples dropped)",
+      "Sustained acquire/release cycles against one longlived table, "
+      "Scenario::keep_op_samples = false: Run::ops stays empty, metrics and "
+      "the latency recording stay exact, validation goes through holders().");
+  stats::Table table({"cap", "k", "ops", "ops/sec", "p50 ns", "p99 ns",
+                      "p999 ns", "max ns"});
+  for (int k : bench::sweep_or_first<int>({2, 8})) {
+    const std::string spec = "longlived:cap=1024";
+    api::Scenario s = bench::hw_scenario(k, bench::pick(20000, 32),
+                                         41 * static_cast<std::uint64_t>(k));
+    s.keep_op_samples = false;
+    const auto obj = api::Registry::global().make_renaming(spec);
+    const auto run = churn_run(*obj, s);
+    if (!run.ops.empty() || obj->holders() != 0) {
+      std::cerr << "VALIDATION FAILED: hot loop kept samples or leaked names "
+                << "(ops=" << run.ops.size() << " holders=" << obj->holders()
+                << ")\n";
+      std::exit(1);
+    }
+    if (run.metrics.ops !=
+        static_cast<std::uint64_t>(k) * static_cast<std::uint64_t>(s.ops_per_proc)) {
+      std::cerr << "VALIDATION FAILED: hot loop op count mismatch\n";
+      std::exit(1);
+    }
+    bench::report_run("churn/hot", spec, s, run);
+    table.add_row({"1024", std::to_string(k), std::to_string(run.metrics.ops),
+                   stats::Table::num(run.metrics.ops_per_sec(), 0),
+                   std::to_string(run.latency.percentile(0.50)),
+                   std::to_string(run.latency.percentile(0.99)),
+                   std::to_string(run.latency.percentile(0.999)),
+                   std::to_string(run.latency.max())});
+  }
+  table.print(std::cout);
+}
+
+}  // namespace
+}  // namespace renamelib
+
+int main(int argc, char** argv) {
+  renamelib::bench::parse_args(argc, argv);
+  renamelib::churn_table();
+  renamelib::longlived_hot_loop();
+  return renamelib::bench::finish();
+}

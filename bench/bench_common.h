@@ -11,6 +11,13 @@
 // exiting non-zero on failure. CI and ctest run the smoke preset so a bench
 // that stops building — or starts producing invalid values — fails loudly
 // instead of silently rotting.
+//
+// Every bench binary also accepts --json=FILE: alongside the human-readable
+// tables, the bench collects api::BenchReport runs (report_run /
+// report_samples below) and writes the machine-readable report on exit
+// (finish, the last statement of every main). tools/bench_compare.py diffs
+// two such files; the CI bench-smoke job uploads them as artifacts, turning
+// every PR's perf claim into a recorded trajectory.
 #pragma once
 
 #include <algorithm>
@@ -18,13 +25,16 @@
 #include <cstring>
 #include <functional>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "api/report.h"
 #include "api/workload.h"
 #include "core/ctx.h"
 #include "sim/executor.h"
 #include "stats/fit.h"
+#include "stats/latency_recorder.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 
@@ -33,22 +43,87 @@ namespace renamelib::bench {
 /// True after parse_args saw --smoke: benches shrink their presets.
 inline bool g_smoke = false;
 
-/// Parses the common bench flags (currently just --smoke); call first thing
-/// in main(). Unknown flags abort with a usage message so typos do not
-/// silently run the full preset.
+/// Output path of --json=FILE ("" when not given).
+inline std::string g_json_path;
+
+/// The report this binary accumulates; finish() writes it when --json was
+/// given. parse_args sets the bench name from argv[0].
+inline api::BenchReport g_report;
+
+/// Parses the common bench flags (--smoke and --json=FILE); call first
+/// thing in main(). Unknown flags abort with a usage message so typos do
+/// not silently run the full preset.
 inline void parse_args(int argc, char** argv) {
+  const std::string argv0 = argv[0];
+  const auto slash = argv0.find_last_of('/');
+  g_report.bench = slash == std::string::npos ? argv0 : argv0.substr(slash + 1);
   for (int i = 1; i < argc; ++i) {
     // --quick predates --smoke; both select the shrunk preset.
     if (std::strcmp(argv[i], "--smoke") == 0 ||
         std::strcmp(argv[i], "--quick") == 0) {
       g_smoke = true;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      g_json_path = argv[i] + 7;
+      if (g_json_path.empty()) {
+        std::cerr << "--json needs a file path\n";
+        std::exit(2);
+      }
     } else {
-      std::cerr << "usage: " << argv[0] << " [--smoke]\n"
+      std::cerr << "usage: " << argv[0] << " [--smoke] [--json=FILE]\n"
                 << "unknown flag '" << argv[i] << "'\n";
       std::exit(2);
     }
   }
   if (g_smoke) std::cout << "[smoke preset]\n";
+}
+
+/// Appends one report run from a Workload result. Hardware runs report
+/// wall-clock latency ("ns", Run::latency); simulated runs report the
+/// paper-model per-op step distribution ("steps").
+inline void report_run(std::string name, std::string spec,
+                       const api::Scenario& s, const api::Run& run) {
+  api::ReportRun r;
+  r.name = std::move(name);
+  r.spec = std::move(spec);
+  r.backend = s.backend == api::Backend::kHardware ? "hardware" : "simulated";
+  r.threads = s.nproc;
+  r.ops = run.metrics.ops;
+  r.ops_per_sec = run.metrics.ops_per_sec();
+  if (s.backend == api::Backend::kHardware) {
+    r.unit = "ns";
+    r.latency = run.latency;
+  } else {
+    r.unit = "steps";
+    r.latency = stats::LatencySnapshot::of(run.op_steps());
+  }
+  g_report.runs.push_back(std::move(r));
+}
+
+/// Appends one report run from a raw sample vector (per-process step counts
+/// from run_hardware/run_simulated, analytic bound values, ...).
+inline void report_samples(std::string name, std::string spec,
+                           std::string backend, int threads,
+                           const std::vector<double>& samples,
+                           std::string unit = "steps") {
+  api::ReportRun r;
+  r.name = std::move(name);
+  r.spec = std::move(spec);
+  r.backend = std::move(backend);
+  r.threads = threads;
+  r.latency = stats::LatencySnapshot::of(samples);
+  r.ops = r.latency.count();
+  r.unit = std::move(unit);
+  g_report.runs.push_back(std::move(r));
+}
+
+/// Writes the accumulated report when --json was given. Call as the last
+/// statement of main: `return bench::finish();`.
+inline int finish() {
+  if (g_json_path.empty()) return 0;
+  g_report.write_file(g_json_path);
+  std::cout << "wrote bench report: " << g_json_path << " ("
+            << g_report.runs.size() << " runs)\n";
+  return 0;
 }
 
 /// `full` normally, `smoke` under --smoke.
@@ -115,7 +190,7 @@ inline api::Scenario sim_scenario(int k, int ops, std::uint64_t seed) {
 
 /// A hardware-backend api::Scenario: k real threads, `ops` operations each.
 /// The resulting Run carries wall-clock throughput (Metrics::ops_per_sec)
-/// and per-op latency samples (Run::op_latencies_ns).
+/// and the tail-faithful per-op latency recording (Run::latency).
 inline api::Scenario hw_scenario(int k, int ops, std::uint64_t seed) {
   api::Scenario s;
   s.nproc = k;

@@ -32,13 +32,13 @@ void increment_cost() {
   for (int k : bench::sweep_or_first<int>({2, 4, 8, 16, 32})) {
     const int per = 6;
     counting::MonotoneCounter counter;
-    const auto run = api::Workload(sim_scenario(
-                                       k, per,
-                                       static_cast<std::uint64_t>(k) * 11 + 3))
-                         .run_ops([&](Ctx& ctx) {
-                           counter.increment(ctx);
-                           return 0ULL;
-                         });
+    const auto scenario =
+        sim_scenario(k, per, static_cast<std::uint64_t>(k) * 11 + 3);
+    const auto run = api::Workload(scenario).run_ops([&](Ctx& ctx) {
+      counter.increment(ctx);
+      return 0ULL;
+    });
+    bench::report_run("increment_cost", "monotone", scenario, run);
     const auto s = stats::summarize(run.op_steps());
     const double v_total = static_cast<double>(k) * per;
     Ctx reader(k, 4242);
@@ -133,5 +133,5 @@ int main(int argc, char** argv) {
   renamelib::increment_cost();
   renamelib::vs_linearizable_baseline();
   renamelib::read_cost();
-  return 0;
+  return renamelib::bench::finish();
 }

@@ -142,8 +142,8 @@ void counter_shootout() {
     const std::uint64_t capacity =
         api::Registry::global().make_counter(spec)->capacity();
     for (int k : bench::sweep_or_first<int>({2, 8, 16})) {
-      const auto run = api::Workload::run_counter_spec(
-          spec, sim_scenario(k, 2, 42 + static_cast<std::uint64_t>(k)));
+      const auto sim_s = sim_scenario(k, 2, 42 + static_cast<std::uint64_t>(k));
+      const auto run = api::Workload::run_counter_spec(spec, sim_s);
       // Every counter family must hand out a dense prefix at quiescence;
       // the shootout doubles as a cross-family sanity check.
       check_dense(run, spec, k, "sim");
@@ -155,11 +155,13 @@ void counter_shootout() {
       if (capacity != api::ICounter::kUnbounded) {
         hw_ops = std::min(hw_ops, (capacity - 1) / static_cast<std::uint64_t>(k));
       }
-      const auto hw = api::Workload::run_counter_spec(
-          spec, bench::hw_scenario(k, static_cast<int>(hw_ops),
-                                   91 + static_cast<std::uint64_t>(k)));
+      const auto hw_scenario = bench::hw_scenario(
+          k, static_cast<int>(hw_ops), 91 + static_cast<std::uint64_t>(k));
+      const auto hw = api::Workload::run_counter_spec(spec, hw_scenario);
       check_dense(hw, spec, k, "hw");
-      const auto lat = stats::summarize(hw.op_latencies_ns());
+      // Latency percentiles come from the run's log-bucketed recording
+      // (Run::latency) — tail-faithful, no overflow bucket.
+      const auto lat = hw.latency.to_summary();
 
       table.add_row({spec, api::family_name(info->family),
                      api::consistency_name(info->consistency),
@@ -171,6 +173,8 @@ void counter_shootout() {
                      stats::Table::num(hw.metrics.ops_per_sec(), 0),
                      stats::Table::num(lat.p50, 0),
                      stats::Table::num(lat.p99, 0)});
+      bench::report_run("shootout", spec, sim_s, run);
+      bench::report_run("shootout", spec, hw_scenario, hw);
     }
   }
   table.print(std::cout);
@@ -192,5 +196,5 @@ int main(int argc, char** argv) {
   renamelib::ltas_table();
   renamelib::fai_surface();
   renamelib::counter_shootout();
-  return 0;
+  return renamelib::bench::finish();
 }

@@ -37,13 +37,17 @@ void bound_vs_measured() {
     const double wakeup_mean = wakeup_total / (kRuns * k);
 
     double rename_total = 0;
+    std::vector<double> rename_steps;
     for (int run = 0; run < kRuns; ++run) {
       renaming::AdaptiveStrongRenaming renaming;
       auto steps = bench::run_simulated(
           k, static_cast<std::uint64_t>(run) * 37 + k + 5,
           [&](Ctx& ctx) { (void)renaming.rename(ctx, ctx.pid() + 1); });
+      rename_steps.insert(rename_steps.end(), steps.begin(), steps.end());
       for (double s : steps) rename_total += s;
     }
+    bench::report_samples("thm5/renaming", "adaptive_strong", "simulated", k,
+                          rename_steps);
     const double rename_mean = rename_total / (kRuns * k);
 
     table.add_row({std::to_string(k), stats::Table::num(bound),
@@ -80,5 +84,5 @@ int main(int argc, char** argv) {
   renamelib::bench::parse_args(argc, argv);
   renamelib::bound_vs_measured();
   renamelib::fai_bound();
-  return 0;
+  return renamelib::bench::finish();
 }

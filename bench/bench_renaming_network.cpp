@@ -65,6 +65,8 @@ void rename_costs() {
     }
     const auto cs = stats::summarize(comps);
     const auto ss = stats::summarize(steps);
+    bench::report_samples("rename_costs/M=" + std::to_string(cfg.m), "",
+                          "simulated", cfg.k, steps);
     const auto check =
         renaming::check_tight(names, static_cast<std::uint64_t>(cfg.k));
     table.add_row({std::to_string(cfg.m), std::to_string(cfg.k),
@@ -111,5 +113,5 @@ int main(int argc, char** argv) {
   renamelib::depth_vs_models();
   renamelib::rename_costs();
   renamelib::hardware_comparators();
-  return 0;
+  return renamelib::bench::finish();
 }

@@ -43,6 +43,7 @@ void two_process_distribution() {
   const auto w = stats::summarize(winner_steps);
   const auto l = stats::summarize(loser_steps);
   const auto a = stats::summarize(all);
+  bench::report_samples("two_process_tas", "", "simulated", 2, all);
   stats::Table table({"role", "mean", "p50", "p90", "p99", "max"});
   auto row = [&](const char* name, const stats::Summary& s) {
     table.add_row({name, stats::Table::num(s.mean), stats::Table::num(s.p50),
@@ -74,6 +75,7 @@ void ratrace_scaling() {
       all.insert(all.end(), steps.begin(), steps.end());
     }
     const auto s = stats::summarize(all);
+    bench::report_samples("ratrace", "", "simulated", k, all);
     const double lg = std::log2(static_cast<double>(k) + 1);
     table.add_row({std::to_string(k), stats::Table::num(s.mean),
                    stats::Table::num(s.p99), stats::Table::num(s.max, 0),
@@ -103,5 +105,5 @@ int main(int argc, char** argv) {
   renamelib::two_process_distribution();
   renamelib::ratrace_scaling();
   renamelib::hardware_unit_cost();
-  return 0;
+  return renamelib::bench::finish();
 }

@@ -9,10 +9,13 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
+#include "api/report.h"
 #include "counting/baselines.h"
 #include "counting/bounded_fai.h"
 #include "counting/max_register.h"
@@ -113,18 +116,63 @@ void BM_HardwareTas(benchmark::State& state) {
 }
 BENCHMARK(BM_HardwareTas)->Threads(1);
 
+/// Console reporter that additionally collects every iteration run into an
+/// api::BenchReport, mapping this binary onto the repo-wide --json contract.
+/// google-benchmark only reports aggregate times, so the runs carry
+/// throughput with an empty latency recording.
+class ReportingConsoleReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingConsoleReporter(api::BenchReport* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    // Only plain iteration runs are collected (no aggregates). Error/skip
+    // state is deliberately not inspected: its field names changed across
+    // google-benchmark releases, and none of these benchmarks use
+    // SkipWithError.
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      api::ReportRun r;
+      r.name = run.benchmark_name();
+      r.backend = "hardware";
+      r.threads = static_cast<int>(run.threads);
+      r.ops = static_cast<std::uint64_t>(run.iterations);
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        r.ops_per_sec = it->second.value;
+      } else if (run.real_accumulated_time > 0) {
+        r.ops_per_sec =
+            static_cast<double>(run.iterations) / run.real_accumulated_time;
+      }
+      out_->runs.push_back(std::move(r));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  api::BenchReport* out_;
+};
+
 }  // namespace
 }  // namespace renamelib
 
 // Custom main instead of BENCHMARK_MAIN(): the repo-wide --smoke contract
 // maps onto google-benchmark's own flags (one tiny repetition per benchmark)
-// so the CI smoke job can run every bench binary the same way.
+// and --json=FILE onto a collecting reporter, so the CI smoke job can run
+// every bench binary the same way.
 int main(int argc, char** argv) {
   std::vector<char*> args;
   bool smoke = false;
+  std::string json_path;
   for (int i = 0; i < argc; ++i) {
-    if (i > 0 && std::string_view(argv[i]) == "--smoke") {
+    const std::string_view arg(argv[i]);
+    if (i > 0 && arg == "--smoke") {
       smoke = true;
+    } else if (i > 0 && arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+      if (json_path.empty()) {
+        std::cerr << "--json needs a file path\n";
+        return 2;
+      }
     } else {
       args.push_back(argv[i]);
     }
@@ -136,7 +184,15 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
     return 1;
   }
-  benchmark::RunSpecifiedBenchmarks();
+  renamelib::api::BenchReport report;
+  report.bench = "bench_throughput";
+  renamelib::ReportingConsoleReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  if (!json_path.empty()) {
+    report.write_file(json_path);
+    std::cout << "wrote bench report: " << json_path << " ("
+              << report.runs.size() << " runs)\n";
+  }
   return 0;
 }

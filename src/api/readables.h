@@ -16,13 +16,20 @@
 ///   * StripedStatisticAdapter — StripedCounter's statistic mode: one
 ///     pid-striped fetch&add per increment, a full-collect read. Reads are
 ///     monotone across non-overlapping reads, so it declares kMonotone.
+///   * CountnetReadableAdapter — a counting network's quiescent read side:
+///     increment() shepherds one token through the balancers, read()
+///     collects the per-wire exit counts. Exact at quiescence (the step
+///     property is a statement about settled exit counts), so it declares
+///     kQuiescent.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "api/readable.h"
 #include "counting/baselines.h"
 #include "counting/monotone_counter.h"
+#include "countnet/counting_network.h"
 #include "sharded/striped_counter.h"
 
 namespace renamelib::api {
@@ -88,6 +95,31 @@ class StripedStatisticAdapter final : public IReadableCounter {
 
  private:
   sharded::StripedCounter counter_;
+};
+
+/// A counting network [26] behind the readable facet. Entry-wire choice is
+/// meta-level routing input (like CountingNetworkCounter's spray — see
+/// docs/ARCHITECTURE.md "Invariants worth knowing"), charged zero steps.
+class CountnetReadableAdapter final : public IReadableCounter {
+ public:
+  /// Takes ownership of a constructed counting network.
+  explicit CountnetReadableAdapter(countnet::CountingNetwork net)
+      : net_(std::move(net)) {}
+
+  void increment(Ctx& ctx) override {
+    const std::size_t wire =
+        spray_.fetch_add(1, std::memory_order_relaxed) % net_.width();
+    (void)net_.next_value(ctx, wire);
+  }
+  std::uint64_t read(Ctx& ctx) override { return net_.read_count(ctx); }
+  Consistency consistency() const override { return Consistency::kQuiescent; }
+
+  /// The native counting network.
+  countnet::CountingNetwork& impl() { return net_; }
+
+ private:
+  countnet::CountingNetwork net_;
+  std::atomic<std::uint64_t> spray_{0};
 };
 
 }  // namespace renamelib::api

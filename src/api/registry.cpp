@@ -464,6 +464,29 @@ void register_builtins(Registry& r) {
         o.stripes = ranged_param(p, "stripes", 64, 1, 4096);
         return std::make_unique<StripedStatisticAdapter>(o);
       }});
+  r.add_readable(ReadableInfo{
+      .name = "bitonic_countnet",
+      .family = Family::kCountingNetwork,
+      .summary = "bitonic counting network's quiescent read side [26]: one "
+                 "token traverse per increment, full exit-count collect per "
+                 "read, exact at quiescence",
+      .consistency = Consistency::kQuiescent,
+      .keys = {"w"},
+      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+        return std::make_unique<CountnetReadableAdapter>(
+            countnet::CountingNetwork::bitonic(pow2_param(p, "w", 16)));
+      }});
+  r.add_readable(ReadableInfo{
+      .name = "periodic_countnet",
+      .family = Family::kCountingNetwork,
+      .summary = "periodic counting network's quiescent read side [26]: same "
+                 "read/increment contract as bitonic_countnet",
+      .consistency = Consistency::kQuiescent,
+      .keys = {"w"},
+      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+        return std::make_unique<CountnetReadableAdapter>(
+            countnet::periodic_counting_network(pow2_param(p, "w", 16)));
+      }});
 }
 
 }  // namespace

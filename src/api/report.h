@@ -1,0 +1,84 @@
+/// \file
+/// \brief Machine-readable bench reports: the JSON contract every bench
+/// binary emits behind `--json=FILE`.
+///
+/// The paper's performance claims only become a recorded trajectory if every
+/// bench leaves a machine-readable artifact. A BenchReport is one binary's
+/// worth of runs: each run names the experiment, the registry spec it
+/// measured, the backend and thread count, throughput, and the full
+/// tail-faithful latency recording (stats::LatencySnapshot — exact moments,
+/// percentile table, sparse log-bucket histogram). `to_json`/`from_json`
+/// round-trip losslessly, so tools/bench_compare.py can diff two report
+/// files and CI can track regressions across commits.
+///
+/// Schema (kSchema = "renamelib.bench_report.v1"):
+/// \verbatim
+/// {
+///   "schema": "renamelib.bench_report.v1",
+///   "bench": "bench_counter",
+///   "git_describe": "1b67c8d",
+///   "runs": [
+///     {
+///       "name": "shootout", "spec": "striped:stripes=16",
+///       "backend": "hardware", "threads": 8, "ops": 2048,
+///       "ops_per_sec": 1.2e6, "unit": "ns",
+///       "latency": {
+///         "count": 2048, "sum": ..., "sum_sq": ..., "min": ..., "max": ...,
+///         "mean": ..., "p50": ..., "p90": ..., "p99": ..., "p999": ...,
+///         "buckets": [[lower, upper, count], ...]
+///       }
+///     }
+///   ]
+/// }
+/// \endverbatim
+/// `unit` says what the latency values measure: "ns" (hardware wall clock)
+/// or "steps" (paper cost model, simulated backend). `mean`/`p*` are derived
+/// from `count`..`buckets` and ignored on parse.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/latency_recorder.h"
+
+namespace renamelib::api {
+
+/// One measured configuration inside a bench report.
+struct ReportRun {
+  std::string name;     ///< experiment/table label within the bench
+  std::string spec;     ///< registry spec measured ("" for non-registry runs)
+  std::string backend;  ///< "hardware", "simulated", or "analytic"
+  int threads = 0;      ///< process/thread count of the scenario
+  std::uint64_t ops = 0;       ///< completed operations
+  double ops_per_sec = 0;      ///< wall-clock throughput (0 when unmeasured)
+  std::string unit = "ns";     ///< latency unit: "ns" or "steps"
+  stats::LatencySnapshot latency;  ///< tail-faithful latency recording
+};
+
+/// A bench binary's machine-readable result file (see the schema above).
+struct BenchReport {
+  /// The schema identifier emitted and required on parse.
+  static constexpr const char* kSchema = "renamelib.bench_report.v1";
+
+  /// `git describe` of the build (baked in at configure time; "unknown"
+  /// when built outside a git checkout).
+  static std::string build_git_describe();
+
+  std::string bench;         ///< bench binary name
+  std::string git_describe = build_git_describe();
+  std::vector<ReportRun> runs;
+
+  /// Serializes the report (stable field order, round-trippable doubles).
+  std::string to_json() const;
+  /// Parses a report; throws std::invalid_argument on malformed JSON, a
+  /// schema mismatch, or inconsistent latency buckets.
+  static BenchReport from_json(const std::string& json);
+
+  /// Writes to_json() to `path` (throws std::runtime_error on I/O failure).
+  void write_file(const std::string& path) const;
+  /// Reads and parses `path` (throws on I/O or parse failure).
+  static BenchReport read_file(const std::string& path);
+};
+
+}  // namespace renamelib::api

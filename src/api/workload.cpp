@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <iterator>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -32,13 +33,6 @@ std::vector<double> Run::op_steps() const {
   std::vector<double> out;
   out.reserve(ops.size());
   for (const auto& op : ops) out.push_back(static_cast<double>(op.steps));
-  return out;
-}
-
-std::vector<double> Run::op_latencies_ns() const {
-  std::vector<double> out;
-  out.reserve(ops.size());
-  for (const auto& op : ops) out.push_back(static_cast<double>(op.wall_ns));
   return out;
 }
 
@@ -99,29 +93,59 @@ Run Workload::run_metered(
   std::optional<sim::HistoryRecorder> recorder;
   if (scenario_.record_history) recorder.emplace();
   const bool timed = scenario_.backend == Backend::kHardware;
+  // Hardware backend: latency goes into a lock-free per-thread recorder and
+  // samples/metrics are buffered per process, merged once at completion — the
+  // metered loop stays free of meta-level lock contention. The simulated
+  // backend keeps per-op commits so a crashed process's already-completed
+  // ops survive in Run::ops (hardware runs cannot crash — see execute()).
+  std::optional<stats::LatencyRecorder> latency;
+  if (timed) latency.emplace(scenario_.nproc);
 
   auto body = [&](Ctx& ctx) {
+    Metrics local;
+    std::vector<OpSample> local_ops;
+    if (timed && scenario_.keep_op_samples) {
+      local_ops.reserve(static_cast<std::size_t>(scenario_.ops_per_proc));
+    }
     for (int i = 0; i < scenario_.ops_per_proc; ++i) {
       const char* kind = kind_of(i);
       const std::uint64_t token = recorder ? recorder->invoke() : 0;
       OpMeter meter(ctx);
       const auto t0 = timed ? clock::now() : clock::time_point{};
       const std::uint64_t v = op(ctx, i);
-      const std::uint64_t wall_ns =
-          timed ? static_cast<std::uint64_t>(
-                      std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          clock::now() - t0)
-                          .count())
-                : 0;
+      if (timed) {
+        latency->record(
+            ctx.pid(),
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    clock::now() - t0)
+                    .count()));
+      }
       if (recorder) recorder->respond(ctx.pid(), kind, 0, v, token);
+      if (timed) {
+        meter.commit(local);
+        if (scenario_.keep_op_samples) {
+          local_ops.push_back(OpSample{ctx.pid(), v, meter.op_steps(), kind});
+        }
+      } else {
+        std::scoped_lock lock{mu};
+        meter.commit(run.metrics);
+        if (scenario_.keep_op_samples) {
+          run.ops.push_back(OpSample{ctx.pid(), v, meter.op_steps(), kind});
+        }
+      }
+    }
+    if (timed) {
       std::scoped_lock lock{mu};
-      meter.commit(run.metrics);
-      run.ops.push_back(OpSample{ctx.pid(), v, meter.op_steps(), wall_ns, kind});
+      run.metrics.merge(local);
+      run.ops.insert(run.ops.end(), std::make_move_iterator(local_ops.begin()),
+                     std::make_move_iterator(local_ops.end()));
     }
   };
   execute(body, mu, run);
 
   if (recorder) run.history = recorder->history();
+  if (latency) run.latency = latency->snapshot();
   return run;
 }
 

@@ -7,7 +7,8 @@
 /// seed); the Workload runs any registered object — counter, renaming, or
 /// readable counter — or any free-form body under it and reports the one
 /// Metrics contract. On the hardware backend the Run additionally carries
-/// wall-clock throughput (Metrics::ops_per_sec) and per-op latency samples.
+/// wall-clock throughput (Metrics::ops_per_sec) and a tail-faithful per-op
+/// latency recording (Run::latency, a stats::LatencySnapshot).
 /// Benches sweep scenarios over the Registry's facet tables; tests assert
 /// object invariants on the collected values and (optionally)
 /// Wing–Gong-checkable histories.
@@ -25,6 +26,7 @@
 #include "api/registry.h"
 #include "api/renaming.h"
 #include "sim/linearizability.h"
+#include "stats/latency_recorder.h"
 
 namespace renamelib::api {
 
@@ -72,6 +74,11 @@ struct Scenario {
   /// run(IRenaming&) "rename", and run(IReadableCounter&) "inc"/"read"
   /// regardless.
   std::string history_kind = "op";
+  /// Keep per-op samples (Run::ops). Turn off for high-volume throughput
+  /// runs: metrics and the latency recording stay exact while memory stays
+  /// O(1) in the op count — validation then goes through object-side
+  /// invariants (e.g. IRenaming::holders) instead of Run::values().
+  bool keep_op_samples = true;
   /// Simulated backend: abort runaway executions after this many steps.
   std::uint64_t max_total_steps = 50'000'000;
 };
@@ -81,7 +88,6 @@ struct OpSample {
   int pid = 0;
   std::uint64_t value = 0;    ///< counter value / acquired name / read result
   std::uint64_t steps = 0;    ///< paper-model steps this op cost
-  std::uint64_t wall_ns = 0;  ///< hardware backend: op latency; 0 on sim
   std::string kind;           ///< operation kind ("fai", "rename", "inc", ...)
 };
 
@@ -93,6 +99,11 @@ struct Run {
   std::vector<double> proc_steps;       ///< finished processes' total steps
   std::size_t finished_procs = 0;       ///< bodies that ran to completion
   std::size_t crashed_procs = 0;        ///< bodies killed by crash injection
+  /// Hardware backend: per-op wall-clock latency in nanoseconds, recorded
+  /// into a lock-free per-thread stats::LatencyRecorder (log-bucketed, no
+  /// tail loss, O(1) memory in the op count). Empty (count 0) on the
+  /// simulated backend, whose serialized grants make wall time meaningless.
+  stats::LatencySnapshot latency;
 
   /// All completed ops' values (convenience for invariant checks).
   std::vector<std::uint64_t> values() const;
@@ -101,9 +112,6 @@ struct Run {
   std::vector<std::uint64_t> values_of(std::string_view kind) const;
   /// Per-op paper-model step counts (for stats::summarize).
   std::vector<double> op_steps() const;
-  /// Per-op wall-clock latencies in nanoseconds (hardware backend; empty
-  /// samples are 0 on the simulated backend).
-  std::vector<double> op_latencies_ns() const;
   /// Mean of proc_steps.
   double mean_proc_steps() const;
 };

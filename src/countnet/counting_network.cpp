@@ -106,6 +106,15 @@ std::uint64_t CountingNetwork::next_value(Ctx& ctx, std::size_t enter_wire) {
   return out + wiring_.width() * visits;
 }
 
+std::uint64_t CountingNetwork::read_count(Ctx& ctx) const {
+  LabelScope label{ctx, "counting_network/read"};
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < wiring_.width(); ++i) {
+    total += exit_counts_[i].load(ctx);
+  }
+  return total;
+}
+
 std::vector<std::uint64_t> CountingNetwork::output_counts() const {
   std::vector<std::uint64_t> counts(wiring_.width());
   for (std::size_t i = 0; i < counts.size(); ++i) {

@@ -62,6 +62,13 @@ class CountingNetwork {
   /// standard "counting" use (value = wire + width * visits).
   std::uint64_t next_value(Ctx& ctx, std::size_t enter_wire);
 
+  /// The quiescent read side: collects the per-wire exit counters through
+  /// ctx-charged reads. Exact once no token is in flight (every traverse
+  /// has performed its exit fetch_add); monotone across non-overlapping
+  /// reads (exit counters only grow, and a later collect reads every wire
+  /// after an earlier one finished).
+  std::uint64_t read_count(Ctx& ctx) const;
+
   /// Quiescent check of the step property: output-wire token counts must
   /// differ by at most one, with excess on lower wires.
   bool has_step_property() const;

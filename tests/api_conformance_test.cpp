@@ -681,11 +681,25 @@ TEST(WorkloadMetrics, HardwareRunsReportWallClockThroughput) {
   ASSERT_EQ(run.ops.size(), 32u);
   EXPECT_GT(run.metrics.wall_seconds, 0.0);
   EXPECT_GT(run.metrics.ops_per_sec(), 0.0);
-  // Per-op latency samples are populated (clock granularity can zero out an
+  // The latency recording holds every op (clock granularity can zero out an
   // individual sample, but not the whole run's maximum).
-  const auto lat = run.op_latencies_ns();
-  ASSERT_EQ(lat.size(), 32u);
-  EXPECT_GT(*std::max_element(lat.begin(), lat.end()), 0.0);
+  ASSERT_EQ(run.latency.count(), 32u);
+  EXPECT_GT(run.latency.max(), 0u);
+  EXPECT_LE(run.latency.percentile(0.50), run.latency.percentile(0.99));
+}
+
+TEST(WorkloadMetrics, DroppingOpSamplesKeepsMetricsAndLatency) {
+  Scenario s;
+  s.nproc = 2;
+  s.ops_per_proc = 16;
+  s.backend = Backend::kHardware;
+  s.seed = 11;
+  s.keep_op_samples = false;
+  const api::Run run = Workload::run_counter_spec("atomic_fai", s);
+  EXPECT_TRUE(run.ops.empty());
+  EXPECT_EQ(run.metrics.ops, 32u);
+  EXPECT_EQ(run.latency.count(), 32u);
+  EXPECT_GT(run.metrics.ops_per_sec(), 0.0);
 }
 
 TEST(WorkloadMetrics, SimulatedRunsHaveNoWallClock) {
@@ -696,7 +710,7 @@ TEST(WorkloadMetrics, SimulatedRunsHaveNoWallClock) {
   const api::Run run = Workload::run_counter_spec("atomic_fai", s);
   EXPECT_EQ(run.metrics.wall_seconds, 0.0);
   EXPECT_EQ(run.metrics.ops_per_sec(), 0.0);
-  for (const auto& op : run.ops) EXPECT_EQ(op.wall_ns, 0u);
+  EXPECT_EQ(run.latency.count(), 0u);
 }
 
 }  // namespace

@@ -1,12 +1,19 @@
-// Tests for the stats module (summary, growth fitting, tables, histograms) —
-// the instruments the experiment benches rely on must themselves be correct.
+// Tests for the stats module (summary, growth fitting, tables, histograms,
+// the concurrent latency recorder) — the instruments the experiment benches
+// rely on must themselves be correct.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <random>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "stats/fit.h"
 #include "stats/histogram.h"
+#include "stats/latency_recorder.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 
@@ -126,6 +133,204 @@ TEST(Histogram, NegativeClampsToFirstBucket) {
   Histogram h(1, 2);
   h.add(-5);
   EXPECT_EQ(h.bucket(0), 1u);
+}
+
+TEST(LatencyBuckets, GeometryIsContiguousAndInvertible) {
+  // Exhaustive over the exact range, then sampled across every octave: the
+  // bucket index is monotone, edges invert, and every value lands inside
+  // its bucket's [lower, upper) window.
+  std::size_t prev = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    const std::size_t i = LatencyBuckets::index_of(v);
+    EXPECT_GE(i, prev);
+    EXPECT_LE(i - prev, 1u) << "gap at " << v;
+    prev = i;
+    EXPECT_LE(LatencyBuckets::lower(i), v);
+    EXPECT_GT(LatencyBuckets::upper(i), v);
+  }
+  for (int shift = 12; shift < 64; ++shift) {
+    for (const std::uint64_t v :
+         {1ull << shift, (1ull << shift) + 1, (1ull << shift) * 2 - 1}) {
+      const std::size_t i = LatencyBuckets::index_of(v);
+      ASSERT_LT(i, LatencyBuckets::kCount);
+      EXPECT_LE(LatencyBuckets::lower(i), v);
+      const std::uint64_t upper = LatencyBuckets::upper(i);
+      if (upper != 0) {  // 0 marks the bucket ending past uint64 max
+        EXPECT_GT(upper, v);
+        // Relative bucket width is the resolution claim: <= 1/kSubBuckets.
+        EXPECT_LE(static_cast<double>(upper - LatencyBuckets::lower(i)),
+                  static_cast<double>(LatencyBuckets::lower(i)) /
+                          LatencyBuckets::kSubBuckets +
+                      1.0);
+      }
+    }
+  }
+  EXPECT_EQ(LatencyBuckets::index_of(~0ull), LatencyBuckets::kCount - 1);
+}
+
+TEST(LatencyRecorder, PercentilesMatchSortedOracleWithinOneBucket) {
+  // The acceptance bar: on 1e6 heavy-tailed samples, every reported
+  // percentile resolves to exactly the log-bucket holding the nearest-rank
+  // sample of the sorted oracle.
+  constexpr std::size_t kSamples = 1'000'000;
+  constexpr int kThreads = 8;
+  std::vector<std::vector<std::uint64_t>> parts(kThreads);
+  std::mt19937_64 rng(42);
+  std::lognormal_distribution<double> heavy(/*m=*/8.0, /*s=*/2.0);
+  std::vector<std::uint64_t> all;
+  all.reserve(kSamples);
+  for (std::size_t i = 0; i < kSamples; ++i) {
+    const auto v = static_cast<std::uint64_t>(heavy(rng));
+    parts[i % kThreads].push_back(v);
+    all.push_back(v);
+  }
+
+  LatencyRecorder recorder(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&recorder, &parts, t] {
+      for (const std::uint64_t v : parts[static_cast<std::size_t>(t)]) {
+        recorder.record(t, v);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const LatencySnapshot snap = recorder.snapshot();
+
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(snap.count(), kSamples);
+  EXPECT_EQ(snap.min(), all.front());
+  EXPECT_EQ(snap.max(), all.back());
+  for (const double p : {0.50, 0.90, 0.99, 0.999}) {
+    const std::uint64_t oracle =
+        all[static_cast<std::size_t>(std::ceil(p * kSamples)) - 1];
+    const std::uint64_t got = snap.percentile(p);
+    EXPECT_EQ(LatencyBuckets::index_of(got), LatencyBuckets::index_of(oracle))
+        << "p=" << p << " got=" << got << " oracle=" << oracle;
+    // The reported value is the bucket's lower edge: never above the oracle,
+    // and within one bucket width (<= 1/kSubBuckets relative) below it.
+    EXPECT_LE(got, oracle);
+    EXPECT_GT(LatencyBuckets::upper(LatencyBuckets::index_of(got)), oracle);
+  }
+}
+
+TEST(LatencyRecorder, ConcurrentRecordingIsDeterministic) {
+  // Fixed per-thread sequences recorded concurrently, twice: both snapshots
+  // equal each other and the sequential reference bucket-for-bucket —
+  // concurrency must not lose or double-count anything.
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 50'000;
+  auto value_of = [](int t, int i) {
+    // Spread across several octaves, deterministic per (t, i).
+    return static_cast<std::uint64_t>((i % 1021) + 1)
+           << (static_cast<unsigned>(t * 3 + i % 5) % 40);
+  };
+
+  std::vector<double> reference;
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      reference.push_back(static_cast<double>(value_of(t, i)));
+    }
+  }
+  const LatencySnapshot expected = LatencySnapshot::of(reference);
+
+  for (int round = 0; round < 2; ++round) {
+    LatencyRecorder recorder(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&recorder, &value_of, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          recorder.record(t, value_of(t, i));
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    const LatencySnapshot snap = recorder.snapshot();
+    ASSERT_EQ(snap.count(), expected.count());
+    EXPECT_EQ(snap.min(), expected.min());
+    EXPECT_EQ(snap.max(), expected.max());
+    EXPECT_DOUBLE_EQ(snap.sum(), expected.sum());
+    for (std::size_t i = 0; i < LatencyBuckets::kCount; ++i) {
+      ASSERT_EQ(snap.bucket(i), expected.bucket(i)) << "bucket " << i;
+    }
+  }
+}
+
+TEST(LatencySnapshot, MergeEqualsRecordingEverythingInOne) {
+  const std::vector<double> a{1, 5, 900, 1e7, 3.2e9};
+  const std::vector<double> b{2, 5, 1e12, 7};
+  LatencySnapshot merged = LatencySnapshot::of(a);
+  merged.merge(LatencySnapshot::of(b));
+
+  std::vector<double> both = a;
+  both.insert(both.end(), b.begin(), b.end());
+  const LatencySnapshot direct = LatencySnapshot::of(both);
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.min(), direct.min());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_DOUBLE_EQ(merged.sum(), direct.sum());
+  for (std::size_t i = 0; i < LatencyBuckets::kCount; ++i) {
+    ASSERT_EQ(merged.bucket(i), direct.bucket(i));
+  }
+}
+
+TEST(LatencySnapshot, NoOverflowLossAtExtremeValues) {
+  // The fixed-width Histogram folds these into one overflow count; the
+  // log-bucketed snapshot must keep them distinguishable and queryable.
+  LatencySnapshot snap;
+  snap.add(0);
+  snap.add(~0ull);
+  snap.add(1ull << 62);
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_EQ(snap.max(), ~0ull);
+  EXPECT_EQ(snap.percentile(0.0), 0u);
+  const std::uint64_t p100 = snap.percentile(1.0);
+  EXPECT_EQ(LatencyBuckets::index_of(p100), LatencyBuckets::index_of(~0ull));
+  // Relative resolution survives at the top of the range.
+  EXPECT_GE(p100, ~0ull - (~0ull >> LatencyBuckets::kSubBits));
+}
+
+TEST(LatencySnapshot, SummaryAgreesWithExactSummarize) {
+  std::vector<double> samples;
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(1, 5e6);
+  for (int i = 0; i < 20'000; ++i) samples.push_back(std::floor(u(rng)));
+  const Summary exact = summarize(samples);
+  const Summary approx = LatencySnapshot::of(samples).to_summary();
+  EXPECT_EQ(approx.count, exact.count);
+  EXPECT_DOUBLE_EQ(approx.min, exact.min);
+  EXPECT_DOUBLE_EQ(approx.max, exact.max);
+  EXPECT_NEAR(approx.mean, exact.mean, 1e-6);
+  EXPECT_NEAR(approx.stddev, exact.stddev, exact.stddev * 1e-9 + 1e-6);
+  // Percentiles within one log-bucket: lower edge <= exact < upper edge.
+  for (const auto [got, want] : {std::pair{approx.p50, exact.p50},
+                                 std::pair{approx.p90, exact.p90},
+                                 std::pair{approx.p99, exact.p99}}) {
+    EXPECT_LE(got, want);
+    EXPECT_GE(got, want * (1.0 - 1.0 / LatencyBuckets::kSubBuckets) - 1);
+  }
+}
+
+TEST(LatencySnapshot, PercentilesClampToRecordedMin) {
+  // All samples share one bucket whose lower edge (1216) undershoots the
+  // actual minimum: percentiles must report the min, not the edge, so the
+  // serialized min <= p* <= max invariant holds for report consumers.
+  const LatencySnapshot snap =
+      LatencySnapshot::of(std::vector<double>(8, 1234));
+  ASSERT_LT(LatencyBuckets::lower(LatencyBuckets::index_of(1234)), 1234u);
+  for (const double p : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(snap.percentile(p), 1234u) << p;
+  }
+}
+
+TEST(LatencySnapshot, EmptyIsWellDefined) {
+  const LatencySnapshot snap;
+  EXPECT_EQ(snap.count(), 0u);
+  EXPECT_EQ(snap.min(), 0u);
+  EXPECT_EQ(snap.max(), 0u);
+  EXPECT_EQ(snap.percentile(0.99), 0u);
+  EXPECT_EQ(snap.to_summary().count, 0u);
+  EXPECT_TRUE(snap.nonzero_buckets().empty());
 }
 
 }  // namespace

@@ -1,0 +1,299 @@
+#!/usr/bin/env python3
+"""Diff two renamelib bench reports with regression thresholds.
+
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [options]
+  bench_compare.py --validate FILE [FILE...]
+  bench_compare.py --self-check
+
+Modes:
+  * compare (default): match runs by (bench, name, spec, backend, threads,
+    unit) and flag regressions — throughput dropping more than
+    --max-throughput-regress, or tail latency (p99) growing more than
+    --max-p99-regress. Exits non-zero iff a regression was found.
+  * --validate: schema-check report files (the structural checks below)
+    without comparing. Exits non-zero on the first invalid file.
+  * --self-check: run the built-in synthetic-report tests of the full
+    parse/match/threshold path. Used as a ctest entry (label smoke).
+
+Schema checks (renamelib.bench_report.v1):
+  * top-level: schema/bench/git_describe strings, runs list,
+  * per run: name/spec/backend/unit strings, threads/ops integers,
+    ops_per_sec number, latency object,
+  * per latency: count/min/max/p50/p90/p99/p999 integers, sum/sum_sq/mean
+    numbers, buckets a list of [lower, upper, count] with counts summing to
+    `count` and percentiles falling inside [min, max].
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "renamelib.bench_report.v1"
+
+
+class ReportError(Exception):
+    """A report failed schema validation."""
+
+
+def _require(cond, where, what):
+    if not cond:
+        raise ReportError(f"{where}: {what}")
+
+
+def _is_uint(v):
+    # bool is an int subclass in Python; the C++ parser rejects true/false
+    # where integers are required, and the validators must agree.
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def _is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_report(doc, where="report"):
+    """Structural validation of one parsed report; returns the doc."""
+    _require(isinstance(doc, dict), where, "top level must be an object")
+    _require(doc.get("schema") == SCHEMA, where,
+             f"schema must be '{SCHEMA}', got {doc.get('schema')!r}")
+    for key in ("bench", "git_describe"):
+        _require(isinstance(doc.get(key), str), where, f"'{key}' must be a string")
+    _require(isinstance(doc.get("runs"), list), where, "'runs' must be a list")
+    for i, run in enumerate(doc["runs"]):
+        rwhere = f"{where}.runs[{i}]"
+        _require(isinstance(run, dict), rwhere, "must be an object")
+        for key in ("name", "spec", "backend", "unit"):
+            _require(isinstance(run.get(key), str), rwhere,
+                     f"'{key}' must be a string")
+        for key in ("threads", "ops"):
+            _require(_is_uint(run.get(key)), rwhere,
+                     f"'{key}' must be a non-negative integer")
+        _require(_is_number(run.get("ops_per_sec")), rwhere,
+                 "'ops_per_sec' must be a number")
+        lat = run.get("latency")
+        _require(isinstance(lat, dict), rwhere, "'latency' must be an object")
+        for key in ("count", "min", "max", "p50", "p90", "p99", "p999"):
+            _require(_is_uint(lat.get(key)), rwhere,
+                     f"latency '{key}' must be a non-negative integer")
+        for key in ("sum", "sum_sq", "mean"):
+            _require(_is_number(lat.get(key)), rwhere,
+                     f"latency '{key}' must be a number")
+        _require(isinstance(lat.get("buckets"), list), rwhere,
+                 "latency 'buckets' must be a list")
+        total = 0
+        prev_lower = -1
+        for j, bucket in enumerate(lat["buckets"]):
+            _require(isinstance(bucket, list) and len(bucket) == 3 and
+                     all(_is_uint(v) for v in bucket),
+                     rwhere, f"bucket[{j}] must be [lower, upper, count] ints")
+            _require(bucket[0] > prev_lower, rwhere,
+                     f"bucket[{j}] lower edges must be ascending")
+            prev_lower = bucket[0]
+            total += bucket[2]
+        _require(total == lat["count"], rwhere,
+                 f"bucket counts sum to {total}, latency count is {lat['count']}")
+        if lat["count"] > 0:
+            for key in ("p50", "p90", "p99", "p999"):
+                _require(lat["min"] <= lat[key] <= lat["max"], rwhere,
+                         f"latency '{key}'={lat[key]} outside "
+                         f"[min={lat['min']}, max={lat['max']}]")
+    return doc
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise ReportError(f"{path}: {e}") from e
+    return validate_report(doc, where=path)
+
+
+def run_key(doc, run, occurrence):
+    return (doc["bench"], run["name"], run["spec"], run["backend"],
+            run["threads"], run["unit"], occurrence)
+
+
+def index_runs(doc):
+    """Keyed runs; duplicate keys get an occurrence index so repeated
+    configurations (e.g. the same spec measured in two tables) still pair up
+    positionally."""
+    seen = {}
+    out = {}
+    for run in doc["runs"]:
+        base = run_key(doc, run, 0)[:-1]
+        occurrence = seen.get(base, 0)
+        seen[base] = occurrence + 1
+        out[base + (occurrence,)] = run
+    return out
+
+
+def fmt_key(key):
+    bench, name, spec, backend, threads, unit, occ = key
+    spec_part = f" [{spec}]" if spec else ""
+    occ_part = f" #{occ}" if occ else ""
+    return f"{bench}/{name}{spec_part} ({backend}, k={threads}, {unit}){occ_part}"
+
+
+def compare(baseline, current, max_tp_regress, max_p99_regress, out=sys.stdout):
+    """Returns (regressions, compared, unmatched) and prints a row per pair."""
+    base_runs = index_runs(baseline)
+    cur_runs = index_runs(current)
+    regressions = []
+    compared = 0
+    for key in sorted(base_runs):
+        if key not in cur_runs:
+            print(f"  MISSING  {fmt_key(key)} (in baseline only)", file=out)
+            continue
+        b, c = base_runs[key], cur_runs[key]
+        compared += 1
+        verdicts = []
+        # Throughput: lower is worse. Only meaningful when both legs timed.
+        if b["ops_per_sec"] > 0 and c["ops_per_sec"] > 0:
+            delta = c["ops_per_sec"] / b["ops_per_sec"] - 1
+            verdicts.append(f"ops/sec {delta:+.1%}")
+            if delta < -max_tp_regress:
+                regressions.append(
+                    f"{fmt_key(key)}: throughput {b['ops_per_sec']:.0f} -> "
+                    f"{c['ops_per_sec']:.0f} ({delta:+.1%}, limit "
+                    f"-{max_tp_regress:.0%})")
+        # Tail latency: higher is worse.
+        if b["latency"]["count"] > 0 and c["latency"]["count"] > 0 \
+                and b["latency"]["p99"] > 0:
+            delta = c["latency"]["p99"] / b["latency"]["p99"] - 1
+            verdicts.append(f"p99 {delta:+.1%}")
+            if delta > max_p99_regress:
+                regressions.append(
+                    f"{fmt_key(key)}: p99 {b['latency']['p99']} -> "
+                    f"{c['latency']['p99']} {b['unit']} ({delta:+.1%}, limit "
+                    f"+{max_p99_regress:.0%})")
+        print(f"  ok  {fmt_key(key)}: {', '.join(verdicts) or 'no timed axis'}",
+              file=out)
+    unmatched = [k for k in cur_runs if k not in base_runs]
+    for key in sorted(unmatched):
+        print(f"  NEW  {fmt_key(key)} (in current only)", file=out)
+    return regressions, compared, unmatched
+
+
+# ------------------------------------------------------------- self-check
+
+def _synthetic(bench="bench_x", name="t", spec="s", ops_per_sec=1000.0,
+               p99=100):
+    """A minimal valid report with one run whose p99 lands exactly on p99."""
+    return validate_report({
+        "schema": SCHEMA, "bench": bench, "git_describe": "selfcheck",
+        "runs": [{
+            "name": name, "spec": spec, "backend": "hardware", "threads": 2,
+            "ops": 100, "ops_per_sec": ops_per_sec, "unit": "ns",
+            "latency": {
+                "count": 100, "sum": 100.0 * p99, "sum_sq": 100.0 * p99 * p99,
+                "min": p99, "max": p99, "mean": float(p99), "p50": p99,
+                "p90": p99, "p99": p99, "p999": p99,
+                "buckets": [[p99, p99 + 1, 100]],
+            },
+        }],
+    }, where="synthetic")
+
+
+def self_check():
+    import io
+
+    def diff(base, cur):
+        return compare(base, cur, 0.25, 0.25, out=io.StringIO())
+
+    # Identical reports: no regression.
+    regs, compared, unmatched = diff(_synthetic(), _synthetic())
+    assert not regs and compared == 1 and not unmatched, regs
+
+    # Throughput drop beyond the threshold: flagged.
+    regs, _, _ = diff(_synthetic(ops_per_sec=1000), _synthetic(ops_per_sec=500))
+    assert len(regs) == 1 and "throughput" in regs[0], regs
+
+    # Throughput gain: not flagged.
+    regs, _, _ = diff(_synthetic(ops_per_sec=1000), _synthetic(ops_per_sec=2000))
+    assert not regs, regs
+
+    # p99 growth beyond the threshold: flagged.
+    regs, _, _ = diff(_synthetic(p99=100), _synthetic(p99=200))
+    assert len(regs) == 1 and "p99" in regs[0], regs
+
+    # p99 improvement: not flagged.
+    regs, _, _ = diff(_synthetic(p99=100), _synthetic(p99=50))
+    assert not regs, regs
+
+    # Unmatched runs warn but do not fail.
+    base, cur = _synthetic(), _synthetic(name="other")
+    regs, compared, unmatched = diff(base, cur)
+    assert not regs and compared == 0 and len(unmatched) == 1
+
+    # Schema violations are caught.
+    for mutate in (
+        lambda d: d.update(schema="nope"),
+        lambda d: d["runs"][0].pop("ops_per_sec"),
+        lambda d: d["runs"][0]["latency"]["buckets"][0].__setitem__(2, 7),
+        lambda d: d["runs"][0]["latency"].__setitem__("p99", 10**9),
+        # Booleans must not satisfy integer fields (C++ parser parity).
+        lambda d: d["runs"][0].__setitem__("threads", True),
+        lambda d: d["runs"][0]["latency"].__setitem__("count", True),
+    ):
+        doc = _synthetic()
+        mutate(doc)
+        try:
+            validate_report(doc, where="mutated")
+        except ReportError:
+            pass
+        else:
+            raise AssertionError(f"mutation not caught: {mutate}")
+
+    print("bench_compare self-check OK")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", help="BASELINE CURRENT (compare) "
+                        "or report files (--validate)")
+    parser.add_argument("--validate", action="store_true",
+                        help="schema-check the given files, do not compare")
+    parser.add_argument("--self-check", action="store_true",
+                        help="run the built-in synthetic-report tests")
+    parser.add_argument("--max-throughput-regress", type=float, default=0.30,
+                        metavar="FRAC",
+                        help="max tolerated ops/sec drop (default 0.30)")
+    parser.add_argument("--max-p99-regress", type=float, default=0.50,
+                        metavar="FRAC",
+                        help="max tolerated p99 growth (default 0.50)")
+    args = parser.parse_args(argv)
+
+    if args.self_check:
+        return self_check()
+
+    try:
+        if args.validate:
+            if not args.files:
+                parser.error("--validate needs at least one file")
+            for path in args.files:
+                load_report(path)
+                print(f"valid: {path}")
+            return 0
+
+        if len(args.files) != 2:
+            parser.error("compare mode needs exactly BASELINE and CURRENT")
+        baseline = load_report(args.files[0])
+        current = load_report(args.files[1])
+    except ReportError as e:
+        print(f"INVALID REPORT: {e}", file=sys.stderr)
+        return 2
+
+    print(f"comparing {args.files[0]} ({baseline['git_describe']}) -> "
+          f"{args.files[1]} ({current['git_describe']})")
+    regressions, compared, _ = compare(
+        baseline, current, args.max_throughput_regress, args.max_p99_regress)
+    print(f"{compared} run(s) compared, {len(regressions)} regression(s)")
+    for reg in regressions:
+        print(f"REGRESSION: {reg}", file=sys.stderr)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -65,7 +65,7 @@ void who_wins() {
   // from specs_for at a valid k and re-check them against every row's specs.
   std::vector<std::string> columns;
   for (const auto& spec : specs_for(2)) {
-    columns.push_back(api::parse_spec(spec).name);
+    columns.push_back(api::Spec::parse(spec).name());
   }
   std::vector<std::string> header{"k"};
   header.insert(header.end(), columns.begin(), columns.end());
@@ -77,7 +77,7 @@ void who_wins() {
     std::uint64_t salt = 1;
     const auto specs = specs_for(k);
     for (std::size_t i = 0; i < specs.size(); ++i) {
-      const std::string name = api::parse_spec(specs[i]).name;
+      const std::string name = api::Spec::parse(specs[i]).name();
       if (i >= columns.size() || name != columns[i]) {
         std::cerr << "VALIDATION FAILED: column mismatch at k=" << k << "\n";
         std::exit(1);

@@ -40,7 +40,7 @@ api::Run churn_run(api::IRenaming& obj, const api::Scenario& s) {
 
 void validate(const api::RenamingInfo& info, const api::Run& run,
               api::IRenaming& obj, int k, const char* backend) {
-  const api::Params defaults;
+  const api::Spec defaults;
   const auto names = run.values();
   if (info.reusable) {
     // Churn recycles: at quiescence nothing is held, and every name stays
@@ -90,7 +90,7 @@ void churn_table() {
       "namespace with no-op releases.");
   stats::Table table({"spec", "mode", "k", "ops", "mean steps", "p99 steps",
                       "hw ops/sec", "hw p50 ns", "hw p99 ns", "hw p999 ns"});
-  const api::Params defaults;
+  const api::Spec defaults;
   std::vector<double> churn_k, churn_p99;  // reusable entries' tail growth
   for (const auto& info : api::Registry::global().renamings()) {
     const std::string& spec = info.name;

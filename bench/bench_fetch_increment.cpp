@@ -138,7 +138,7 @@ void counter_shootout() {
                       "hw ops/sec", "hw p50 ns", "hw p99 ns"});
   for (const auto& spec : specs) {
     const api::CounterInfo* info =
-        api::Registry::global().find_counter(api::parse_spec(spec).name);
+        api::Registry::global().find_counter(api::Spec::parse(spec).name());
     const std::uint64_t capacity =
         api::Registry::global().make_counter(spec)->capacity();
     for (int k : bench::sweep_or_first<int>({2, 8, 16})) {

@@ -1,6 +1,8 @@
 #include "api/registry.h"
 
+#include <algorithm>
 #include <charconv>
+#include <iterator>
 #include <limits>
 #include <stdexcept>
 
@@ -47,161 +49,296 @@ const char* facet_name(Facet f) {
   return "?";
 }
 
-// ------------------------------------------------------------------ params
-
-void Params::set(std::string key, std::string value) {
-  if (has(key)) {
-    throw std::invalid_argument("duplicate spec param '" + key + "'");
-  }
-  kv_.emplace_back(std::move(key), std::move(value));
+Facet facet_from_name(std::string_view name) {
+  // Each facet answers to its facet_name() and a short CLI-friendly alias.
+  if (name == "counter") return Facet::kCounter;
+  if (name == "renaming") return Facet::kRenaming;
+  if (name == "readable-counter" || name == "readable") return Facet::kReadable;
+  throw std::invalid_argument("unknown facet '" + std::string(name) +
+                              "' (valid: counter, renaming, readable)");
 }
 
-bool Params::has(std::string_view key) const {
-  for (const auto& [k, v] : kv_) {
-    if (k == key) return true;
-  }
-  return false;
+// ------------------------------------------------------------ OptionSchema
+
+OptionSchema OptionSchema::u64(std::string key, std::uint64_t def,
+                               std::uint64_t lo, std::uint64_t hi,
+                               std::string doc) {
+  OptionSchema o;
+  o.key = std::move(key);
+  o.type = Type::kInt;
+  o.doc = std::move(doc);
+  o.def = std::to_string(def);
+  o.min = lo;
+  o.max = hi;
+  return o;
 }
 
-std::string Params::get(std::string_view key, std::string_view def) const {
-  for (const auto& [k, v] : kv_) {
-    if (k == key) return v;
-  }
-  return std::string(def);
+OptionSchema OptionSchema::pow2_u64(std::string key, std::uint64_t def,
+                                    std::uint64_t lo, std::uint64_t hi,
+                                    std::string doc) {
+  OptionSchema o = u64(std::move(key), def, lo, hi, std::move(doc));
+  o.pow2 = true;
+  return o;
 }
 
-std::uint64_t Params::get_u64(std::string_view key, std::uint64_t def) const {
-  for (const auto& [k, v] : kv_) {
-    if (k != key) continue;
-    std::uint64_t out = 0;
-    const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
-    if (ec != std::errc{} || ptr != v.data() + v.size()) {
-      throw std::invalid_argument("spec param '" + std::string(key) +
-                                  "' is not an unsigned integer: '" + v + "'");
+OptionSchema OptionSchema::boolean(std::string key, bool def, std::string doc) {
+  OptionSchema o;
+  o.key = std::move(key);
+  o.type = Type::kBool;
+  o.doc = std::move(doc);
+  o.def = def ? "1" : "0";
+  return o;
+}
+
+OptionSchema OptionSchema::choice(std::string key, std::string def,
+                                  std::vector<std::string> choices,
+                                  std::string doc) {
+  OptionSchema o;
+  o.key = std::move(key);
+  o.type = Type::kEnum;
+  o.doc = std::move(doc);
+  o.def = std::move(def);
+  o.choices = std::move(choices);
+  return o;
+}
+
+OptionSchema OptionSchema::spec(std::string key, std::string def, Facet facet,
+                                std::string doc) {
+  OptionSchema o;
+  o.key = std::move(key);
+  o.type = Type::kSpec;
+  o.doc = std::move(doc);
+  o.def = std::move(def);
+  o.spec_facet = facet;
+  return o;
+}
+
+std::string OptionSchema::type_text() const {
+  switch (type) {
+    case Type::kInt: {
+      std::string range =
+          " in [" + std::to_string(min) + ", " + std::to_string(max) + "]";
+      return (pow2 ? "power of two" : "int") + range;
     }
-    return out;
+    case Type::kBool:
+      return "bool";
+    case Type::kEnum: {
+      std::string out = "enum {";
+      for (std::size_t i = 0; i < choices.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += choices[i];
+      }
+      return out + "}";
+    }
+    case Type::kSpec:
+      return std::string("spec<") + facet_name(spec_facet) + ">";
   }
-  return def;
+  return "?";
 }
+
+// ------------------------------------------------------------ did-you-mean
 
 namespace {
 
-/// Splits `rest` at top-level commas: commas inside [...] belong to a nested
-/// spec value and do not separate parameters.
-std::vector<std::string> split_params(const std::string& rest,
-                                      const std::string& spec) {
-  std::vector<std::string> items;
-  std::string item;
-  int depth = 0;
-  for (const char c : rest) {
-    if (c == '[') ++depth;
-    if (c == ']' && --depth < 0) {
-      throw std::invalid_argument("unbalanced ']' in spec '" + spec + "'");
-    }
-    if (c == ',' && depth == 0) {
-      items.push_back(std::move(item));
-      item.clear();
-    } else {
-      item.push_back(c);
+/// Levenshtein distance, early-capped: anything beyond `cap` returns cap+1.
+std::size_t edit_distance(std::string_view a, std::string_view b,
+                          std::size_t cap) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (b.size() - a.size() > cap) return cap + 1;
+  std::vector<std::size_t> row(a.size() + 1);
+  for (std::size_t i = 0; i <= a.size(); ++i) row[i] = i;
+  for (std::size_t j = 1; j <= b.size(); ++j) {
+    std::size_t prev = row[0];  // row[j-1][0]
+    row[0] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+      const std::size_t up = row[i];
+      row[i] = std::min({row[i] + 1, row[i - 1] + 1,
+                         prev + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      prev = up;
     }
   }
-  if (depth != 0) {
-    throw std::invalid_argument("unbalanced '[' in spec '" + spec + "'");
-  }
-  items.push_back(std::move(item));
-  return items;
+  return row[a.size()];
 }
 
-}  // namespace
-
-Spec parse_spec(const std::string& spec) {
-  Spec out;
-  const auto colon = spec.find(':');
-  out.name = spec.substr(0, colon);
-  if (out.name.empty()) {
-    throw std::invalid_argument("empty implementation name in spec '" + spec + "'");
+/// The closest candidate within edit distance 2 of `got`, or "" — the
+/// uniform did-you-mean source for unknown entry names and unknown keys.
+std::string closest_within_two(std::string_view got,
+                               const std::vector<std::string>& candidates) {
+  std::string best;
+  std::size_t best_dist = 3;
+  for (const auto& c : candidates) {
+    const std::size_t d = edit_distance(got, c, 2);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
   }
-  if (colon == std::string::npos) return out;
-  for (const std::string& item : split_params(spec.substr(colon + 1), spec)) {
-    const auto eq = item.find('=');
-    if (item.empty() || eq == std::string::npos || eq == 0) {
-      throw std::invalid_argument("malformed key=value '" + item + "' in spec '" +
-                                  spec + "'");
-    }
-    std::string value = item.substr(eq + 1);
-    // A bracketed value is a nested spec: strip the outer brackets, keep the
-    // inside verbatim (the enclosing implementation resolves it).
-    if (value.size() >= 2 && value.front() == '[' && value.back() == ']') {
-      value = value.substr(1, value.size() - 2);
-    }
-    out.params.set(item.substr(0, eq), std::move(value));
+  return best;
+}
+
+std::string joined(const std::vector<std::string>& items) {
+  std::string out;
+  for (const auto& item : items) {
+    if (!out.empty()) out += ", ";
+    out += item;
   }
   return out;
 }
 
-namespace {
+std::vector<std::string> schema_keys(const std::vector<OptionSchema>& schema) {
+  std::vector<std::string> keys;
+  keys.reserve(schema.size());
+  for (const auto& o : schema) keys.push_back(o.key);
+  return keys;
+}
 
-void check_keys(const Spec& spec, const std::vector<std::string>& allowed) {
-  for (const auto& [k, v] : spec.params.entries()) {
-    bool ok = false;
-    for (const auto& a : allowed) ok |= (a == k);
-    if (!ok) {
-      // Name the keys this family accepts: a typo'd key should not force the
-      // user back to the source to learn the valid spelling.
-      std::string valid;
-      for (const auto& a : allowed) {
-        if (!valid.empty()) valid += ", ";
-        valid += a;
+/// Shared unknown-name error: names the facet asked for, suggests the
+/// closest name in that facet (typo repair), and — so a wrong make_*() call
+/// is a one-read fix — any other facet that does know the name.
+[[noreturn]] void throw_unknown(const std::string& name, Facet facet,
+                                const std::vector<std::string>& known,
+                                const std::vector<Facet>& elsewhere) {
+  std::string msg =
+      std::string("unknown ") + facet_name(facet) + " '" + name + "'";
+  const std::string suggestion = closest_within_two(name, known);
+  if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+  if (!known.empty()) {
+    msg += " (registered " + std::string(facet_name(facet)) + "s: " +
+           joined(known) + ")";
+  }
+  if (!elsewhere.empty()) {
+    msg += " (registered under the ";
+    for (std::size_t i = 0; i < elsewhere.size(); ++i) {
+      if (i > 0) msg += " and ";
+      msg += facet_name(elsewhere[i]);
+    }
+    msg += " facet" + std::string(elsewhere.size() > 1 ? "s)" : ")");
+  }
+  throw std::invalid_argument(msg);
+}
+
+/// "option 'x' of counter 'striped'" — the uniform error prefix.
+std::string option_where(const std::string& key, Facet facet,
+                         const std::string& entry) {
+  return "option '" + key + "' of " + facet_name(facet) + " '" + entry + "'";
+}
+
+std::uint64_t parse_u64_or_throw(const std::string& where,
+                                 const std::string& text) {
+  std::uint64_t out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw std::invalid_argument(where + " must be an unsigned integer, got '" +
+                                text + "'");
+  }
+  return out;
+}
+
+bool is_pow2(std::uint64_t v) { return v >= 1 && (v & (v - 1)) == 0; }
+
+/// Checks one option value against its schema (nested specs are validated
+/// by the caller, which owns the registry recursion).
+void check_value(const OptionSchema& schema, const SpecValue& value,
+                 Facet facet, const std::string& entry) {
+  const std::string where = option_where(schema.key, facet, entry);
+  if (schema.type != OptionSchema::Type::kSpec && value.is_spec()) {
+    throw std::invalid_argument(where + " is " + schema.type_text() +
+                                ", not a nested spec (got '" + value.print() +
+                                "')");
+  }
+  switch (schema.type) {
+    case OptionSchema::Type::kInt: {
+      const std::uint64_t v = parse_u64_or_throw(where, value.scalar());
+      if (v < schema.min || v > schema.max || (schema.pow2 && !is_pow2(v))) {
+        throw std::invalid_argument(where + " must be " + schema.type_text() +
+                                    ", got " + value.scalar());
       }
-      throw std::invalid_argument(
-          "unknown param '" + k + "' for '" + spec.name + "' (valid keys: " +
-          (valid.empty() ? "none — this spec takes no params" : valid) + ")");
+      break;
+    }
+    case OptionSchema::Type::kBool: {
+      const std::string& s = value.scalar();
+      if (s != "0" && s != "1") {
+        throw std::invalid_argument(where + " must be 0 or 1, got '" + s + "'");
+      }
+      break;
+    }
+    case OptionSchema::Type::kEnum: {
+      const std::string& s = value.scalar();
+      if (std::find(schema.choices.begin(), schema.choices.end(), s) ==
+          schema.choices.end()) {
+        throw std::invalid_argument(where + " must be one of {" +
+                                    joined(schema.choices) + "}, got '" + s +
+                                    "'");
+      }
+      break;
+    }
+    case OptionSchema::Type::kSpec:
+      break;  // caller recurses through the registry
+  }
+}
+
+/// Registration-time schema sanity: defaults must satisfy their own
+/// declared constraints, keys must be unique. Catching a bad schema at
+/// registration beats catching it when a user first omits the option.
+void check_schema(const std::string& name,
+                  const std::vector<OptionSchema>& schema) {
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    const OptionSchema& o = schema[i];
+    if (o.key.empty()) {
+      throw std::invalid_argument("registration '" + name +
+                                  "' declares an option with an empty key");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (schema[j].key == o.key) {
+        throw std::invalid_argument("registration '" + name +
+                                    "' declares option '" + o.key + "' twice");
+      }
+    }
+    const std::string where =
+        "registration '" + name + "' option '" + o.key + "' default";
+    switch (o.type) {
+      case OptionSchema::Type::kInt: {
+        const std::uint64_t v = parse_u64_or_throw(where, o.def);
+        if (v < o.min || v > o.max || (o.pow2 && !is_pow2(v)) ||
+            (o.pow2 && (!is_pow2(o.min) || !is_pow2(o.max)))) {
+          throw std::invalid_argument(where + " violates " + o.type_text());
+        }
+        break;
+      }
+      case OptionSchema::Type::kBool:
+        if (o.def != "0" && o.def != "1") {
+          throw std::invalid_argument(where + " must be 0 or 1");
+        }
+        break;
+      case OptionSchema::Type::kEnum:
+        if (o.choices.empty() ||
+            std::find(o.choices.begin(), o.choices.end(), o.def) ==
+                o.choices.end()) {
+          throw std::invalid_argument(where + " must be one of its choices");
+        }
+        break;
+      case OptionSchema::Type::kSpec:
+        Spec::parse(o.def);  // throws when the default is not a spec
+        break;
     }
   }
 }
 
-/// Shared "tas=rnd|hw" option: comparator arbitration flavor.
-renaming::AdaptiveStrongRenaming::Options adaptive_options(const Params& p) {
+/// Shared "tas=rnd|hw" option: comparator arbitration flavor. The spec is
+/// schema-validated before factories run, so the value is one of the two.
+renaming::AdaptiveStrongRenaming::Options adaptive_options(const Spec& p) {
   renaming::AdaptiveStrongRenaming::Options options;
-  const std::string tas = p.get("tas", "rnd");
-  if (tas == "hw") {
+  if (p.get("tas", "rnd") == "hw") {
     options.comparators = renaming::AdaptiveComparatorKind::kHardware;
-  } else if (tas != "rnd") {
-    throw std::invalid_argument("param tas must be 'rnd' or 'hw', got '" + tas +
-                                "'");
   }
   return options;
 }
 
-std::uint64_t pow2_param(const Params& p, std::string_view key,
-                         std::uint64_t def) {
-  const std::uint64_t v = p.get_u64(key, def);
-  if (v < 2 || (v & (v - 1)) != 0) {
-    throw std::invalid_argument("param '" + std::string(key) +
-                                "' must be a power of two >= 2");
-  }
-  return v;
-}
-
-bool bool_param(const Params& p, std::string_view key, bool def) {
-  const std::uint64_t v = p.get_u64(key, def ? 1 : 0);
-  if (v > 1) {
-    throw std::invalid_argument("param '" + std::string(key) +
-                                "' must be 0 or 1");
-  }
-  return v == 1;
-}
-
-std::uint64_t ranged_param(const Params& p, std::string_view key,
-                           std::uint64_t def, std::uint64_t lo,
-                           std::uint64_t hi) {
-  const std::uint64_t v = p.get_u64(key, def);
-  if (v < lo || v > hi) {
-    throw std::invalid_argument("param '" + std::string(key) +
-                                "' must be in [" + std::to_string(lo) + ", " +
-                                std::to_string(hi) + "]");
-  }
-  return v;
+OptionSchema adaptive_tas_schema() {
+  return OptionSchema::choice(
+      "tas", "rnd", {"rnd", "hw"},
+      "comparator arbitration: randomized two-process TAS or hardware TAS");
 }
 
 /// Wraps a native one-shot protocol in the dense-id facet adapter.
@@ -216,10 +353,10 @@ void register_builtins(Registry& r) {
       .summary = "Sec. 6.2 adaptive strong renaming: tight 1..k, polylog k "
                  "steps, unbounded initial namespace",
       .adaptive = true,
-      .keys = {"tas"},
-      .name_bound = [](int k, const Params&) { return std::uint64_t(k); },
-      .max_requests = [](const Params&) { return std::numeric_limits<int>::max(); },
-      .make = [](const Params& p) {
+      .options = {adaptive_tas_schema()},
+      .name_bound = [](int k, const Spec&) { return std::uint64_t(k); },
+      .max_requests = [](const Spec&) { return std::numeric_limits<int>::max(); },
+      .make = [](const Spec& p) {
         return one_shot(std::make_unique<renaming::AdaptiveStrongRenaming>(
             adaptive_options(p)));
       }});
@@ -228,39 +365,36 @@ void register_builtins(Registry& r) {
       .summary = "classic baseline [4,11]: probe TAS 1,2,3,... in order; "
                  "tight 1..k but Theta(k) steps",
       .adaptive = true,
-      .keys = {"cap", "tas"},
-      .name_bound = [](int k, const Params&) { return std::uint64_t(k); },
-      .max_requests = [](const Params& p) {
+      .options =
+          {OptionSchema::u64("cap", 1024, 1, 1u << 20,
+                             "probe-array capacity (max total requests)"),
+           OptionSchema::choice("tas", "hw", {"hw", "ratrace"},
+                                "per-slot test-and-set flavor")},
+      .name_bound = [](int k, const Spec&) { return std::uint64_t(k); },
+      .max_requests = [](const Spec& p) {
         return static_cast<int>(p.get_u64("cap", 1024));
       },
-      .make = [](const Params& p) {
-        const std::string tas = p.get("tas", "hw");
-        if (tas != "hw" && tas != "ratrace") {
-          throw std::invalid_argument("param tas must be 'hw' or 'ratrace'");
-        }
+      .make = [](const Spec& p) {
         return one_shot(std::make_unique<renaming::LinearProbeRenaming>(
-            p.get_u64("cap", 1024), /*hardware_tas=*/tas == "hw"));
+            p.get_u64("cap", 1024), /*hardware_tas=*/p.get("tas", "hw") == "hw"));
       }});
   r.add_renaming(RenamingInfo{
       .name = "bit_batching",
       .summary = "Sec. 4 BitBatching: non-adaptive strong renaming into 1..n, "
                  "O(log^2 n) probes w.h.p.",
       .adaptive = false,
-      .keys = {"n", "tas"},
-      .name_bound = [](int, const Params& p) { return p.get_u64("n", 64); },
-      .max_requests = [](const Params& p) {
+      .options = {OptionSchema::u64("n", 64, 2, 1u << 16,
+                                    "namespace size (max total requests)"),
+                  OptionSchema::choice("tas", "hw", {"hw", "ratrace"},
+                                       "per-slot test-and-set flavor")},
+      .name_bound = [](int, const Spec& p) { return p.get_u64("n", 64); },
+      .max_requests = [](const Spec& p) {
         return static_cast<int>(p.get_u64("n", 64));
       },
-      .make = [](const Params& p) {
-        const std::string tas = p.get("tas", "hw");
-        renaming::SlotTasKind kind;
-        if (tas == "hw") {
-          kind = renaming::SlotTasKind::kHardware;
-        } else if (tas == "ratrace") {
-          kind = renaming::SlotTasKind::kRatRace;
-        } else {
-          throw std::invalid_argument("param tas must be 'hw' or 'ratrace'");
-        }
+      .make = [](const Spec& p) {
+        const auto kind = p.get("tas", "hw") == "hw"
+                              ? renaming::SlotTasKind::kHardware
+                              : renaming::SlotTasKind::kRatRace;
         return one_shot(
             std::make_unique<renaming::BitBatching>(p.get_u64("n", 64), kind));
       }});
@@ -269,14 +403,15 @@ void register_builtins(Registry& r) {
       .summary = "deterministic splitter-grid renaming [5,6,7]: adaptive but "
                  "loose (1..k(k+1)/2), Theta(k) steps",
       .adaptive = true,
-      .keys = {"n"},
-      .name_bound = [](int k, const Params&) {
+      .options = {OptionSchema::u64(
+          "n", 64, 1, 1024, "grid side length (max participants)")},
+      .name_bound = [](int k, const Spec&) {
         return std::uint64_t(k) * (std::uint64_t(k) + 1) / 2;
       },
-      .max_requests = [](const Params& p) {
+      .max_requests = [](const Spec& p) {
         return static_cast<int>(p.get_u64("n", 64));
       },
-      .make = [](const Params& p) {
+      .make = [](const Spec& p) {
         return one_shot(
             std::make_unique<renaming::MoirAndersonRenaming>(p.get_u64("n", 64)));
       }});
@@ -285,23 +420,19 @@ void register_builtins(Registry& r) {
       .summary = "Sec. 5 renaming network over a bitonic sorting network: "
                  "tight 1..k in every execution, depth-bounded traversals",
       .adaptive = true,
-      .keys = {"w", "tas"},
-      .name_bound = [](int k, const Params&) { return std::uint64_t(k); },
-      .max_requests = [](const Params& p) {
-        return static_cast<int>(pow2_param(p, "w", 32));
+      .options = {OptionSchema::pow2_u64("w", 32, 2, 256,
+                                         "network width (max total requests)"),
+                  adaptive_tas_schema()},
+      .name_bound = [](int k, const Spec&) { return std::uint64_t(k); },
+      .max_requests = [](const Spec& p) {
+        return static_cast<int>(p.get_u64("w", 32));
       },
-      .make = [](const Params& p) {
-        const std::string tas = p.get("tas", "rnd");
-        renaming::ComparatorKind kind;
-        if (tas == "rnd") {
-          kind = renaming::ComparatorKind::kRandomized;
-        } else if (tas == "hw") {
-          kind = renaming::ComparatorKind::kHardware;
-        } else {
-          throw std::invalid_argument("param tas must be 'rnd' or 'hw'");
-        }
+      .make = [](const Spec& p) {
+        const auto kind = p.get("tas", "rnd") == "rnd"
+                              ? renaming::ComparatorKind::kRandomized
+                              : renaming::ComparatorKind::kHardware;
         return one_shot(std::make_unique<renaming::RenamingNetwork>(
-            sortnet::bitonic_sort(pow2_param(p, "w", 32)), kind));
+            sortnet::bitonic_sort(p.get_u64("w", 32)), kind));
       }});
   r.add_renaming(RenamingInfo{
       .name = "longlived",
@@ -313,17 +444,17 @@ void register_builtins(Registry& r) {
       // test asserts the probabilistic adaptivity.
       .adaptive = false,
       .reusable = true,
-      .keys = {"cap"},
-      .name_bound = [](int, const Params& p) {
-        return ranged_param(p, "cap", 256, 2, 1u << 20);
-      },
-      .max_requests = [](const Params& p) {
+      .options = {OptionSchema::u64("cap", 256, 2, 1u << 20,
+                                    "slot-vector capacity (max concurrent "
+                                    "holders)")},
+      .name_bound = [](int, const Spec& p) { return p.get_u64("cap", 256); },
+      .max_requests = [](const Spec& p) {
         // Bounds *concurrent holders*: release recycles request budget.
-        return static_cast<int>(ranged_param(p, "cap", 256, 2, 1u << 20));
+        return static_cast<int>(p.get_u64("cap", 256));
       },
-      .make = [](const Params& p) -> std::unique_ptr<IRenaming> {
+      .make = [](const Spec& p) -> std::unique_ptr<IRenaming> {
         return std::make_unique<LongLivedRenamingAdapter>(
-            ranged_param(p, "cap", 256, 2, 1u << 20));
+            p.get_u64("cap", 256));
       }});
 
   // ------------------------------------------------------------- counters
@@ -333,9 +464,11 @@ void register_builtins(Registry& r) {
       .summary = "Sec. 8.2 m-valued linearizable fetch-and-increment, "
                  "O(log k log m) expected steps",
       .consistency = Consistency::kLinearizable,
-      .keys = {"m", "tas"},
-      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
-        return std::make_unique<BoundedFaiCounter>(pow2_param(p, "m", 1024),
+      .options = {OptionSchema::pow2_u64("m", 1024, 2, 1u << 20,
+                                         "counter range (max total values)"),
+                  adaptive_tas_schema()},
+      .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
+        return std::make_unique<BoundedFaiCounter>(p.get_u64("m", 1024),
                                                    adaptive_options(p));
       }});
   r.add_counter(CounterInfo{
@@ -344,8 +477,8 @@ void register_builtins(Registry& r) {
       .summary = "epoch-chained unbounded linearizable fetch-and-increment "
                  "(Sec. 9 direction), O(log k log v) amortized",
       .consistency = Consistency::kLinearizable,
-      .keys = {"tas"},
-      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+      .options = {adaptive_tas_schema()},
+      .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
         return std::make_unique<UnboundedFaiCounter>(adaptive_options(p));
       }});
   r.add_counter(CounterInfo{
@@ -354,8 +487,8 @@ void register_builtins(Registry& r) {
       .summary = "rename-then-subtract dispenser: dense values, not "
                  "linearizable (Sec. 8.1 argument)",
       .consistency = Consistency::kDense,
-      .keys = {"tas"},
-      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+      .options = {adaptive_tas_schema()},
+      .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
         return std::make_unique<NamingCounter>(adaptive_options(p));
       }});
   r.add_counter(CounterInfo{
@@ -364,8 +497,8 @@ void register_builtins(Registry& r) {
       .summary = "single fetch-and-add register: the 1-step/op hardware "
                  "reference point",
       .consistency = Consistency::kLinearizable,
-      .keys = {},
-      .make = [](const Params&) -> std::unique_ptr<ICounter> {
+      .options = {},
+      .make = [](const Spec&) -> std::unique_ptr<ICounter> {
         return std::make_unique<AtomicFaiCounter>();
       }});
   r.add_counter(CounterInfo{
@@ -374,14 +507,21 @@ void register_builtins(Registry& r) {
       .summary = "cache-line-striped dispenser: spray-routed per-stripe "
                  "fetch&add slots, optional elimination pair-combining",
       .consistency = Consistency::kQuiescent,
-      .keys = {"stripes", "elim", "elim_width", "elim_spins"},
-      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+      .options =
+          {OptionSchema::u64("stripes", 64, 1, 4096,
+                             "cache-line-padded fetch&add stripes"),
+           OptionSchema::boolean("elim", false,
+                                 "pair-combining elimination on contention"),
+           OptionSchema::u64("elim_width", 4, 1, 1024,
+                             "elimination array slots"),
+           OptionSchema::u64("elim_spins", 4, 1, 1024,
+                             "spins per elimination attempt")},
+      .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
         sharded::StripedCounter::Options o;
-        o.stripes = ranged_param(p, "stripes", 64, 1, 4096);
-        o.elimination = bool_param(p, "elim", false);
-        o.elim_width = ranged_param(p, "elim_width", 4, 1, 1024);
-        o.elim_spins =
-            static_cast<int>(ranged_param(p, "elim_spins", 4, 1, 1024));
+        o.stripes = p.get_u64("stripes", 64);
+        o.elimination = p.get_bool("elim", false);
+        o.elim_width = p.get_u64("elim_width", 4);
+        o.elim_spins = static_cast<int>(p.get_u64("elim_spins", 4));
         return std::make_unique<StripedCounterAdapter>(o);
       }});
   r.add_counter(CounterInfo{
@@ -390,18 +530,28 @@ void register_builtins(Registry& r) {
       .summary = "diffracting-tree counter: prism/toggle balancer tree over "
                  "composable leaf sub-counters (leaf= is a nested spec)",
       .consistency = Consistency::kQuiescent,
-      .keys = {"depth", "leaf", "prism", "prism_width", "prism_spins"},
-      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+      .options =
+          {OptionSchema::u64("depth", 3, 1, 10, "balancer tree depth"),
+           OptionSchema::spec("leaf", "atomic_fai", Facet::kCounter,
+                              "sub-counter spec behind each of the 2^depth "
+                              "output wires"),
+           OptionSchema::boolean("prism", true,
+                                 "diffracting prism arrays in front of each "
+                                 "toggle"),
+           OptionSchema::u64("prism_width", 4, 1, 1024,
+                             "prism array slots per balancer"),
+           OptionSchema::u64("prism_spins", 4, 1, 1024,
+                             "spins per prism pairing attempt")},
+      .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
         sharded::DiffractingTreeCounter::Options o;
-        o.depth = static_cast<int>(ranged_param(p, "depth", 3, 1, 10));
-        o.prism = bool_param(p, "prism", true);
-        o.prism_width = ranged_param(p, "prism_width", 4, 1, 1024);
-        o.prism_spins =
-            static_cast<int>(ranged_param(p, "prism_spins", 4, 1, 1024));
-        // The leaf value is itself a spec, resolved through the registry —
-        // by construction time the global instance is fully populated, and
-        // unknown leaf names fail with the registry's own error message.
-        const std::string leaf = p.get("leaf", "atomic_fai");
+        o.depth = static_cast<int>(p.get_u64("depth", 3));
+        o.prism = p.get_bool("prism", true);
+        o.prism_width = p.get_u64("prism_width", 4);
+        o.prism_spins = static_cast<int>(p.get_u64("prism_spins", 4));
+        // The leaf value is itself a spec, already schema-validated against
+        // the counter facet; the factory resolves it through the registry,
+        // so composed leaves never re-tokenize anything.
+        const Spec leaf = p.get_spec("leaf", "atomic_fai");
         return std::make_unique<DiffractingTreeCounterAdapter>(
             o, [leaf]() { return Registry::global().make_counter(leaf); });
       }});
@@ -411,10 +561,10 @@ void register_builtins(Registry& r) {
       .summary = "bitonic counting network [26] as a counter: quiescently "
                  "consistent, step property on output wires",
       .consistency = Consistency::kQuiescent,
-      .keys = {"w"},
-      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+      .options = {OptionSchema::pow2_u64("w", 16, 2, 256, "network width")},
+      .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
         return std::make_unique<CountingNetworkCounter>(
-            countnet::CountingNetwork::bitonic(pow2_param(p, "w", 16)));
+            countnet::CountingNetwork::bitonic(p.get_u64("w", 16)));
       }});
   r.add_counter(CounterInfo{
       .name = "periodic_countnet",
@@ -422,10 +572,10 @@ void register_builtins(Registry& r) {
       .summary = "periodic counting network [26]: log w identical blocks, "
                  "same guarantees as bitonic",
       .consistency = Consistency::kQuiescent,
-      .keys = {"w"},
-      .make = [](const Params& p) -> std::unique_ptr<ICounter> {
+      .options = {OptionSchema::pow2_u64("w", 16, 2, 256, "network width")},
+      .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
         return std::make_unique<CountingNetworkCounter>(
-            countnet::periodic_counting_network(pow2_param(p, "w", 16)));
+            countnet::periodic_counting_network(p.get_u64("w", 16)));
       }});
 
   // ------------------------------------------------------------ readables
@@ -435,8 +585,8 @@ void register_builtins(Registry& r) {
       .summary = "Sec. 8.1 monotone counter: rename then write_max, reads "
                  "between completed and started increments, O(log v) steps",
       .consistency = Consistency::kMonotone,
-      .keys = {"tas"},
-      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+      .options = {adaptive_tas_schema()},
+      .make = [](const Spec& p) -> std::unique_ptr<IReadableCounter> {
         return std::make_unique<MonotoneCounterAdapter>(adaptive_options(p));
       }});
   r.add_readable(ReadableInfo{
@@ -446,11 +596,17 @@ void register_builtins(Registry& r) {
                  "leaves under a max-register tree, O(log n log m) steps — "
                  "the log factor the monotone counter removes",
       .consistency = Consistency::kLinearizable,
-      .keys = {"n", "cap"},
-      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+      // cap's ceiling is what constructs in well under a second: the [17]
+      // tree is eager in cap, so promising 2^26 here would mean a ~30 s
+      // construction at the schema boundary.
+      .options = {OptionSchema::u64("n", 64, 1, 4096,
+                                    "single-writer leaves (max processes)"),
+                  OptionSchema::u64("cap", 1u << 16, 2, 1u << 20,
+                                    "max register capacity (max count)")},
+      .make = [](const Spec& p) -> std::unique_ptr<IReadableCounter> {
         return std::make_unique<MaxRegTreeCounterAdapter>(
-            static_cast<std::size_t>(ranged_param(p, "n", 64, 1, 4096)),
-            ranged_param(p, "cap", 1u << 16, 2, 1u << 26));
+            static_cast<std::size_t>(p.get_u64("n", 64)),
+            p.get_u64("cap", 1u << 16));
       }});
   r.add_readable(ReadableInfo{
       .name = "striped",
@@ -458,10 +614,11 @@ void register_builtins(Registry& r) {
       .summary = "striped statistic counter: pid-striped 1-step increments, "
                  "full-collect reads, monotone across non-overlapping reads",
       .consistency = Consistency::kMonotone,
-      .keys = {"stripes"},
-      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+      .options = {OptionSchema::u64("stripes", 64, 1, 4096,
+                                    "cache-line-padded increment stripes")},
+      .make = [](const Spec& p) -> std::unique_ptr<IReadableCounter> {
         sharded::StripedCounter::Options o;
-        o.stripes = ranged_param(p, "stripes", 64, 1, 4096);
+        o.stripes = p.get_u64("stripes", 64);
         return std::make_unique<StripedStatisticAdapter>(o);
       }});
   r.add_readable(ReadableInfo{
@@ -471,10 +628,10 @@ void register_builtins(Registry& r) {
                  "token traverse per increment, full exit-count collect per "
                  "read, exact at quiescence",
       .consistency = Consistency::kQuiescent,
-      .keys = {"w"},
-      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+      .options = {OptionSchema::pow2_u64("w", 16, 2, 256, "network width")},
+      .make = [](const Spec& p) -> std::unique_ptr<IReadableCounter> {
         return std::make_unique<CountnetReadableAdapter>(
-            countnet::CountingNetwork::bitonic(pow2_param(p, "w", 16)));
+            countnet::CountingNetwork::bitonic(p.get_u64("w", 16)));
       }});
   r.add_readable(ReadableInfo{
       .name = "periodic_countnet",
@@ -482,10 +639,10 @@ void register_builtins(Registry& r) {
       .summary = "periodic counting network's quiescent read side [26]: same "
                  "read/increment contract as bitonic_countnet",
       .consistency = Consistency::kQuiescent,
-      .keys = {"w"},
-      .make = [](const Params& p) -> std::unique_ptr<IReadableCounter> {
+      .options = {OptionSchema::pow2_u64("w", 16, 2, 256, "network width")},
+      .make = [](const Spec& p) -> std::unique_ptr<IReadableCounter> {
         return std::make_unique<CountnetReadableAdapter>(
-            countnet::periodic_counting_network(pow2_param(p, "w", 16)));
+            countnet::periodic_counting_network(p.get_u64("w", 16)));
       }});
 }
 
@@ -498,6 +655,7 @@ void FacetTable<Info>::add(Info info) {
   if (find(info.name) != nullptr) {
     throw std::invalid_argument("duplicate registration '" + info.name + "'");
   }
+  check_schema(info.name, info.options);
   entries_.push_back(std::move(info));
 }
 
@@ -565,59 +723,87 @@ std::vector<Facet> Registry::facets_knowing(std::string_view name,
   return out;
 }
 
-namespace {
-
-/// Shared unknown-name error: names the facet asked for, and — so a wrong
-/// make_*() call is a one-read fix — any other facet that does know the name.
-[[noreturn]] void throw_unknown(const std::string& name, Facet facet,
-                                const std::vector<Facet>& elsewhere) {
-  std::string msg = std::string("unknown ") + facet_name(facet) + " '" + name + "'";
-  if (!elsewhere.empty()) {
-    msg += " (registered under the ";
-    for (std::size_t i = 0; i < elsewhere.size(); ++i) {
-      if (i > 0) msg += " and ";
-      msg += facet_name(elsewhere[i]);
-    }
-    msg += " facet" + std::string(elsewhere.size() > 1 ? "s)" : ")");
+const std::vector<OptionSchema>& Registry::schema_of(
+    Facet facet, std::string_view name) const {
+  switch (facet) {
+    case Facet::kCounter:
+      if (const CounterInfo* info = counters_.find(name)) return info->options;
+      break;
+    case Facet::kRenaming:
+      if (const RenamingInfo* info = renamings_.find(name)) return info->options;
+      break;
+    case Facet::kReadable:
+      if (const ReadableInfo* info = readables_.find(name)) return info->options;
+      break;
   }
-  throw std::invalid_argument(msg);
+  throw_unknown(std::string(name), facet, list(facet),
+                facets_knowing(name, facet));
 }
 
-}  // namespace
+void Registry::validate(Facet facet, const Spec& spec) const {
+  const std::vector<OptionSchema>& schema = schema_of(facet, spec.name());
+  for (const auto& [key, value] : spec.options()) {
+    const OptionSchema* found = nullptr;
+    for (const auto& o : schema) {
+      if (o.key == key) {
+        found = &o;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      // A typo'd key should not force the user back to the source: suggest
+      // the closest declared key and list all of them.
+      const std::vector<std::string> keys = schema_keys(schema);
+      std::string msg = "unknown " + option_where(key, facet, spec.name());
+      const std::string suggestion = closest_within_two(key, keys);
+      if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+      msg += " (valid keys: " +
+             (keys.empty() ? "none — this entry takes no options"
+                           : joined(keys)) +
+             ")";
+      throw std::invalid_argument(msg);
+    }
+    check_value(*found, value, facet, spec.name());
+    if (found->type == OptionSchema::Type::kSpec) {
+      validate(found->spec_facet, value.as_spec());
+    }
+  }
+}
+
+std::string Registry::canonical(Facet facet, const std::string& spec) const {
+  const Spec parsed = Spec::parse(spec);
+  validate(facet, parsed);
+  return parsed.print();
+}
+
+std::unique_ptr<ICounter> Registry::make_counter(const Spec& spec) const {
+  validate(Facet::kCounter, spec);
+  return counters_.find(spec.name())->make(spec);
+}
+
+std::unique_ptr<IRenaming> Registry::make_renaming(const Spec& spec) const {
+  validate(Facet::kRenaming, spec);
+  return renamings_.find(spec.name())->make(spec);
+}
+
+std::unique_ptr<IReadableCounter> Registry::make_readable(
+    const Spec& spec) const {
+  validate(Facet::kReadable, spec);
+  return readables_.find(spec.name())->make(spec);
+}
 
 std::unique_ptr<ICounter> Registry::make_counter(const std::string& spec) const {
-  const Spec parsed = parse_spec(spec);
-  const CounterInfo* info = counters_.find(parsed.name);
-  if (info == nullptr) {
-    throw_unknown(parsed.name, Facet::kCounter,
-                  facets_knowing(parsed.name, Facet::kCounter));
-  }
-  check_keys(parsed, info->keys);
-  return info->make(parsed.params);
+  return make_counter(Spec::parse(spec));
 }
 
 std::unique_ptr<IRenaming> Registry::make_renaming(
     const std::string& spec) const {
-  const Spec parsed = parse_spec(spec);
-  const RenamingInfo* info = renamings_.find(parsed.name);
-  if (info == nullptr) {
-    throw_unknown(parsed.name, Facet::kRenaming,
-                  facets_knowing(parsed.name, Facet::kRenaming));
-  }
-  check_keys(parsed, info->keys);
-  return info->make(parsed.params);
+  return make_renaming(Spec::parse(spec));
 }
 
 std::unique_ptr<IReadableCounter> Registry::make_readable(
     const std::string& spec) const {
-  const Spec parsed = parse_spec(spec);
-  const ReadableInfo* info = readables_.find(parsed.name);
-  if (info == nullptr) {
-    throw_unknown(parsed.name, Facet::kReadable,
-                  facets_knowing(parsed.name, Facet::kReadable));
-  }
-  check_keys(parsed, info->keys);
-  return info->make(parsed.params);
+  return make_readable(Spec::parse(spec));
 }
 
 std::vector<Facet> Registry::facets() const {
@@ -643,6 +829,90 @@ std::vector<std::string> Registry::list() const {
   for (auto name : counters_.names()) out.push_back(std::move(name));
   for (auto name : readables_.names()) out.push_back(std::move(name));
   return out;
+}
+
+namespace {
+
+EntryDescription describe_entry(const CounterInfo& e) {
+  return EntryDescription{.facet = Facet::kCounter,
+                          .name = e.name,
+                          .family = e.family,
+                          .summary = e.summary,
+                          .consistency = consistency_name(e.consistency),
+                          .options = e.options};
+}
+
+EntryDescription describe_entry(const RenamingInfo& e) {
+  return EntryDescription{.facet = Facet::kRenaming,
+                          .name = e.name,
+                          .family = e.family,
+                          .summary = e.summary,
+                          .consistency = {},  // renamings declare no level
+                          .adaptive = e.adaptive,
+                          .reusable = e.reusable,
+                          .options = e.options};
+}
+
+EntryDescription describe_entry(const ReadableInfo& e) {
+  return EntryDescription{.facet = Facet::kReadable,
+                          .name = e.name,
+                          .family = e.family,
+                          .summary = e.summary,
+                          .consistency = consistency_name(e.consistency),
+                          .options = e.options};
+}
+
+}  // namespace
+
+std::vector<EntryDescription> Registry::describe(Facet facet) const {
+  std::vector<EntryDescription> out;
+  switch (facet) {
+    case Facet::kCounter:
+      for (const auto& e : counters_.entries()) out.push_back(describe_entry(e));
+      break;
+    case Facet::kRenaming:
+      for (const auto& e : renamings_.entries()) {
+        out.push_back(describe_entry(e));
+      }
+      break;
+    case Facet::kReadable:
+      for (const auto& e : readables_.entries()) {
+        out.push_back(describe_entry(e));
+      }
+      break;
+  }
+  return out;
+}
+
+std::vector<EntryDescription> Registry::describe() const {
+  std::vector<EntryDescription> out;
+  for (const Facet facet :
+       {Facet::kRenaming, Facet::kCounter, Facet::kReadable}) {
+    auto part = describe(facet);
+    out.insert(out.end(), std::make_move_iterator(part.begin()),
+               std::make_move_iterator(part.end()));
+  }
+  return out;
+}
+
+EntryDescription Registry::describe(Facet facet, std::string_view name) const {
+  switch (facet) {
+    case Facet::kCounter:
+      if (const CounterInfo* e = counters_.find(name)) return describe_entry(*e);
+      break;
+    case Facet::kRenaming:
+      if (const RenamingInfo* e = renamings_.find(name)) {
+        return describe_entry(*e);
+      }
+      break;
+    case Facet::kReadable:
+      if (const ReadableInfo* e = readables_.find(name)) {
+        return describe_entry(*e);
+      }
+      break;
+  }
+  throw_unknown(std::string(name), facet, list(facet),
+                facets_knowing(name, facet));
 }
 
 }  // namespace renamelib::api

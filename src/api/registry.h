@@ -1,6 +1,6 @@
 /// \file
-/// \brief The multi-role object registry: string spec -> shared object, per
-/// facet.
+/// \brief The multi-role object registry: structured spec -> shared object,
+/// per facet, with typed option schemas and programmatic introspection.
 ///
 /// One facade for every renaming/counting implementation in the library.
 /// The registry is organized by *facet* — the public role an object plays:
@@ -13,25 +13,28 @@
 /// registry-wide, so one implementation may serve several roles under one
 /// name (e.g. "striped" is both a dispenser counter and a readable
 /// statistic counter). Tests, benches, and examples construct objects from
-/// spec strings and iterate the facet tables instead of hand-wiring concrete
+/// specs and iterate the facet tables instead of hand-wiring concrete
 /// classes, turning N objects x M scenarios into N + M — and a new facet
 /// joins by adding one Info struct and one table, without touching the
 /// existing ones.
 ///
-/// Spec grammar (full reference: docs/SPEC_GRAMMAR.md):
-///     name[:key=value[,key=value]...]
-/// e.g. "adaptive_strong", "bounded_fai:m=1024", "longlived:cap=256",
-/// "bit_batching:n=128,tas=ratrace". A value may itself be a bracketed
-/// spec — "difftree:depth=3,leaf=[striped:stripes=8]" — resolved through the
-/// registry by the enclosing implementation; commas inside brackets do not
-/// split parameters. Unknown names or keys throw std::invalid_argument
-/// (catching typos beats silently using defaults), unknown-key errors list
-/// the keys the family accepts, and unknown-name errors say which other
-/// facet knows the name, if any.
+/// Spec v2 (api/spec.h, full reference: docs/SPEC_GRAMMAR.md): every entry
+/// declares a typed OptionSchema per option — kind (int/bool/enum/spec),
+/// range or choices, default, one-line doc. The registry validates a parsed
+/// Spec against the schema *before* the factory runs, so unknown-name,
+/// unknown-key, out-of-range, and wrong-type errors are uniform across all
+/// facets: unknown names and keys carry did-you-mean suggestions (edit
+/// distance <= 2) plus the valid alternatives, wrong-facet errors name the
+/// facet that does know the spec, and nested spec options (e.g.
+/// `difftree:leaf=[striped:stripes=8]`) are validated recursively against
+/// their target facet. `describe()` exposes the whole catalog — every
+/// entry, every option schema — programmatically; the `renamectl` CLI and
+/// docs/SPEC_GRAMMAR.md's key tables are rendered from it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -40,39 +43,9 @@
 #include "api/counter.h"
 #include "api/readable.h"
 #include "api/renaming.h"
+#include "api/spec.h"
 
 namespace renamelib::api {
-
-/// Parsed key=value options of a spec string.
-class Params {
- public:
-  /// Appends a key/value pair; throws std::invalid_argument on a duplicate.
-  void set(std::string key, std::string value);
-  /// True iff `key` was given in the spec.
-  bool has(std::string_view key) const;
-  /// String value of `key`, or `def` when absent.
-  std::string get(std::string_view key, std::string_view def) const;
-  /// Unsigned value of `key` (throws std::invalid_argument when the value is
-  /// not an unsigned integer), or `def` when absent.
-  std::uint64_t get_u64(std::string_view key, std::uint64_t def) const;
-
-  /// All key/value pairs in spec order.
-  const std::vector<std::pair<std::string, std::string>>& entries() const {
-    return kv_;
-  }
-
- private:
-  std::vector<std::pair<std::string, std::string>> kv_;
-};
-
-/// A parsed spec string: implementation name plus its options.
-struct Spec {
-  std::string name;  ///< implementation name (the part before ':')
-  Params params;     ///< parsed key=value options
-};
-
-/// Parses "name:k=v,k=v"; throws std::invalid_argument on malformed input.
-Spec parse_spec(const std::string& spec);
 
 /// Implementation family, for enumeration and reporting.
 enum class Family {
@@ -96,15 +69,62 @@ enum class Facet {
 /// Human-readable facet label ("counter", "renaming", "readable-counter").
 const char* facet_name(Facet f);
 
+/// Facet for its facet_name() label; throws std::invalid_argument on an
+/// unknown label (the error lists the valid ones).
+Facet facet_from_name(std::string_view name);
+
+/// The typed schema of one spec option: what the registry checks before an
+/// entry's factory ever sees the Spec. Declared per registration, rendered
+/// by Registry::describe() / `renamectl describe` / docs/SPEC_GRAMMAR.md.
+struct OptionSchema {
+  /// Option value kind.
+  enum class Type {
+    kInt,   ///< unsigned integer, checked against [min, max] (and pow2)
+    kBool,  ///< "0" or "1"
+    kEnum,  ///< one of `choices`
+    kSpec,  ///< nested spec, validated against `spec_facet`'s table
+  };
+
+  std::string key;          ///< option key
+  Type type = Type::kInt;   ///< value kind
+  std::string doc;          ///< one-line description
+  std::string def;          ///< default, as canonical spec text
+  std::uint64_t min = 0;    ///< kInt: smallest accepted value
+  std::uint64_t max = std::numeric_limits<std::uint64_t>::max();  ///< kInt
+  bool pow2 = false;        ///< kInt: additionally require a power of two
+  std::vector<std::string> choices;       ///< kEnum: accepted values
+  Facet spec_facet = Facet::kCounter;     ///< kSpec: facet resolving the value
+
+  /// An integer option in [lo, hi] with default `def`.
+  static OptionSchema u64(std::string key, std::uint64_t def, std::uint64_t lo,
+                          std::uint64_t hi, std::string doc);
+  /// A power-of-two integer option in [lo, hi] (lo, hi powers of two).
+  static OptionSchema pow2_u64(std::string key, std::uint64_t def,
+                               std::uint64_t lo, std::uint64_t hi,
+                               std::string doc);
+  /// A boolean (0/1) option.
+  static OptionSchema boolean(std::string key, bool def, std::string doc);
+  /// An enumerated option; `def` must be one of `choices`.
+  static OptionSchema choice(std::string key, std::string def,
+                             std::vector<std::string> choices, std::string doc);
+  /// A nested-spec option resolved through `facet`'s table.
+  static OptionSchema spec(std::string key, std::string def, Facet facet,
+                           std::string doc);
+
+  /// Human-readable type+constraint text for catalogs: "int in [1, 4096]",
+  /// "power of two in [2, 1024]", "enum {rnd, hw}", "spec<counter>", "bool".
+  std::string type_text() const;
+};
+
 /// Registry entry describing one counter implementation.
 struct CounterInfo {
   std::string name;                          ///< spec name, unique per facet
   Family family = Family::kFaiCounting;      ///< family, for enumeration
   std::string summary;                       ///< one-line description
   Consistency consistency = Consistency::kLinearizable;  ///< declared level
-  std::vector<std::string> keys;             ///< accepted param keys
-  /// Factory: constructs the counter from validated params.
-  std::function<std::unique_ptr<ICounter>(const Params&)> make;
+  std::vector<OptionSchema> options;         ///< typed option schemas
+  /// Factory: constructs the counter from a schema-validated spec.
+  std::function<std::unique_ptr<ICounter>(const Spec&)> make;
 };
 
 /// Registry entry describing one renaming implementation (IRenaming facet:
@@ -115,15 +135,15 @@ struct RenamingInfo {
   std::string summary;               ///< one-line description
   bool adaptive = false;  ///< namespace bound depends only on participants k
   bool reusable = false;  ///< release() recycles names (long-lived family)
-  std::vector<std::string> keys;  ///< accepted param keys
-  /// Largest legal name when k dense-id requests run under these params (for
-  /// reusable entries: k concurrent holders).
-  std::function<std::uint64_t(int k, const Params&)> name_bound;
-  /// Max supported requests under these params (harnesses must not exceed;
+  std::vector<OptionSchema> options;  ///< typed option schemas
+  /// Largest legal name when k dense-id requests run under these options
+  /// (for reusable entries: k concurrent holders).
+  std::function<std::uint64_t(int k, const Spec&)> name_bound;
+  /// Max supported requests under these options (harnesses must not exceed;
   /// for reusable entries this bounds *concurrent holders*, not requests).
-  std::function<int(const Params&)> max_requests;
-  /// Factory: constructs the facet object from validated params.
-  std::function<std::unique_ptr<IRenaming>(const Params&)> make;
+  std::function<int(const Spec&)> max_requests;
+  /// Factory: constructs the facet object from a schema-validated spec.
+  std::function<std::unique_ptr<IRenaming>(const Spec&)> make;
 };
 
 /// Registry entry describing one readable (increment/read) counter.
@@ -132,17 +152,33 @@ struct ReadableInfo {
   Family family = Family::kFaiCounting;  ///< family, for enumeration
   std::string summary;                   ///< one-line description
   Consistency consistency = Consistency::kMonotone;  ///< declared level
-  std::vector<std::string> keys;         ///< accepted param keys
-  /// Factory: constructs the readable counter from validated params.
-  std::function<std::unique_ptr<IReadableCounter>(const Params&)> make;
+  std::vector<OptionSchema> options;     ///< typed option schemas
+  /// Factory: constructs the readable counter from a schema-validated spec.
+  std::function<std::unique_ptr<IReadableCounter>(const Spec&)> make;
+};
+
+/// One entry of the programmatic catalog (Registry::describe): the
+/// facet-independent projection of a registration, option schemas included.
+struct EntryDescription {
+  Facet facet = Facet::kCounter;  ///< the table this entry lives in
+  std::string name;               ///< spec name (unique within the facet)
+  Family family = Family::kRenaming;  ///< family, for grouping
+  std::string summary;            ///< one-line description
+  /// consistency_name() of the declared level; "" for the renaming facet,
+  /// whose contract (uniqueness/tightness) is not a consistency level.
+  std::string consistency;
+  bool adaptive = false;   ///< renaming facet: k-only namespace bound
+  bool reusable = false;   ///< renaming facet: release() recycles names
+  std::vector<OptionSchema> options;  ///< typed option schemas
 };
 
 /// One facet's factory table: registration order preserved, names unique
-/// within the table. Info must have `name` and `keys` members.
+/// within the table. Info must have `name` and `options` members.
 template <typename Info>
 class FacetTable {
  public:
-  /// Registers an entry; throws std::invalid_argument on a duplicate name.
+  /// Registers an entry; throws std::invalid_argument on a duplicate name
+  /// or a malformed schema (e.g. an enum default outside its choices).
   void add(Info info);
   /// Entry for `name`, or nullptr.
   const Info* find(std::string_view name) const;
@@ -155,8 +191,7 @@ class FacetTable {
   std::vector<Info> entries_;
 };
 
-/// The spec-string factory over every registered implementation, keyed by
-/// facet.
+/// The spec factory over every registered implementation, keyed by facet.
 class Registry {
  public:
   /// The process-wide registry, pre-populated with every built-in
@@ -175,14 +210,32 @@ class Registry {
   /// \copydoc add_counter
   void add_readable(ReadableInfo info);
 
-  /// Constructs from a spec string; throws std::invalid_argument for unknown
-  /// names, unknown keys, or malformed specs. The unknown-name error names
-  /// any other facet that does know the name.
+  /// Constructs from a spec string; throws std::invalid_argument for
+  /// malformed specs and for any schema violation (see validate()).
   std::unique_ptr<ICounter> make_counter(const std::string& spec) const;
   /// \copydoc make_counter
   std::unique_ptr<IRenaming> make_renaming(const std::string& spec) const;
   /// \copydoc make_counter
   std::unique_ptr<IReadableCounter> make_readable(const std::string& spec) const;
+
+  /// Constructs from a parsed Spec (validated first); the path nested-spec
+  /// options take, so composite factories never re-tokenize.
+  std::unique_ptr<ICounter> make_counter(const Spec& spec) const;
+  /// \copydoc make_counter(const Spec&)
+  std::unique_ptr<IRenaming> make_renaming(const Spec& spec) const;
+  /// \copydoc make_counter(const Spec&)
+  std::unique_ptr<IReadableCounter> make_readable(const Spec& spec) const;
+
+  /// Validates `spec` against `facet`'s tables and schemas without
+  /// constructing: throws std::invalid_argument naming the problem —
+  /// unknown name (did-you-mean + other facets knowing it), unknown key
+  /// (did-you-mean + valid keys), type/range/enum violations, recursively
+  /// for nested spec options.
+  void validate(Facet facet, const Spec& spec) const;
+
+  /// validate() + canonical printing: the stable identifier reports and
+  /// bench_compare.py match runs by.
+  std::string canonical(Facet facet, const std::string& spec) const;
 
   /// Entry for `name` in the counter facet, or nullptr.
   const CounterInfo* find_counter(std::string_view name) const;
@@ -212,10 +265,22 @@ class Registry {
   /// counters, readables; a multi-facet name appears once per facet).
   std::vector<std::string> list() const;
 
+  /// The full catalog: one EntryDescription per registered entry of every
+  /// facet (renamings, counters, readables, each in registration order).
+  std::vector<EntryDescription> describe() const;
+  /// The catalog restricted to `facet`, in registration order.
+  std::vector<EntryDescription> describe(Facet facet) const;
+  /// The catalog entry for `name` under `facet`; throws the same
+  /// unknown-name error as make_*() when absent.
+  EntryDescription describe(Facet facet, std::string_view name) const;
+
  private:
   /// Facets other than `self` that know `name` — feeds the unknown-name
   /// error's "did you mean another facet" hint.
   std::vector<Facet> facets_knowing(std::string_view name, Facet self) const;
+  /// Schema of `spec.name()` under `facet`; throws the unknown-name error.
+  const std::vector<OptionSchema>& schema_of(Facet facet,
+                                             std::string_view name) const;
 
   FacetTable<CounterInfo> counters_;
   FacetTable<RenamingInfo> renamings_;

@@ -1,5 +1,7 @@
 #include "api/report.h"
 
+#include "api/spec.h"
+
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -58,6 +60,19 @@ std::string fmt_double(double v) {
 
 std::string fmt_u64(std::uint64_t v) { return std::to_string(v); }
 
+/// Emitted specs are canonical (api::Spec print: sorted keys, normalized
+/// brackets) so reports match under key reordering; non-spec labels (and
+/// "") pass through verbatim. Canonical printing is idempotent, which keeps
+/// to_json(from_json(j)) byte-identical.
+std::string canonical_spec(const std::string& spec) {
+  if (spec.empty()) return spec;
+  try {
+    return Spec::parse(spec).print();
+  } catch (const std::invalid_argument&) {
+    return spec;
+  }
+}
+
 void append_latency(std::string& out, const stats::LatencySnapshot& lat,
                     const std::string& indent) {
   out += "{\n";
@@ -99,7 +114,7 @@ std::string BenchReport::to_json() const {
     out += "      \"name\": ";
     append_escaped(out, r.name);
     out += ",\n      \"spec\": ";
-    append_escaped(out, r.spec);
+    append_escaped(out, canonical_spec(r.spec));
     out += ",\n      \"backend\": ";
     append_escaped(out, r.backend);
     out += ",\n      \"threads\": " + std::to_string(r.threads);

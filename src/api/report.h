@@ -47,7 +47,11 @@ namespace renamelib::api {
 /// One measured configuration inside a bench report.
 struct ReportRun {
   std::string name;     ///< experiment/table label within the bench
-  std::string spec;     ///< registry spec measured ("" for non-registry runs)
+  /// Registry spec measured ("" for non-registry runs). Emission
+  /// canonicalizes through api::Spec (sorted keys, normalized brackets), so
+  /// written reports carry one stable identifier per configuration and
+  /// tools/bench_compare.py matches runs by it, not by `name`.
+  std::string spec;
   std::string backend;  ///< "hardware", "simulated", or "analytic"
   int threads = 0;      ///< process/thread count of the scenario
   std::uint64_t ops = 0;       ///< completed operations

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "core/assert.h"
@@ -256,6 +257,16 @@ Run Workload::run_renaming_spec(const std::string& spec, const Scenario& s) {
 Run Workload::run_readable_spec(const std::string& spec, const Scenario& s) {
   const auto counter = Registry::global().make_readable(spec);
   return Workload(s).run(*counter);
+}
+
+Run Workload::run_facet_spec(Facet facet, const std::string& spec,
+                             const Scenario& s) {
+  switch (facet) {
+    case Facet::kCounter: return run_counter_spec(spec, s);
+    case Facet::kRenaming: return run_renaming_spec(spec, s);
+    case Facet::kReadable: return run_readable_spec(spec, s);
+  }
+  throw std::invalid_argument("unknown facet");
 }
 
 }  // namespace renamelib::api

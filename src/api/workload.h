@@ -154,6 +154,12 @@ class Workload {
   static Run run_renaming_spec(const std::string& spec, const Scenario& s);
   /// \copydoc run_counter_spec
   static Run run_readable_spec(const std::string& spec, const Scenario& s);
+  /// Facet-dispatching form of the three above (the `renamectl run` path):
+  /// constructs `spec` under `facet` and runs the facet's standard workload
+  /// (counters: next(); renamings: hold-all acquires; readables: 2:1
+  /// inc/read mix).
+  static Run run_facet_spec(Facet facet, const std::string& spec,
+                            const Scenario& s);
 
  private:
   /// Shared metered loop: `op(ctx, i)` runs the process's i-th operation,

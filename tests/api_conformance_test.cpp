@@ -98,21 +98,44 @@ TEST(Registry, ListsAtLeastSixImplementationsAcrossFiveFamilies) {
 }
 
 TEST(Registry, SpecGrammarRoundTrip) {
-  const Spec s = parse_spec("bounded_fai:m=64,tas=hw");
-  EXPECT_EQ(s.name, "bounded_fai");
-  EXPECT_EQ(s.params.get_u64("m", 0), 64u);
-  EXPECT_EQ(s.params.get("tas", ""), "hw");
+  const Spec s = Spec::parse("bounded_fai:tas=hw,m=64");
+  EXPECT_EQ(s.name(), "bounded_fai");
+  EXPECT_EQ(s.get_u64("m", 0), 64u);
+  EXPECT_EQ(s.get("tas", ""), "hw");
+  // Canonical print sorts keys, so spellings that configure the same object
+  // are one identifier — and parse(print()) is a fixed point.
+  EXPECT_EQ(s.print(), "bounded_fai:m=64,tas=hw");
+  EXPECT_EQ(Spec::parse(s.print()).print(), s.print());
 
-  const Spec bare = parse_spec("adaptive_strong");
-  EXPECT_EQ(bare.name, "adaptive_strong");
-  EXPECT_TRUE(bare.params.entries().empty());
+  const Spec bare = Spec::parse("adaptive_strong");
+  EXPECT_EQ(bare.name(), "adaptive_strong");
+  EXPECT_TRUE(bare.options().empty());
+  EXPECT_EQ(bare.print(), "adaptive_strong");
+}
+
+TEST(Registry, SpecBuilderIsTheConstructionSide) {
+  const Spec s = SpecBuilder("difftree")
+                     .opt("depth", 2)
+                     .opt("leaf", SpecBuilder("striped").opt("stripes", 8))
+                     .build();
+  EXPECT_EQ(s.print(), "difftree:depth=2,leaf=[striped:stripes=8]");
+  EXPECT_EQ(s.get_spec("leaf", "atomic_fai").get_u64("stripes", 0), 8u);
+  EXPECT_NE(Registry::global().make_counter(s), nullptr);
+  EXPECT_THROW(SpecBuilder("striped").opt("stripes", 4).opt("stripes", 8),
+               std::invalid_argument);
+  // Grammar metacharacters cannot enter a Spec programmatically either —
+  // that is what makes the parse(print) round-trip guarantee total.
+  EXPECT_THROW(SpecBuilder("x").opt("k", "a,b"), std::invalid_argument);
+  EXPECT_THROW(SpecBuilder("x").opt("k", "a:b"), std::invalid_argument);
+  EXPECT_THROW(SpecBuilder("x").opt("k", "[a]"), std::invalid_argument);
+  EXPECT_THROW(SpecBuilder("x").opt("k=v", "1"), std::invalid_argument);
 }
 
 TEST(Registry, RejectsMalformedAndUnknownSpecs) {
   auto& reg = Registry::global();
-  EXPECT_THROW(parse_spec(""), std::invalid_argument);
-  EXPECT_THROW(parse_spec(":m=1"), std::invalid_argument);
-  EXPECT_THROW(parse_spec("x:notakv"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse(""), std::invalid_argument);
+  EXPECT_THROW(Spec::parse(":m=1"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse("x:notakv"), std::invalid_argument);
   EXPECT_THROW(reg.make_counter("no_such_counter"), std::invalid_argument);
   EXPECT_THROW(reg.make_renaming("no_such_renaming"), std::invalid_argument);
   EXPECT_THROW(reg.make_readable("no_such_readable"), std::invalid_argument);
@@ -188,31 +211,123 @@ TEST(Registry, UnknownKeyErrorsListTheValidKeys) {
     EXPECT_NE(std::string(e.what()).find("cap"), std::string::npos)
         << e.what();
   }
-  // A spec with no params at all says so rather than listing nothing.
+  // A spec with no options at all says so rather than listing nothing.
   try {
     reg.make_counter("atomic_fai:x=1");
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("no params"), std::string::npos)
+    EXPECT_NE(std::string(e.what()).find("no options"), std::string::npos)
         << e.what();
   }
 }
 
-TEST(Registry, NestedSpecValuesSurviveBracketing) {
-  // Commas inside [...] belong to the nested spec, and one bracket layer is
-  // stripped so the enclosing implementation can resolve the value directly.
-  const Spec s = parse_spec("difftree:depth=2,leaf=[striped:stripes=8,elim=1]");
-  EXPECT_EQ(s.name, "difftree");
-  EXPECT_EQ(s.params.get_u64("depth", 0), 2u);
-  EXPECT_EQ(s.params.get("leaf", ""), "striped:stripes=8,elim=1");
+TEST(Registry, UnknownNamesAndKeysSuggestTheClosestSpelling) {
+  auto& reg = Registry::global();
+  // Typos within edit distance 2 get a did-you-mean, uniformly for entry
+  // names and option keys, on every facet.
+  try {
+    reg.make_counter("stripd");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'striped'?"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    reg.make_counter("striped:stripse=8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'stripes'?"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    reg.make_renaming("adaptiv_strong");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'adaptive_strong'?"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    reg.make_readable("maxregtree:caap=64");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("did you mean 'cap'?"),
+              std::string::npos)
+        << e.what();
+  }
+  // Distance > 2: no wild guess, just the valid alternatives.
+  try {
+    reg.make_renaming("longlived:capacity=8");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos)
+        << e.what();
+  }
+}
 
-  // Unbracketed nested specs still work when they carry no comma.
-  const Spec bare = parse_spec("difftree:leaf=bounded_fai");
-  EXPECT_EQ(bare.params.get("leaf", ""), "bounded_fai");
+TEST(Registry, ValidatesTypedOptionValues) {
+  auto& reg = Registry::global();
+  // Enum values outside the declared choices name them.
+  try {
+    reg.make_counter("bounded_fai:tas=foo");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("one of {rnd, hw}"), std::string::npos) << msg;
+  }
+  // Range violations name the accepted interval.
+  try {
+    reg.make_counter("striped:stripes=9999");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("[1, 4096]"), std::string::npos)
+        << e.what();
+  }
+  // Booleans are 0/1; nested specs where a scalar belongs are rejected.
+  EXPECT_THROW(reg.make_counter("striped:elim=2"), std::invalid_argument);
+  EXPECT_THROW(reg.make_counter("striped:stripes=[striped]"),
+               std::invalid_argument);
+  // validate() is the construction-free check renamectl and tools use.
+  EXPECT_NO_THROW(reg.validate(Facet::kCounter,
+                               Spec::parse("difftree:leaf=[striped:elim=1]")));
+  EXPECT_THROW(reg.validate(Facet::kCounter, Spec::parse("difftree:leaf=[x]")),
+               std::invalid_argument);
+  // canonical() = validate + stable identifier.
+  EXPECT_EQ(reg.canonical(Facet::kCounter, "striped:elim=1,stripes=8"),
+            "striped:elim=1,stripes=8");
+  EXPECT_EQ(reg.canonical(Facet::kCounter, "striped:stripes=8,elim=1"),
+            "striped:elim=1,stripes=8");
+}
+
+TEST(Registry, NestedSpecValuesSurviveBracketing) {
+  // Commas inside [...] belong to the nested spec, which parses into a
+  // first-class AST node the enclosing implementation reads directly.
+  const Spec s =
+      Spec::parse("difftree:depth=2,leaf=[striped:stripes=8,elim=1]");
+  EXPECT_EQ(s.name(), "difftree");
+  EXPECT_EQ(s.get_u64("depth", 0), 2u);
+  ASSERT_TRUE(s.find("leaf") != nullptr && s.find("leaf")->is_spec());
+  const Spec& leaf = s.find("leaf")->spec();
+  EXPECT_EQ(leaf.name(), "striped");
+  EXPECT_EQ(leaf.get_u64("stripes", 0), 8u);
+  // Canonical print sorts keys at every nesting level.
+  EXPECT_EQ(s.print(), "difftree:depth=2,leaf=[striped:elim=1,stripes=8]");
+  EXPECT_EQ(Spec::parse(s.print()).print(), s.print());
+
+  // Unbracketed nested specs still work when they carry no comma, and a
+  // bare-name nested value canonicalizes without brackets.
+  const Spec bare = Spec::parse("difftree:leaf=bounded_fai");
+  EXPECT_EQ(bare.get_spec("leaf", "").name(), "bounded_fai");
+  EXPECT_EQ(Spec::parse("difftree:leaf=[bounded_fai]").print(),
+            "difftree:leaf=bounded_fai");
+  EXPECT_EQ(Spec::parse("difftree:leaf=striped:stripes=4").print(),
+            "difftree:leaf=[striped:stripes=4]");
 
   // Unbalanced brackets are malformed, not silently reinterpreted.
-  EXPECT_THROW(parse_spec("difftree:leaf=[striped"), std::invalid_argument);
-  EXPECT_THROW(parse_spec("difftree:leaf=striped]"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse("difftree:leaf=[striped"), std::invalid_argument);
+  EXPECT_THROW(Spec::parse("difftree:leaf=striped]"), std::invalid_argument);
 
   // The composite constructs, and a bogus leaf fails with the registry's
   // own unknown-name error.
@@ -479,7 +594,7 @@ TEST_P(RenamingConformance, UniqueAndTightNames) {
   const RenamingInfo* info = Registry::global().find_renaming(name);
   ASSERT_NE(info, nullptr);
 
-  const Params defaults;  // run under each entry's default geometry
+  const Spec defaults;  // run under each entry's default geometry
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     // Hold-all scenario: every acquire keeps its name, so uniqueness and
     // tightness are checkable from the value set. Crash mode: acquires cost
@@ -554,7 +669,7 @@ TEST_P(RenamingConformance, ReusableEntriesRecycleReleasedNames) {
     // stays within the entry's hard bound for nproc concurrent holders.
     // (The *whp* O(holders) smallness is asserted by the long-lived unit
     // tests; here the facet only promises the every-execution bound.)
-    const Params defaults;
+    const Spec defaults;
     const auto values = run.values();
     const std::set<std::uint64_t> distinct(values.begin(), values.end());
     EXPECT_LT(distinct.size(), values.size()) << name << " seed=" << seed;
@@ -576,7 +691,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(RenamingConformance, AdaptiveEntriesDeclareKOnlyBounds) {
   // Entries marked adaptive must have a name bound independent of any
   // provisioned size param; non-adaptive ones depend on their n.
-  const Params defaults;
+  const Spec defaults;
   for (const auto& r : Registry::global().renamings()) {
     if (r.adaptive) {
       EXPECT_LE(r.name_bound(2, defaults), 3u) << r.name;

@@ -7,10 +7,17 @@ Usage:
   bench_compare.py --self-check
 
 Modes:
-  * compare (default): match runs by (bench, name, spec, backend, threads,
-    unit) and flag regressions — throughput dropping more than
-    --max-throughput-regress, or tail latency (p99) growing more than
-    --max-p99-regress. Exits non-zero iff a regression was found.
+  * compare (default): match runs by *configuration* — (bench, canonical
+    spec, backend, threads, unit) — and flag regressions: throughput
+    dropping more than --max-throughput-regress, or tail latency (p99)
+    growing more than --max-p99-regress. Run *names* are labels, not
+    identity: a bench may relabel its tables without orphaning history, and
+    a spec spelled with reordered keys still matches (specs canonicalize
+    exactly like C++ api::Spec — keys sorted, nested values bracketed iff
+    they carry options). Runs without a spec fall back to their name.
+    Exit codes: 0 no regression, 1 regression found, 2 invalid input or no
+    comparable runs at all (two reports that share nothing are a usage
+    error, not a clean pass).
   * --validate: schema-check report files (the structural checks below)
     without comparing. Exits non-zero on the first invalid file.
   * --self-check: run the built-in synthetic-report tests of the full
@@ -109,30 +116,96 @@ def load_report(path):
     return validate_report(doc, where=path)
 
 
+def _split_top_level(text, sep):
+    """Split at `sep` outside [...] brackets (mirrors api::Spec's parser)."""
+    items, item, depth = [], "", 0
+    for c in text:
+        if c == "[":
+            depth += 1
+        if c == "]":
+            depth -= 1
+            if depth < 0:
+                raise ValueError(f"unbalanced ']' in spec '{text}'")
+        if c == sep and depth == 0:
+            items.append(item)
+            item = ""
+        else:
+            item += c
+    if depth != 0:
+        raise ValueError(f"unbalanced '[' in spec '{text}'")
+    items.append(item)
+    return items
+
+
+def canonical_spec(spec):
+    """The canonical form api::Spec::print emits: keys sorted at every
+    nesting level, nested values bracketed iff they carry options. Reports
+    written by current binaries are already canonical; canonicalizing here
+    too keeps matching stable against hand-written or pre-v2 reports. A
+    string that is not a well-formed spec passes through verbatim."""
+    try:
+        name, sep, rest = spec.partition(":")
+        if not name or any(c in name for c in "[],="):
+            return spec
+        if not sep:
+            return name
+        options = []
+        for item in _split_top_level(rest, ","):
+            key, eq, value = item.partition("=")
+            if not key or not eq:
+                return spec
+            if value.startswith("[") and value.endswith("]"):
+                value = canonical_spec(value[1:-1])
+                if ":" in value:
+                    value = f"[{value}]"
+            elif "[" in value or "]" in value:
+                return spec
+            elif ":" in value:
+                value = f"[{canonical_spec(value)}]"
+            options.append((key, value))
+        if len(set(k for k, _ in options)) != len(options):
+            return spec
+        return name + ":" + ",".join(f"{k}={v}"
+                                     for k, v in sorted(options))
+    except ValueError:
+        return spec
+
+
 def run_key(doc, run, occurrence):
-    return (doc["bench"], run["name"], run["spec"], run["backend"],
-            run["threads"], run["unit"], occurrence)
+    # Identity is the measured configuration, not the table label; label-only
+    # runs (spec == "") key on their name instead.
+    config = canonical_spec(run["spec"]) if run["spec"] else "name:" + run["name"]
+    return (doc["bench"], config, run["backend"], run["threads"], run["unit"],
+            occurrence)
 
 
 def index_runs(doc):
-    """Keyed runs; duplicate keys get an occurrence index so repeated
-    configurations (e.g. the same spec measured in two tables) still pair up
-    positionally."""
-    seen = {}
-    out = {}
+    """Keyed runs. When one configuration appears several times in a report
+    (the same spec measured in two tables, or under two facets), the
+    colliding runs are told apart by their *name* — stable under table
+    reordering and entry removal, unlike positional pairing — and only
+    same-config same-name repeats fall back to an occurrence index."""
+    bases = {}
     for run in doc["runs"]:
-        base = run_key(doc, run, 0)[:-1]
-        occurrence = seen.get(base, 0)
-        seen[base] = occurrence + 1
-        out[base + (occurrence,)] = run
+        bases.setdefault(run_key(doc, run, 0)[:-1], []).append(run)
+    out = {}
+    for base, runs in bases.items():
+        if len(runs) == 1:
+            out[base + ("", 0)] = runs[0]
+            continue
+        seen = {}
+        for run in runs:
+            occurrence = seen.get(run["name"], 0)
+            seen[run["name"]] = occurrence + 1
+            out[base + (run["name"], occurrence)] = run
     return out
 
 
 def fmt_key(key):
-    bench, name, spec, backend, threads, unit, occ = key
-    spec_part = f" [{spec}]" if spec else ""
+    bench, config, backend, threads, unit, name, occ = key
+    name_part = f" '{name}'" if name else ""
     occ_part = f" #{occ}" if occ else ""
-    return f"{bench}/{name}{spec_part} ({backend}, k={threads}, {unit}){occ_part}"
+    return f"{bench}/{config}{name_part} ({backend}, k={threads}, {unit}){occ_part}"
 
 
 def compare(baseline, current, max_tp_regress, max_p99_regress, out=sys.stdout):
@@ -221,8 +294,43 @@ def self_check():
     regs, _, _ = diff(_synthetic(p99=100), _synthetic(p99=50))
     assert not regs, regs
 
-    # Unmatched runs warn but do not fail.
-    base, cur = _synthetic(), _synthetic(name="other")
+    # Canonicalization mirrors api::Spec::print.
+    assert canonical_spec("striped:stripes=8,elim=1") == \
+        "striped:elim=1,stripes=8"
+    assert canonical_spec("difftree:leaf=[striped:stripes=4,elim=1],depth=2") \
+        == "difftree:depth=2,leaf=[striped:elim=1,stripes=8]".replace("8", "4")
+    assert canonical_spec("difftree:leaf=[atomic_fai]") == \
+        "difftree:leaf=atomic_fai"
+    assert canonical_spec("difftree:leaf=striped:stripes=4") == \
+        "difftree:leaf=[striped:stripes=4]"
+    assert canonical_spec("not a spec") == "not a spec"
+    assert canonical_spec("") == ""
+
+    # Matching is by configuration: a renamed run with the same spec still
+    # pairs, and reordered spec keys are one identity.
+    regs, compared, unmatched = diff(
+        _synthetic(name="old_label", spec="striped:stripes=8,elim=1"),
+        _synthetic(name="new_label", spec="striped:elim=1,stripes=8"))
+    assert not regs and compared == 1 and not unmatched
+
+    # Runs without a spec fall back to their name.
+    regs, compared, unmatched = diff(_synthetic(spec=""),
+                                     _synthetic(spec="", name="other"))
+    assert compared == 0 and len(unmatched) == 1
+
+    # Colliding configurations (one spec measured twice, e.g. under two
+    # facets) pair by run name, not position: reordering the runs must not
+    # cross the pairs and fake a regression.
+    base = _synthetic(name="counter", p99=100)
+    base["runs"].append(_synthetic(name="readable", p99=200)["runs"][0])
+    cur = _synthetic(name="readable", p99=200)
+    cur["runs"].append(_synthetic(name="counter", p99=100)["runs"][0])
+    regs, compared, unmatched = diff(base, cur)
+    assert not regs and compared == 2 and not unmatched, regs
+
+    # Unmatched runs warn but do not fail (compare() itself; main() turns an
+    # *all*-unmatched comparison into exit 2).
+    base, cur = _synthetic(), _synthetic(spec="other_spec")
     regs, compared, unmatched = diff(base, cur)
     assert not regs and compared == 0 and len(unmatched) == 1
 
@@ -290,6 +398,16 @@ def main(argv):
     regressions, compared, _ = compare(
         baseline, current, args.max_throughput_regress, args.max_p99_regress)
     print(f"{compared} run(s) compared, {len(regressions)} regression(s)")
+    if compared == 0:
+        # Nothing paired up: comparing disjoint reports would otherwise look
+        # like a clean pass. Say exactly why nothing matched.
+        print(f"NO COMPARABLE RUNS: {args.files[0]} "
+              f"(bench={baseline['bench']!r}, {len(baseline['runs'])} runs) "
+              f"and {args.files[1]} (bench={current['bench']!r}, "
+              f"{len(current['runs'])} runs) share no "
+              "(bench, spec, backend, threads, unit) key — are these "
+              "reports from the same bench?", file=sys.stderr)
+        return 2
     for reg in regressions:
         print(f"REGRESSION: {reg}", file=sys.stderr)
     return 1 if regressions else 0

@@ -1,0 +1,404 @@
+// renamectl — the registry driver CLI.
+//
+// One binary to explore and exercise everything the registry knows, without
+// writing a bench: list the facet catalogs, dump the typed option schemas
+// (the same Registry::describe() data docs/SPEC_GRAMMAR.md's tables are
+// rendered from), and run one-off Workload scenarios that emit the standard
+// machine-readable BenchReport (schema renamelib.bench_report.v1), so a CLI
+// experiment lands in the same bench_compare.py pipeline as the benches.
+//
+//   renamectl list [--facet=counter|renaming|readable]
+//   renamectl describe [NAME] [--facet=...]
+//   renamectl run --facet=counter --spec=striped:stripes=16 --threads=8 \
+//                 --ops=1000 --backend=hardware --json=-
+//   renamectl run --smoke --json=FILE     # deterministic all-entries matrix
+//
+// `run` executes the facet's standard workload (counters: next(); renamings:
+// hold-all acquires; readables: a 2:1 increment/read mix) under the chosen
+// backend and emits one report run with the *canonical* spec string.
+// `run --smoke` without --spec sweeps every registered entry of every facet
+// at defaults on the simulated backend — fully deterministic (seeded
+// adversary, step-count latencies), which is what makes the stored
+// bench/baselines/smoke.json comparable across machines and commits.
+//
+// Exit codes: 0 success, 1 validation failure inside a run, 2 usage or spec
+// errors (unknown names/keys surface the registry's did-you-mean messages).
+#include <charconv>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/registry.h"
+#include "api/report.h"
+#include "api/spec.h"
+#include "api/workload.h"
+#include "stats/latency_recorder.h"
+
+namespace {
+
+using namespace renamelib;
+
+int usage(std::ostream& out, int code) {
+  out << "usage:\n"
+         "  renamectl list [--facet=counter|renaming|readable]\n"
+         "  renamectl describe [NAME] [--facet=...]\n"
+         "  renamectl run [--facet=F --spec=S] [--threads=N] [--ops=N]\n"
+         "                [--backend=simulated|hardware]\n"
+         "                [--sched=random|roundrobin|obstruction]\n"
+         "                [--seed=N] [--crashes=N] [--name=LABEL]\n"
+         "                [--json=FILE|-] [--smoke]\n"
+         "\n"
+         "  list      entry catalog per facet (name, family, guarantees)\n"
+         "  describe  typed option schemas (key, type, default, doc)\n"
+         "  run       one Workload scenario -> BenchReport JSON; --smoke\n"
+         "            without --spec runs the deterministic all-entries\n"
+         "            simulated matrix (the stored baseline's generator)\n";
+  return code;
+}
+
+/// Parsed --key=value / --flag command line (after the subcommand).
+class Args {
+ public:
+  Args(int argc, char** argv, int from) {
+    for (int i = from; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(std::move(arg));
+        continue;
+      }
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_.emplace_back(arg.substr(2), "");
+      } else {
+        kv_.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) {
+    for (auto& [k, v] : kv_) {
+      if (k == key) {
+        seen_.push_back(k);
+        return v;
+      }
+    }
+    return std::nullopt;
+  }
+
+  std::uint64_t get_u64(const std::string& key, std::uint64_t def) {
+    const auto v = get(key);
+    if (!v.has_value()) return def;
+    // Full-match from_chars: "-1", "10xyz", and "" are usage errors (exit
+    // 2), not modular wraps or silent prefixes.
+    std::uint64_t out = 0;
+    const auto [ptr, ec] =
+        std::from_chars(v->data(), v->data() + v->size(), out);
+    if (ec != std::errc{} || ptr != v->data() + v->size()) {
+      throw std::invalid_argument("--" + key + " needs an unsigned integer, "
+                                  "got '" + *v + "'");
+    }
+    return out;
+  }
+
+  bool flag(const std::string& key) { return get(key).has_value(); }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Throws on flags nobody consumed — typos must not silently no-op.
+  void reject_unknown() const {
+    for (const auto& [k, v] : kv_) {
+      bool used = false;
+      for (const auto& s : seen_) used |= (s == k);
+      if (!used) throw std::invalid_argument("unknown flag '--" + k + "'");
+    }
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> kv_;
+  std::vector<std::string> seen_;
+  std::vector<std::string> positional_;
+};
+
+std::vector<api::Facet> facets_from(Args& args) {
+  const auto facet = args.get("facet");
+  if (facet.has_value()) return {api::facet_from_name(*facet)};
+  return {api::Facet::kCounter, api::Facet::kRenaming, api::Facet::kReadable};
+}
+
+// ---------------------------------------------------------------- list ---
+
+std::string guarantees(const api::EntryDescription& e) {
+  if (e.facet != api::Facet::kRenaming) return e.consistency;
+  std::string out = e.adaptive ? "adaptive" : "non-adaptive";
+  if (e.reusable) out += ", reusable";
+  return out;
+}
+
+int cmd_list(Args& args) {
+  const auto facets = facets_from(args);
+  args.reject_unknown();
+  for (const api::Facet facet : facets) {
+    std::cout << "facet " << api::facet_name(facet) << ":\n";
+    for (const auto& e : api::Registry::global().describe(facet)) {
+      std::string line = "  " + e.name;
+      line.append(line.size() < 20 ? 20 - line.size() : 1, ' ');
+      line += std::string(api::family_name(e.family)) + " | " + guarantees(e);
+      std::cout << line << "\n      " << e.summary << "\n";
+    }
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------ describe ---
+
+void describe_entry(const api::EntryDescription& e) {
+  std::cout << api::facet_name(e.facet) << " '" << e.name << "' ("
+            << api::family_name(e.family) << ", " << guarantees(e) << ")\n"
+            << "  " << e.summary << "\n";
+  if (e.options.empty()) {
+    std::cout << "  options: none\n";
+    return;
+  }
+  std::cout << "  options:\n";
+  for (const auto& o : e.options) {
+    std::cout << "    " << o.key << " = " << o.def << "  [" << o.type_text()
+              << "]\n        " << o.doc << "\n";
+  }
+}
+
+int cmd_describe(Args& args) {
+  const auto facets = facets_from(args);
+  const auto& names = args.positional();
+  args.reject_unknown();
+  if (names.empty()) {
+    for (const api::Facet facet : facets) {
+      for (const auto& e : api::Registry::global().describe(facet)) {
+        describe_entry(e);
+      }
+    }
+    return 0;
+  }
+  for (const auto& name : names) {
+    bool found = false;
+    std::string first_error;
+    for (const api::Facet facet : facets) {
+      try {
+        describe_entry(api::Registry::global().describe(facet, name));
+        found = true;
+      } catch (const std::invalid_argument& e) {
+        if (first_error.empty()) first_error = e.what();
+      }
+    }
+    if (!found) throw std::invalid_argument(first_error);
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- run ---
+
+/// One report run from a Workload result, exactly like the benches emit:
+/// hardware runs carry wall-clock latency ("ns"), simulated runs the
+/// paper-model per-op step distribution ("steps").
+api::ReportRun to_report_run(std::string name, std::string spec,
+                             const api::Scenario& s, const api::Run& run) {
+  api::ReportRun r;
+  r.name = std::move(name);
+  r.spec = std::move(spec);
+  r.backend = s.backend == api::Backend::kHardware ? "hardware" : "simulated";
+  r.threads = s.nproc;
+  r.ops = run.metrics.ops;
+  r.ops_per_sec = run.metrics.ops_per_sec();
+  if (s.backend == api::Backend::kHardware) {
+    r.unit = "ns";
+    r.latency = run.latency;
+  } else {
+    r.unit = "steps";
+    r.latency = stats::LatencySnapshot::of(run.op_steps());
+  }
+  return r;
+}
+
+/// Pre-flight for one-shot renamings: a hold-all run must fit the entry's
+/// declared request budget, or the scenario would hang/overflow by design.
+void check_renaming_budget(const api::Spec& spec, const api::Scenario& s) {
+  const api::RenamingInfo* info =
+      api::Registry::global().find_renaming(spec.name());
+  const std::uint64_t attempted =
+      static_cast<std::uint64_t>(s.nproc) * static_cast<std::uint64_t>(s.ops_per_proc);
+  const std::uint64_t budget =
+      static_cast<std::uint64_t>(info->max_requests(spec));
+  if (attempted > budget) {
+    throw std::invalid_argument(
+        "scenario attempts " + std::to_string(attempted) + " acquires but '" +
+        spec.print() + "' supports at most " + std::to_string(budget) +
+        (info->reusable ? " concurrent holders" : " total requests") +
+        " — lower --threads/--ops or raise the capacity option");
+  }
+}
+
+api::Run run_one(api::Facet facet, const std::string& canonical,
+                 const api::Scenario& s) {
+  if (facet == api::Facet::kRenaming) {
+    check_renaming_budget(api::Spec::parse(canonical), s);
+  }
+  return api::Workload::run_facet_spec(facet, canonical, s);
+}
+
+/// Default per-process op count per facet (matches the conformance suite's
+/// proportions; readables need a multiple of 3 for a full inc/inc/read mix).
+int default_ops(api::Facet facet) {
+  switch (facet) {
+    case api::Facet::kCounter: return 4;
+    case api::Facet::kRenaming: return 2;
+    case api::Facet::kReadable: return 6;
+  }
+  return 4;
+}
+
+int cmd_run(Args& args) {
+  api::Scenario s;
+  const std::uint64_t threads = args.get_u64("threads", 4);
+  if (threads < 1 || threads > 4096) {
+    throw std::invalid_argument("--threads must be in [1, 4096]");
+  }
+  s.nproc = static_cast<int>(threads);
+  const auto backend = args.get("backend").value_or("simulated");
+  if (backend == "hardware" || backend == "hw") {
+    s.backend = api::Backend::kHardware;
+  } else if (backend == "simulated" || backend == "sim") {
+    s.backend = api::Backend::kSimulated;
+  } else {
+    throw std::invalid_argument("--backend must be simulated or hardware");
+  }
+  const auto sched = args.get("sched").value_or("random");
+  if (sched == "roundrobin") {
+    s.sched = api::Sched::kRoundRobin;
+  } else if (sched == "obstruction") {
+    s.sched = api::Sched::kObstruction;
+  } else if (sched != "random") {
+    throw std::invalid_argument(
+        "--sched must be random, roundrobin, or obstruction");
+  }
+  s.seed = args.get_u64("seed", 1);
+  s.crashes.max_crashes =
+      static_cast<std::size_t>(args.get_u64("crashes", 0));
+  if (s.crashes.enabled() && s.backend == api::Backend::kHardware) {
+    throw std::invalid_argument(
+        "--crashes requires --backend=simulated (a hardware thread cannot "
+        "be killed mid-protocol)");
+  }
+  const bool smoke = args.flag("smoke");
+  const auto spec_arg = args.get("spec");
+  const auto facet_arg = args.get("facet");
+  const std::string label =
+      args.get("name").value_or(smoke && !spec_arg ? "smoke" : "run");
+  const auto json = args.get("json");
+  if (json.has_value() && json->empty()) {
+    // Argument-shape error: fail before any workload runs, not after.
+    throw std::invalid_argument("--json needs a file path or '-'");
+  }
+  const bool ops_given = args.flag("ops");
+  const std::uint64_t default_opcount = spec_arg && !smoke ? 64 : 0;
+  std::uint64_t ops = args.get_u64("ops", default_opcount);
+  if (ops_given && (ops < 1 || ops > (1u << 30))) {
+    throw std::invalid_argument("--ops must be in [1, 2^30] per process");
+  }
+  args.reject_unknown();
+
+  api::BenchReport report;
+  report.bench = "renamectl";
+  auto& reg = api::Registry::global();
+
+  if (spec_arg.has_value()) {
+    // One explicit scenario. canonical() validates against the schema, so a
+    // typo fails here with the registry's did-you-mean before anything runs.
+    const api::Facet facet = api::facet_from_name(facet_arg.value_or("counter"));
+    const std::string canonical = reg.canonical(facet, *spec_arg);
+    s.ops_per_proc = static_cast<int>(ops != 0 ? ops : default_ops(facet));
+    const api::Run run = run_one(facet, canonical, s);
+    report.runs.push_back(to_report_run(label, canonical, s, run));
+    std::ostream& human = json == "-" ? std::cerr : std::cout;
+    human << api::facet_name(facet) << " " << canonical << ": "
+          << run.metrics.ops << " ops, mean " << run.metrics.mean_op_steps()
+          << " steps/op";
+    if (s.backend == api::Backend::kHardware) {
+      human << ", " << run.metrics.ops_per_sec() << " ops/sec, p99 "
+            << run.latency.percentile(0.99) << " ns";
+    }
+    human << "\n";
+  } else {
+    if (!smoke) {
+      throw std::invalid_argument(
+          "run needs --spec=... (one scenario) or --smoke (all-entries "
+          "matrix)");
+    }
+    if (facet_arg.has_value() || s.backend != api::Backend::kSimulated) {
+      throw std::invalid_argument(
+          "the --smoke matrix is the deterministic simulated all-facets "
+          "sweep; combine --smoke with --spec to shrink one scenario "
+          "instead");
+    }
+    // The deterministic baseline matrix: every entry of every facet at its
+    // default spec, simulated backend, fixed scenario — step counts depend
+    // only on (seed, entry), so two runs of the same code produce identical
+    // reports and bench/baselines/smoke.json stays comparable anywhere.
+    for (const api::Facet facet :
+         {api::Facet::kCounter, api::Facet::kRenaming, api::Facet::kReadable}) {
+      for (const auto& name : reg.list(facet)) {
+        api::Scenario entry_s = s;
+        entry_s.ops_per_proc =
+            static_cast<int>(ops != 0 ? ops : default_ops(facet));
+        const api::Run run = run_one(facet, name, entry_s);
+        // The run name carries the facet: entries registered under several
+        // facets (striped, the countnets) share spec/backend/threads/unit,
+        // and bench_compare disambiguates such colliding configurations by
+        // name — without this, removing one facet's entry would silently
+        // re-pair the other against the wrong baseline row.
+        report.runs.push_back(to_report_run(
+            label + "/" + api::facet_name(facet), name, entry_s, run));
+      }
+    }
+    std::ostream& human = json == "-" ? std::cerr : std::cout;
+    human << "smoke matrix: " << report.runs.size() << " runs ("
+          << s.nproc << " procs, simulated)\n";
+  }
+
+  if (json.has_value()) {
+    if (*json == "-") {
+      std::cout << report.to_json();
+    } else {
+      report.write_file(*json);
+      std::ostream& human = std::cout;
+      human << "wrote bench report: " << *json << " (" << report.runs.size()
+            << " runs)\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(std::cerr, 2);
+  const std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    return usage(std::cout, 0);
+  }
+  Args args(argc, argv, 2);
+  try {
+    if (cmd == "list") return cmd_list(args);
+    if (cmd == "describe") return cmd_describe(args);
+    if (cmd == "run") return cmd_run(args);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return usage(std::cerr, 2);
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "renamectl: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "renamectl: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -112,6 +112,26 @@ void check_dense(const api::Run& run, const std::string& spec, int k,
   }
 }
 
+/// Escrow dispensers (the lease facade) hand out leased ranges: values are
+/// unique and below completed + k*quota, but never dense — leased positions
+/// left in partially drained ranges are only reclaimed, not re-sequenced.
+/// Exits non-zero on a violation.
+void check_escrow(const api::Run& run, const std::string& spec, int k,
+                  const char* backend) {
+  std::vector<std::uint64_t> sorted = run.values();
+  std::sort(sorted.begin(), sorted.end());
+  const std::uint64_t quota = api::Spec::parse(spec).get_u64("quota", 64);
+  const std::uint64_t bound =
+      sorted.size() + static_cast<std::uint64_t>(k) * quota;
+  const bool unique =
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+  if (!unique || (!sorted.empty() && sorted.back() >= bound)) {
+    std::cerr << "VALIDATION FAILED: escrow values not unique/bounded for '"
+              << spec << "' at k=" << k << " (" << backend << ")\n";
+    std::exit(1);
+  }
+}
+
 void counter_shootout() {
   bench::print_header(
       "Registry shootout: every counter family, swept over thread counts",
@@ -132,6 +152,7 @@ void counter_shootout() {
   specs.push_back("striped:stripes=16,elim=1");
   specs.push_back("difftree:depth=2,leaf=[striped:stripes=4]");
   specs.push_back("difftree:depth=3,leaf=[bounded_fai:m=64]");
+  specs.push_back("lease:quota=64,inner=[striped:stripes=8]");
 
   stats::Table table({"spec", "family", "consistency", "k", "mean op steps",
                       "max op steps", "shared steps", "coin flips",
@@ -144,9 +165,16 @@ void counter_shootout() {
     for (int k : bench::sweep_or_first<int>({2, 8, 16})) {
       const auto sim_s = sim_scenario(k, 2, 42 + static_cast<std::uint64_t>(k));
       const auto run = api::Workload::run_counter_spec(spec, sim_s);
-      // Every counter family must hand out a dense prefix at quiescence;
-      // the shootout doubles as a cross-family sanity check.
-      check_dense(run, spec, k, "sim");
+      // Every counter family must hand out a dense prefix at quiescence —
+      // except escrow dispensers, whose leased batches are unique and
+      // bounded but deliberately sparse. The shootout doubles as a
+      // cross-family sanity check either way.
+      const bool escrow = info->consistency == api::Consistency::kEscrow;
+      if (escrow) {
+        check_escrow(run, spec, k, "sim");
+      } else {
+        check_dense(run, spec, k, "sim");
+      }
 
       // Hardware wall-clock leg: same object, real threads, enough ops for
       // the clock to resolve — capped below any saturation bound so the
@@ -158,7 +186,11 @@ void counter_shootout() {
       const auto hw_scenario = bench::hw_scenario(
           k, static_cast<int>(hw_ops), 91 + static_cast<std::uint64_t>(k));
       const auto hw = api::Workload::run_counter_spec(spec, hw_scenario);
-      check_dense(hw, spec, k, "hw");
+      if (escrow) {
+        check_escrow(hw, spec, k, "hw");
+      } else {
+        check_dense(hw, spec, k, "hw");
+      }
       // Latency percentiles come from the run's log-bucketed recording
       // (Run::latency) — tail-faithful, no overflow bucket.
       const auto lat = hw.latency.to_summary();

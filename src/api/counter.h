@@ -30,6 +30,10 @@ enum class Consistency {
   /// the completed and never above the started increment count — but need not
   /// respect real-time order (the monotone counter, striped statistic mode).
   kMonotone,
+  /// Escrow-leased level: values unique, but a pid-held lease withholds the
+  /// undrained tail of its range, so after T operations values are < T + p*Q
+  /// (p pids, quota Q) rather than a dense prefix (the lease wrapper).
+  kEscrow,
 };
 
 /// Human-readable label for a Consistency level ("linearizable", ...).

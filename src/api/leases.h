@@ -1,0 +1,166 @@
+/// \file
+/// \brief Facet adapters over the escrow lease broker (src/lease).
+///
+/// Same shape as api/counters.h: forward the facet operations, declare the
+/// honest semantics, expose the native object via impl(). Both adapters wrap
+/// *any* registered inner dispenser of their own facet — the broker's mint
+/// hook is one inner operation per `quota` client requests:
+///
+///   * LeasedCounterAdapter — next() serves positions
+///     ticket*quota + offset from the pid's leased range. Values are unique
+///     and escrow-bounded but NOT a dense prefix: a partially drained lease
+///     withholds the tail of its range, so the adapter declares
+///     Consistency::kEscrow and the conformance oracle checks uniqueness
+///     plus the quota-rounded bound instead of density.
+///   * LeasedRenamingAdapter — acquire() maps ticket ranges into names >= 1;
+///     release() recycles the name through a pid-private free stack, so churn
+///     is served at zero shared steps and the entry stays reusable no matter
+///     what the inner renaming is. holders() sums pid-level
+///     acquired-minus-released counts (meta-level diagnostics, the same
+///     status as OneShotRenamingAdapter's id dispenser); a crashed holder
+///     leaks exactly the names it still held, never its lease's unserved
+///     tail — that tail is what LeaseBroker::reclaim returns to the pool.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "api/counter.h"
+#include "api/renaming.h"
+#include "core/assert.h"
+#include "lease/lease_broker.h"
+
+namespace renamelib::api {
+
+/// Escrow-leased dispenser: thread-local ranges over any inner ICounter.
+class LeasedCounterAdapter final : public ICounter {
+ public:
+  /// Builds a broker minting range tickets via `inner->next()`. The broker's
+  /// ticket_limit is derived from the inner capacity so a saturated inner
+  /// dispenser saturates the wrapper instead of duplicating values.
+  LeasedCounterAdapter(lease::LeaseBroker::Options options,
+                       std::unique_ptr<ICounter> inner)
+      : inner_(std::move(inner)),
+        broker_(
+            [&options, this] {
+              if (inner_->capacity() != kUnbounded) {
+                options.ticket_limit = inner_->capacity();
+              }
+              return options;
+            }(),
+            [this](Ctx& ctx) { return inner_->next(ctx); }) {}
+
+  /// Serves from the pid's leased range (see lease/lease_broker.h).
+  std::uint64_t next(Ctx& ctx) override { return broker_.serve(ctx); }
+
+  /// quota * inner capacity, saturating at kUnbounded.
+  std::uint64_t capacity() const override {
+    const std::uint64_t inner_cap = inner_->capacity();
+    if (inner_cap == kUnbounded) return kUnbounded;
+    const std::uint64_t q = broker_.quota();
+    return inner_cap > (kUnbounded - 1) / q ? kUnbounded : inner_cap * q;
+  }
+
+  /// Unique, escrow-bounded, not dense (see file comment).
+  Consistency consistency() const override { return Consistency::kEscrow; }
+
+  /// The native broker (stats() and reclaim() live here).
+  lease::LeaseBroker& impl() { return broker_; }
+
+  /// The wrapped inner dispenser.
+  ICounter& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<ICounter> inner_;
+  lease::LeaseBroker broker_;
+};
+
+/// Escrow-leased renaming: thread-local name ranges over any inner IRenaming,
+/// with pid-private recycling of released names.
+class LeasedRenamingAdapter final : public IRenaming {
+ public:
+  /// Builds a broker minting range tickets via `inner->acquire() - 1`.
+  LeasedRenamingAdapter(lease::LeaseBroker::Options options,
+                        std::unique_ptr<IRenaming> inner)
+      : procs_(options.procs),
+        free_cap_(options.quota < kMaxFreeStack ? options.quota
+                                                : kMaxFreeStack),
+        inner_(std::move(inner)),
+        broker_(options,
+                [this](Ctx& ctx) { return inner_->acquire(ctx) - 1; }),
+        local_(std::make_unique<Local[]>(static_cast<std::size_t>(procs_))) {}
+
+  /// Pops the pid's free stack (zero shared steps) or serves a fresh
+  /// position from the leased range; names are >= 1.
+  std::uint64_t acquire(Ctx& ctx) override {
+    Local& local = local_of(ctx);
+    std::uint64_t name = 0;
+    if (local.free_count > 0) {
+      name = local.free_stack[--local.free_count];
+    } else {
+      name = broker_.serve(ctx) + 1;
+    }
+    local.held.fetch_add(1, std::memory_order_relaxed);
+    return name;
+  }
+
+  /// Recycles `name` through the pid-private free stack. A full stack drops
+  /// the name (it stays consumed in the inner namespace — bounded by the
+  /// stack depth per pid and harmless to holders()).
+  void release(Ctx& ctx, std::uint64_t name) override {
+    Local& local = local_of(ctx);
+    RENAMELIB_ENSURE(local.held.load(std::memory_order_relaxed) > 0,
+                     "release without a matching acquire on this pid");
+    local.held.fetch_sub(1, std::memory_order_relaxed);
+    if (local.free_count < free_cap_) {
+      local.free_stack[local.free_count++] = name;
+    }
+  }
+
+  /// Released names come back through the free stacks.
+  bool reusable() const override { return true; }
+
+  /// Sum of per-pid acquired-minus-released counts (quiescent diagnostic).
+  std::uint64_t holders() const override {
+    std::uint64_t sum = 0;
+    for (int p = 0; p < procs_; ++p) {
+      sum += local_[p].held.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// The native broker (stats() and reclaim() live here).
+  lease::LeaseBroker& impl() { return broker_; }
+
+  /// The wrapped inner renaming.
+  IRenaming& inner() { return *inner_; }
+
+ private:
+  static constexpr std::uint32_t kMaxFreeStack = 64;
+
+  /// Pid-private recycling state; padded like the broker's Local. The held
+  /// count is meta-level (relaxed atomic, zero steps): holders() is a
+  /// quiescent diagnostic, not protocol state.
+  struct alignas(64) Local {
+    std::atomic<std::uint64_t> held{0};
+    std::uint32_t free_count = 0;
+    std::uint64_t free_stack[kMaxFreeStack] = {};
+  };
+
+  Local& local_of(Ctx& ctx) {
+    const int pid = ctx.pid();
+    RENAMELIB_ENSURE(pid >= 0 && pid < procs_,
+                     "pid exceeds the lease broker's procs= geometry");
+    return local_[pid];
+  }
+
+  int procs_;
+  std::uint32_t free_cap_;
+  std::unique_ptr<IRenaming> inner_;
+  lease::LeaseBroker broker_;
+  std::unique_ptr<Local[]> local_;
+};
+
+}  // namespace renamelib::api

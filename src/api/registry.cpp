@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "api/counters.h"
+#include "api/leases.h"
 #include "api/readables.h"
 #include "api/renamings.h"
 #include "api/sharded_counters.h"
@@ -25,6 +26,7 @@ const char* consistency_name(Consistency c) {
     case Consistency::kQuiescent: return "quiescent";
     case Consistency::kDense: return "dense";
     case Consistency::kMonotone: return "monotone";
+    case Consistency::kEscrow: return "escrow";
   }
   return "?";
 }
@@ -36,6 +38,7 @@ const char* family_name(Family f) {
     case Family::kCountingNetwork: return "counting-network";
     case Family::kSharded: return "sharded";
     case Family::kBaseline: return "baseline";
+    case Family::kEscrow: return "escrow";
   }
   return "?";
 }
@@ -346,6 +349,34 @@ std::unique_ptr<IRenaming> one_shot(std::unique_ptr<renaming::IRenaming> impl) {
   return std::make_unique<OneShotRenamingAdapter>(std::move(impl));
 }
 
+/// Broker geometry shared by both `lease` facet entries (the `inner` schema
+/// differs per facet and is appended at the registration site).
+std::vector<OptionSchema> lease_schemas() {
+  return {
+      OptionSchema::u64("quota", 64, 1, 2048,
+                        "positions per leased range (batch size)"),
+      OptionSchema::u64("window", 0, 0, 2048,
+                        "positions granted per heartbeat advance; 0 = "
+                        "quota/4, clamped to the quota"),
+      OptionSchema::u64("procs", 128, 1, 4096,
+                        "max client pids (one lease slot each)"),
+      OptionSchema::u64("pool", 16, 1, 1024,
+                        "escrow pool capacity (reclaimed ranges)"),
+      OptionSchema::u64("reclaim", 16, 0, 1u << 20,
+                        "refills between stale-lease reclaim scans; 0 "
+                        "disables in-line reclaim")};
+}
+
+lease::LeaseBroker::Options lease_options(const Spec& p) {
+  lease::LeaseBroker::Options o;
+  o.procs = static_cast<int>(p.get_u64("procs", 128));
+  o.quota = static_cast<std::uint32_t>(p.get_u64("quota", 64));
+  o.window = static_cast<std::uint32_t>(p.get_u64("window", 0));
+  o.pool_slots = static_cast<std::size_t>(p.get_u64("pool", 16));
+  o.reclaim_period = p.get_u64("reclaim", 16);
+  return o;
+}
+
 void register_builtins(Registry& r) {
   // ------------------------------------------------------------ renamings
   r.add_renaming(RenamingInfo{
@@ -456,6 +487,45 @@ void register_builtins(Registry& r) {
         return std::make_unique<LongLivedRenamingAdapter>(
             p.get_u64("cap", 256));
       }});
+  {
+    auto options = lease_schemas();
+    options.push_back(OptionSchema::spec(
+        "inner", "longlived", Facet::kRenaming,
+        "renaming whose acquires mint one range ticket per quota names"));
+    r.add_renaming(RenamingInfo{
+        .name = "lease",
+        .family = Family::kEscrow,
+        .summary = "escrow range-leasing wrapper: pid-local name ranges "
+                   "minted from the inner renaming, pid-private release "
+                   "recycling, crash-aware lease reclaim (inner= nested)",
+        // Names come from quota-sized ranges, so the every-execution bound
+        // scales the inner's by the quota — never adaptive-tight.
+        .adaptive = false,
+        .reusable = true,
+        .options = std::move(options),
+        .name_bound = [](int k, const Spec& p) {
+          const Spec inner = p.get_spec("inner", "longlived");
+          const auto* info = Registry::global().find_renaming(inner.name());
+          return p.get_u64("quota", 64) * info->name_bound(k, inner);
+        },
+        .max_requests = [](const Spec& p) {
+          // Every mint pins one inner name forever, so the inner's holder
+          // budget bounds total tickets; quota names per ticket.
+          const Spec inner = p.get_spec("inner", "longlived");
+          const auto* info = Registry::global().find_renaming(inner.name());
+          const std::uint64_t total =
+              p.get_u64("quota", 64) *
+              static_cast<std::uint64_t>(info->max_requests(inner));
+          const auto cap =
+              static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+          return static_cast<int>(total > cap ? cap : total);
+        },
+        .make = [](const Spec& p) -> std::unique_ptr<IRenaming> {
+          const Spec inner = p.get_spec("inner", "longlived");
+          return std::make_unique<LeasedRenamingAdapter>(
+              lease_options(p), Registry::global().make_renaming(inner));
+        }});
+  }
 
   // ------------------------------------------------------------- counters
   r.add_counter(CounterInfo{
@@ -515,13 +585,18 @@ void register_builtins(Registry& r) {
            OptionSchema::u64("elim_width", 4, 1, 1024,
                              "elimination array slots"),
            OptionSchema::u64("elim_spins", 4, 1, 1024,
-                             "spins per elimination attempt")},
+                             "spins per elimination attempt"),
+           OptionSchema::u64("elim_handoff", 64, 1, 65536,
+                             "claimed-waiter delivery spins before the "
+                             "crash-tolerant reclaim")},
       .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
         sharded::StripedCounter::Options o;
         o.stripes = p.get_u64("stripes", 64);
         o.elimination = p.get_bool("elim", false);
         o.elim_width = p.get_u64("elim_width", 4);
         o.elim_spins = static_cast<int>(p.get_u64("elim_spins", 4));
+        o.elim_handoff_spins =
+            static_cast<int>(p.get_u64("elim_handoff", 64));
         return std::make_unique<StripedCounterAdapter>(o);
       }});
   r.add_counter(CounterInfo{
@@ -577,6 +652,25 @@ void register_builtins(Registry& r) {
         return std::make_unique<CountingNetworkCounter>(
             countnet::periodic_counting_network(p.get_u64("w", 16)));
       }});
+  {
+    auto options = lease_schemas();
+    options.push_back(OptionSchema::spec(
+        "inner", "atomic_fai", Facet::kCounter,
+        "dispenser minting one range ticket per quota requests"));
+    r.add_counter(CounterInfo{
+        .name = "lease",
+        .family = Family::kEscrow,
+        .summary = "escrow range-leasing wrapper: pid-local serving of "
+                   "quota-sized ranges minted from the inner dispenser, "
+                   "crash-aware lease reclaim (inner= is a nested spec)",
+        .consistency = Consistency::kEscrow,
+        .options = std::move(options),
+        .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
+          const Spec inner = p.get_spec("inner", "atomic_fai");
+          return std::make_unique<LeasedCounterAdapter>(
+              lease_options(p), Registry::global().make_counter(inner));
+        }});
+  }
 
   // ------------------------------------------------------------ readables
   r.add_readable(ReadableInfo{

@@ -54,6 +54,7 @@ enum class Family {
   kCountingNetwork,  ///< balancer networks used as counters
   kSharded,          ///< striped / diffracting-tree sharded counters
   kBaseline,         ///< hardware reference points
+  kEscrow,           ///< escrow range-leasing wrappers over inner dispensers
 };
 
 /// Human-readable family label ("renaming", "sharded", ...).

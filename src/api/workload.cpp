@@ -100,7 +100,8 @@ Run Workload::run_metered(
   // backend keeps per-op commits so a crashed process's already-completed
   // ops survive in Run::ops (hardware runs cannot crash — see execute()).
   std::optional<stats::LatencyRecorder> latency;
-  if (timed) latency.emplace(scenario_.nproc);
+  const int sample_period = scenario_.latency_sample_period;
+  if (timed && sample_period > 0) latency.emplace(scenario_.nproc);
 
   auto body = [&](Ctx& ctx) {
     Metrics local;
@@ -112,9 +113,12 @@ Run Workload::run_metered(
       const char* kind = kind_of(i);
       const std::uint64_t token = recorder ? recorder->invoke() : 0;
       OpMeter meter(ctx);
-      const auto t0 = timed ? clock::now() : clock::time_point{};
+      // Latency sampling every Nth op keeps the clock reads off the fast
+      // path of nanosecond-scale objects (see Scenario::latency_sample_period).
+      const bool sampled = latency && i % sample_period == 0;
+      const auto t0 = sampled ? clock::now() : clock::time_point{};
       const std::uint64_t v = op(ctx, i);
-      if (timed) {
+      if (sampled) {
         latency->record(
             ctx.pid(),
             static_cast<std::uint64_t>(

@@ -79,6 +79,13 @@ struct Scenario {
   /// O(1) in the op count — validation then goes through object-side
   /// invariants (e.g. IRenaming::holders) instead of Run::values().
   bool keep_op_samples = true;
+  /// Hardware backend: record one wall-clock latency sample every N ops
+  /// (1 = every op, the default). For batch-amortized objects whose fast
+  /// path is a few nanoseconds (the lease wrapper), the two clock reads per
+  /// op dominate the operation itself; sampling keeps the recording
+  /// tail-faithful at period granularity while the loop stays tight. 0
+  /// disables latency recording entirely.
+  int latency_sample_period = 1;
   /// Simulated backend: abort runaway executions after this many steps.
   std::uint64_t max_total_steps = 50'000'000;
 };

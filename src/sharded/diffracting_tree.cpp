@@ -14,8 +14,11 @@ DiffractingTreeCounter::DiffractingTreeCounter(Options options,
   for (std::size_t node = 1; node < leaves; ++node) {
     auto b = std::make_unique<Balancer>();
     if (options_.prism) {
-      b->prism = std::make_unique<EliminationArray>(EliminationArray::Options{
-          options_.prism_width, options_.prism_spins, /*payload=*/false});
+      EliminationArray::Options prism_options;
+      prism_options.width = options_.prism_width;
+      prism_options.spins = options_.prism_spins;
+      prism_options.payload = false;
+      b->prism = std::make_unique<EliminationArray>(prism_options);
     }
     balancers_[node] = std::move(b);
   }

@@ -5,24 +5,37 @@
 namespace renamelib::sharded {
 namespace {
 
-// Slot state encoding: kEmpty, or (pid+1) << 2 | tag. A process runs one
-// operation at a time, so pid+1 uniquely identifies the parked op and the
-// claim CAS cannot suffer ABA within a handshake.
+// Slot state encoding: kEmpty, or token << 3 | tag, where the token is a
+// per-operation Ctx::mint_token() identity (pid in the high bits, a local
+// sequence in the low bits). A fresh token per parked op means no slot word
+// ever repeats across handshake generations, so every CAS in the protocol is
+// ABA-free — in particular the waiter's timeout reclaim cannot race a
+// delivery from an older pairing.
 constexpr std::uint64_t kEmpty = 0;
 constexpr std::uint64_t kTagWaiting = 1;
 constexpr std::uint64_t kTagClaimed = 2;
-constexpr std::uint64_t kTagMask = 3;
+constexpr std::uint64_t kTagDelivered = 3;
+constexpr std::uint64_t kTagReclaimed = 4;
+constexpr std::uint64_t kTagMask = 7;
 
 constexpr std::uint64_t kNoValue = ~0ULL;
 
-std::uint64_t waiting(std::uint64_t token) { return token << 2 | kTagWaiting; }
-std::uint64_t claimed(std::uint64_t token) { return token << 2 | kTagClaimed; }
+std::uint64_t waiting(std::uint64_t token) { return token << 3 | kTagWaiting; }
+std::uint64_t claimed(std::uint64_t token) { return token << 3 | kTagClaimed; }
+std::uint64_t delivered(std::uint64_t token) {
+  return token << 3 | kTagDelivered;
+}
+std::uint64_t reclaimed(std::uint64_t token) {
+  return token << 3 | kTagReclaimed;
+}
 
 }  // namespace
 
 EliminationArray::EliminationArray(Options options) : options_(options) {
   RENAMELIB_ENSURE(options_.width >= 1, "elimination width must be >= 1");
   RENAMELIB_ENSURE(options_.spins >= 1, "elimination spins must be >= 1");
+  RENAMELIB_ENSURE(options_.handoff_spins >= 1,
+                   "elimination handoff_spins must be >= 1");
   state_ = std::make_unique<RegisterArray<std::uint64_t>>(options_.width, kEmpty);
   if (options_.payload) {
     answer_ =
@@ -31,7 +44,6 @@ EliminationArray::EliminationArray(Options options) : options_(options) {
 }
 
 EliminationArray::Collision EliminationArray::try_collide(Ctx& ctx) {
-  const std::uint64_t me = static_cast<std::uint64_t>(ctx.pid()) + 1;
   const std::size_t slot =
       options_.width == 1 ? 0 : static_cast<std::size_t>(
                                     ctx.rng().below(options_.width));
@@ -39,50 +51,83 @@ EliminationArray::Collision EliminationArray::try_collide(Ctx& ctx) {
 
   std::uint64_t seen = st.load(ctx);
   if (seen == kEmpty) {
-    // Park as a waiter.
+    // Park as a waiter under a fresh token.
+    const std::uint64_t me = ctx.mint_token();
     std::uint64_t expected = kEmpty;
     if (!st.compare_exchange(ctx, expected, waiting(me))) {
-      return Collision{Role::kNone, slot, 0};
+      return Collision{Role::kNone, slot, 0, 0};
     }
     for (int i = 0; i < options_.spins; ++i) {
-      if (st.load(ctx) == claimed(me)) return finish_as_waiter(ctx, slot);
+      if (st.load(ctx) == claimed(me)) return finish_as_waiter(ctx, slot, me);
     }
     // Timed out: back out, unless a leader claimed us concurrently.
     expected = waiting(me);
     if (st.compare_exchange(ctx, expected, kEmpty)) {
-      return Collision{Role::kNone, slot, 0};
+      return Collision{Role::kNone, slot, 0, 0};
     }
-    return finish_as_waiter(ctx, slot);
+    return finish_as_waiter(ctx, slot, me);
   }
   if ((seen & kTagMask) == kTagWaiting) {
     // Someone is parked: try to claim them.
-    if (st.compare_exchange(ctx, seen, (seen & ~kTagMask) | kTagClaimed)) {
-      return Collision{Role::kLeader, slot, 0};
+    const std::uint64_t token = seen >> 3;
+    if (st.compare_exchange(ctx, seen, claimed(token))) {
+      return Collision{Role::kLeader, slot, token, 0};
     }
   }
-  return Collision{Role::kNone, slot, 0};
+  return Collision{Role::kNone, slot, 0, 0};
 }
 
 EliminationArray::Collision EliminationArray::finish_as_waiter(
-    Ctx& ctx, std::size_t slot) {
-  Collision out{Role::kWaiter, slot, 0};
-  if (options_.payload) {
-    Register<std::uint64_t>& ans = (*answer_)[slot];
-    std::uint64_t v = ans.load(ctx);
-    while (v == kNoValue) v = ans.load(ctx);  // leader is committed to deliver
-    ans.store(ctx, kNoValue);
-    out.value = v;
+    Ctx& ctx, std::size_t slot, std::uint64_t token) {
+  if (!options_.payload) {
+    // Pairing mode needs nothing further from the leader: reopen and go.
+    (*state_)[slot].store(ctx, kEmpty);
+    return Collision{Role::kWaiter, slot, token, 0};
   }
+  Register<std::uint64_t>& st = (*state_)[slot];
+  Register<std::uint64_t>& ans = (*answer_)[slot];
+  bool handed_off = false;
+  for (int i = 0; i < options_.handoff_spins; ++i) {
+    if (st.load(ctx) == delivered(token)) {
+      handed_off = true;
+      break;
+    }
+  }
+  if (!handed_off) {
+    // The leader is slow — or dead. Walk away; the reclaim CAS is decisive
+    // against the leader's CLAIMED -> DELIVERED publish.
+    std::uint64_t expected = claimed(token);
+    if (st.compare_exchange(ctx, expected, reclaimed(token))) {
+      return Collision{Role::kNone, slot, token, 0};
+    }
+    // The CAS lost to the delivery: the value is there after all.
+  }
+  const std::uint64_t v = ans.load(ctx);
+  ans.store(ctx, kNoValue);
   // Reset ordering matters: the answer sentinel must be restored before the
   // slot reopens, or the next pair could observe this pair's value.
-  (*state_)[slot].store(ctx, kEmpty);
-  return out;
+  st.store(ctx, kEmpty);
+  return Collision{Role::kWaiter, slot, token, v};
 }
 
-void EliminationArray::deliver(Ctx& ctx, std::size_t slot, std::uint64_t value) {
+bool EliminationArray::deliver(Ctx& ctx, const Collision& collision,
+                               std::uint64_t value) {
   RENAMELIB_ENSURE(options_.payload, "deliver() requires payload mode");
   RENAMELIB_ENSURE(value != kNoValue, "~0 is reserved as the no-value sentinel");
-  (*answer_)[slot].store(ctx, value);
+  Register<std::uint64_t>& st = (*state_)[collision.slot];
+  Register<std::uint64_t>& ans = (*answer_)[collision.slot];
+  // Publish the value first, then flip the tag: a waiter that observes
+  // DELIVERED is guaranteed to find the value.
+  ans.store(ctx, value);
+  std::uint64_t expected = claimed(collision.token);
+  if (st.compare_exchange(ctx, expected, delivered(collision.token))) {
+    return true;
+  }
+  // The waiter reclaimed (expected now RECLAIMED): take the value back and
+  // reopen the slot — only this leader references it anymore.
+  ans.store(ctx, kNoValue);
+  st.store(ctx, kEmpty);
+  return false;
 }
 
 }  // namespace renamelib::sharded

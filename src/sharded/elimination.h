@@ -6,18 +6,31 @@
 // *leader*). A successful collision serves two operations with one pairing:
 //   * the diffracting tree uses pairing alone — a diffracted pair leaves a
 //     balancer on opposite outputs without touching the toggle bit,
-//   * the striped counter uses the payload flavor — the leader performs both
-//     slot fetch&adds and hands the second value to its waiter.
-// All waits on the fast path are bounded (`spins`); a timed-out waiter backs
-// out with a CAS and falls through to the object's normal path, so the layer
-// never blocks progress. The one unbounded wait is a *paired* waiter in
-// payload mode awaiting its leader's delivery — the same short handoff window
-// every elimination stack has (lock-free overall: the leader is already
-// committed to delivering). That window is also the layer's one crash
-// vulnerability: a leader killed between claiming and delivering strands its
-// waiter forever, so payload-mode objects (striped elim=1) are excluded from
-// the crash-injection conformance schedules. Pairing mode has no such window
-// — a claimed pairing waiter needs nothing further from its leader.
+//   * the striped counter uses the payload flavor — the leader takes an extra
+//     ticket and hands the resulting value to its waiter.
+//
+// Every wait is bounded. A parked waiter spends `spins` loads waiting to be
+// claimed and backs out with a CAS; a *claimed* payload waiter spends
+// `handoff_spins` loads waiting for the leader's delivery and then walks away
+// with a CAS to the RECLAIMED tag. The delivery handshake is a race with one
+// decisive CAS on the slot word:
+//   * leader publishes the answer register first, then CASes
+//     CLAIMED -> DELIVERED; if that CAS fails the waiter already reclaimed,
+//     and the leader takes the value back as its own (the deliver() return
+//     value says which) and reopens the slot,
+//   * waiter CASes CLAIMED -> RECLAIMED on timeout; if that CAS fails the
+//     value is already DELIVERED and the waiter consumes it.
+// Tokens are minted fresh per parked operation (Ctx::mint_token), so a slot
+// word can never ABA across park/claim/deliver generations.
+//
+// This makes the layer crash-tolerant: a leader killed between claiming and
+// delivering no longer strands its waiter — the waiter times out, reclaims,
+// and falls through to the object's normal path. The leader's orphaned
+// ticket (at most one per crashed process) leaves a hole in the handed-out
+// range, which is exactly the slack crash schedules already grant every
+// object. A slot whose leader died post-claim stays RECLAIMED (dead) — later
+// collisions see a non-parkable word and fall through, so width degrades but
+// progress never blocks.
 //
 // Every slot access goes through core/Register, so collisions cost paper-model
 // steps like any other shared-memory traffic and the simulator's adversary
@@ -46,32 +59,39 @@ class EliminationArray {
   struct Collision {
     Role role = Role::kNone;
     std::size_t slot = 0;     ///< slot index (leaders pass it to deliver())
+    std::uint64_t token = 0;  ///< the pairing's ABA token (leaders: waiter's)
     std::uint64_t value = 0;  ///< payload mode, kWaiter: the delivered value
   };
 
   struct Options {
-    std::size_t width = 4;  ///< number of collision slots
-    int spins = 4;          ///< bounded loads a waiter spends parked
-    bool payload = false;   ///< leaders deliver a uint64 to their waiter
+    std::size_t width = 4;   ///< number of collision slots
+    int spins = 4;           ///< bounded loads a waiter spends parked
+    int handoff_spins = 64;  ///< bounded loads a claimed waiter awaits delivery
+    bool payload = false;    ///< leaders deliver a uint64 to their waiter
   };
 
   explicit EliminationArray(Options options);
 
   /// One bounded collision attempt on a random slot. In payload mode a
-  /// claimed waiter additionally awaits its leader's deliver() before
-  /// returning (values of ~0 are reserved as the "not yet" sentinel).
+  /// claimed waiter awaits its leader's deliver() for at most
+  /// `handoff_spins` loads, reclaiming and reporting kNone on timeout
+  /// (values of ~0 are reserved as the "not yet" sentinel).
   Collision try_collide(Ctx& ctx);
 
-  /// Payload mode, leader side: hands `value` to the waiter parked at `slot`.
-  /// Must be called exactly once after try_collide() returned kLeader.
-  void deliver(Ctx& ctx, std::size_t slot, std::uint64_t value);
+  /// Payload mode, leader side: offers `value` to the waiter of `collision`.
+  /// Returns true if the waiter took it; false if the waiter had already
+  /// reclaimed, in which case the caller still owns `value` and must use it
+  /// as its own result. Must be called exactly once after try_collide()
+  /// returned kLeader.
+  bool deliver(Ctx& ctx, const Collision& collision, std::uint64_t value);
 
   std::size_t width() const noexcept { return options_.width; }
 
  private:
   /// A claimed waiter finishes the handshake: in payload mode await the
-  /// leader's value, then return the slot to EMPTY for the next pair.
-  Collision finish_as_waiter(Ctx& ctx, std::size_t slot);
+  /// leader's value (bounded), then return the slot to EMPTY for the next
+  /// pair — or reclaim and report kNone on timeout.
+  Collision finish_as_waiter(Ctx& ctx, std::size_t slot, std::uint64_t token);
 
   Options options_;
   std::unique_ptr<RegisterArray<std::uint64_t>> state_;

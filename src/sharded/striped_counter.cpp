@@ -9,7 +9,8 @@ StripedCounter::StripedCounter(Options options) : options_(options) {
   slots_ = std::make_unique<Slot[]>(options_.stripes);
   if (options_.elimination) {
     elim_ = std::make_unique<EliminationArray>(EliminationArray::Options{
-        options_.elim_width, options_.elim_spins, /*payload=*/true});
+        options_.elim_width, options_.elim_spins, options_.elim_handoff_spins,
+        /*payload=*/true});
   }
 }
 
@@ -40,11 +41,11 @@ std::uint64_t StripedCounter::next(Ctx& ctx) {
       return collision.value;
     }
     if (collision.role == EliminationArray::Role::kLeader) {
-      // Serve both ops: two consecutive tickets, deliver the partner's value
-      // first so the waiter unparks while we finish our own.
-      const std::uint64_t t = spray_.fetch_add(ctx, 2);
-      elim_->deliver(ctx, collision.slot, take(ctx, t + 1));
-      return take(ctx, t);
+      // Serve the partner first, one ticket at a time: if the waiter timed
+      // out and reclaimed, the offered value simply becomes our own — every
+      // taken ticket is consumed either way, so the dense prefix survives.
+      const std::uint64_t offered = take(ctx, spray_.fetch_add(ctx, 1));
+      if (!elim_->deliver(ctx, collision, offered)) return offered;
     }
   }
   return take(ctx, spray_.fetch_add(ctx, 1));

@@ -19,9 +19,12 @@
 //     (a delayed op can publish a small value after later ops finished).
 //
 // With elimination enabled, next() first tries to collide in an
-// EliminationArray (payload mode): a leader takes two spray tickets, performs
-// both stripe fetch&adds, and hands the second value to its waiter — the
-// waiter never touches a stripe, halving slot traffic under contention.
+// EliminationArray (payload mode): a leader takes a ticket for its waiter,
+// hands over the resulting value, then takes its own — the waiter never
+// touches a stripe, halving slot traffic under contention. Tickets are taken
+// one at a time so the accounting stays exact when a waiter times out of the
+// handoff and the leader keeps the offered value for itself (crash-tolerant
+// elimination: see sharded/elimination.h).
 #pragma once
 
 #include <cstddef>
@@ -41,6 +44,7 @@ class StripedCounter {
     bool elimination = false;      ///< pair-combine next() ops under contention
     std::size_t elim_width = 4;    ///< collision slots (when elimination)
     int elim_spins = 4;            ///< bounded waiter spins (when elimination)
+    int elim_handoff_spins = 64;   ///< bounded claimed-waiter delivery spins
   };
 
   explicit StripedCounter(Options options);

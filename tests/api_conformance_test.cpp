@@ -4,7 +4,8 @@
 //   * counter facet — values are a dense prefix {0..N-1}; linearizable ones
 //     are additionally machine-checked with the Wing–Gong checker on
 //     recorded concurrent histories; quiescent/dense ones must still hand
-//     out a permutation of the prefix,
+//     out a permutation of the prefix; escrow-leased ones are checked for
+//     uniqueness within the quota-rounded bound instead of density,
 //   * renaming facet — uniqueness and namespace tightness
 //     (renaming/validate.h) against each entry's declared name_bound, plus
 //     concurrent-holder and reuse checks for the long-lived family,
@@ -412,6 +413,16 @@ std::vector<std::tuple<std::string, Mode>> sweep(
 
 // ------------------------------------------------------------- counters ---
 
+/// Default value of an entry's integer option `key` (schema-declared).
+std::uint64_t default_u64_option(const CounterInfo& info,
+                                 const std::string& key) {
+  for (const auto& o : info.options) {
+    if (o.key == key) return std::stoull(o.def);
+  }
+  ADD_FAILURE() << info.name << " declares no '" << key << "' option";
+  return 0;
+}
+
 class CounterConformance
     : public ::testing::TestWithParam<std::tuple<std::string, Mode>> {};
 
@@ -456,12 +467,20 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
       ASSERT_LT(run.ops.size(), attempted);
       // Crashed operations may have consumed values, so the survivors'
       // values need not be a dense prefix — but they must stay unique and
-      // within the started-operation bound.
+      // within the started-operation bound. Escrow-leased entries hand out
+      // positions from quota-sized per-pid ranges, so their bound is the
+      // quota-rounded one: every value lies inside some minted range, and at
+      // most one range per pid is in flight.
+      const std::uint64_t crash_bound =
+          info->consistency == Consistency::kEscrow
+              ? attempted + static_cast<std::uint64_t>(s.nproc) *
+                                default_u64_option(*info, "quota")
+              : attempted;
       std::set<std::uint64_t> unique;
       for (const std::uint64_t v : run.values()) {
         EXPECT_TRUE(unique.insert(v).second)
             << name << " seed=" << seed << ": duplicate value " << v;
-        EXPECT_LT(v, attempted) << name << " seed=" << seed;
+        EXPECT_LT(v, crash_bound) << name << " seed=" << seed;
       }
       EXPECT_EQ(run.metrics.ops, run.ops.size());
       continue;
@@ -471,11 +490,25 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
     ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
     ASSERT_EQ(run.ops.size(), attempted);
 
-    // Every counter family hands out a dense prefix once quiescent.
-    std::vector<std::uint64_t> sorted = run.values();
-    std::sort(sorted.begin(), sorted.end());
-    for (std::size_t i = 0; i < attempted; ++i) {
-      EXPECT_EQ(sorted[i], i) << name << " seed=" << seed;
+    if (info->consistency == Consistency::kEscrow) {
+      // Escrow-leased values are unique and quota-bounded, never dense: each
+      // pid's partially drained lease withholds the tail of its range.
+      const std::uint64_t bound =
+          attempted + static_cast<std::uint64_t>(s.nproc) *
+                          default_u64_option(*info, "quota");
+      std::set<std::uint64_t> unique;
+      for (const std::uint64_t v : run.values()) {
+        EXPECT_TRUE(unique.insert(v).second)
+            << name << " seed=" << seed << ": duplicate value " << v;
+        EXPECT_LT(v, bound) << name << " seed=" << seed;
+      }
+    } else {
+      // Every other counter family hands out a dense prefix once quiescent.
+      std::vector<std::uint64_t> sorted = run.values();
+      std::sort(sorted.begin(), sorted.end());
+      for (std::size_t i = 0; i < attempted; ++i) {
+        EXPECT_EQ(sorted[i], i) << name << " seed=" << seed;
+      }
     }
 
     // Unified metrics sanity.
@@ -484,7 +517,11 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
     EXPECT_GE(run.metrics.steps, run.metrics.shared_steps);
     EXPECT_LE(run.metrics.max_op_steps, run.metrics.steps);
     EXPECT_LE(run.metrics.max_proc_steps, run.metrics.steps);
-    EXPECT_GE(run.metrics.mean_op_steps(), 1.0);
+    if (info->consistency != Consistency::kEscrow) {
+      // Locally served lease ops cost zero shared steps, so the escrow
+      // family legitimately undercuts the 1-step/op floor.
+      EXPECT_GE(run.metrics.mean_op_steps(), 1.0);
+    }
 
     if (info->consistency == Consistency::kLinearizable) {
       const std::uint64_t m = counter->capacity() == ICounter::kUnbounded
@@ -525,13 +562,6 @@ struct SpecName {
 
 TEST_P(ShardedSpecConformance, DenseValuePrefix) {
   const auto& [spec, mode] = GetParam();
-  // Striped payload elimination has one unbounded wait: a claimed waiter
-  // awaits its leader's delivery, and a leader crashed inside that window
-  // blocks the waiter forever (sharded/elimination.h documents the
-  // trade-off). Crash schedules therefore exclude elim=1 striped specs.
-  if (mode == Mode::kCrash && spec.find("elim=1") != std::string::npos) {
-    GTEST_SKIP() << "payload elimination is not crash-tolerant";
-  }
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const auto counter = Registry::global().make_counter(spec);
     ASSERT_EQ(counter->consistency(), Consistency::kQuiescent) << spec;
@@ -545,11 +575,17 @@ TEST_P(ShardedSpecConformance, DenseValuePrefix) {
     if (mode == Mode::kCrash) {
       ASSERT_EQ(run.crashed_procs, 2u) << spec << " seed=" << seed;
       ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc) - 2);
+      // Payload elimination is crash-tolerant (bounded handoff, waiter-side
+      // reclaim — sharded/elimination.h) but may orphan one ticket per
+      // crashed process: a parked waiter that died before consuming its
+      // leader's delivery shifts later values up by one.
+      const std::uint64_t slack =
+          spec.find("elim=1") != std::string::npos ? 2u : 0u;
       std::set<std::uint64_t> unique;
       for (const std::uint64_t v : run.values()) {
         ASSERT_TRUE(unique.insert(v).second)
             << spec << " seed=" << seed << ": duplicate value " << v;
-        ASSERT_LT(v, attempted) << spec << " seed=" << seed;
+        ASSERT_LT(v, attempted + slack) << spec << " seed=" << seed;
       }
       continue;
     }

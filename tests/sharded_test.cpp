@@ -180,9 +180,12 @@ TEST(EliminationArray, PairsDeliverExactlyOnceUnderTheSimulator) {
         if (c.role == EliminationArray::Role::kLeader) {
           const std::uint64_t token =
               static_cast<std::uint64_t>(ctx.pid()) * 1000 + i;
-          sent_sum.fetch_add(token);
-          ea.deliver(ctx, c.slot, token);
-          pairs.fetch_add(1);
+          // A false return means the waiter timed out of the handoff and
+          // reclaimed: the leader keeps the value, nothing was handed over.
+          if (ea.deliver(ctx, c, token)) {
+            sent_sum.fetch_add(token);
+            pairs.fetch_add(1);
+          }
         } else if (c.role == EliminationArray::Role::kWaiter) {
           delivered_sum.fetch_add(c.value);
         }

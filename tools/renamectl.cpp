@@ -361,9 +361,20 @@ int cmd_run(Args& args) {
             label + "/" + api::facet_name(facet), name, entry_s, run));
       }
     }
+    // Coverage oracle: the matrix must touch 100% of the catalog. An entry
+    // that registers but never runs here would drift out of the baseline
+    // (and out of CI's regression net) silently — fail loudly instead.
+    const std::size_t catalog = reg.describe().size();
+    if (report.runs.size() != catalog) {
+      throw std::runtime_error(
+          "smoke matrix covered " + std::to_string(report.runs.size()) +
+          " runs but the registry describes " + std::to_string(catalog) +
+          " entries — a facet table is missing from the sweep");
+    }
     std::ostream& human = json == "-" ? std::cerr : std::cout;
     human << "smoke matrix: " << report.runs.size() << " runs ("
-          << s.nproc << " procs, simulated)\n";
+          << s.nproc << " procs, simulated; covers " << catalog << "/"
+          << catalog << " registry entries)\n";
   }
 
   if (json.has_value()) {

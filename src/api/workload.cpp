@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "core/assert.h"
+#include "core/register.h"
 #include "core/rng.h"
 #include "sim/executor.h"
 
@@ -102,6 +103,9 @@ Run Workload::run_metered(
   std::optional<stats::LatencyRecorder> latency;
   const int sample_period = scenario_.latency_sample_period;
   if (timed && sample_period > 0) latency.emplace(scenario_.nproc);
+  // Think-time target: a harness-owned shared register, so every think step
+  // is adversary-schedulable (simulated) or a real coherent load (hardware).
+  Register<std::uint64_t> scratch;
 
   auto body = [&](Ctx& ctx) {
     Metrics local;
@@ -109,7 +113,27 @@ Run Workload::run_metered(
     if (timed && scenario_.keep_op_samples) {
       local_ops.reserve(static_cast<std::size_t>(scenario_.ops_per_proc));
     }
+    int burst_left = 0;
     for (int i = 0; i < scenario_.ops_per_proc; ++i) {
+      if (scenario_.think_max > 0) {
+        // Think before every op (steady) or before each burst (bursty).
+        // Placed before the OpMeter so think steps land in process totals
+        // but never inflate an operation's metered cost.
+        bool pause = true;
+        if (scenario_.arrival == Arrival::kBursty) {
+          pause = burst_left == 0;
+          if (pause) {
+            burst_left = 1 + static_cast<int>(ctx.rng().below(
+                                 static_cast<std::uint64_t>(scenario_.burst_max)));
+          }
+          --burst_left;
+        }
+        if (pause) {
+          const auto think = ctx.rng().below(
+              static_cast<std::uint64_t>(scenario_.think_max) + 1);
+          for (std::uint64_t t = 0; t < think; ++t) scratch.load(ctx);
+        }
+      }
       const char* kind = kind_of(i);
       const std::uint64_t token = recorder ? recorder->invoke() : 0;
       OpMeter meter(ctx);
@@ -170,7 +194,10 @@ Run Workload::run(IRenaming& obj) const {
 }
 
 Run Workload::run(IReadableCounter& counter) const {
-  auto is_read = [](int i) { return i % 3 == 2; };
+  RENAMELIB_ENSURE(scenario_.read_period >= 1,
+                   "scenario needs read_period >= 1");
+  const int period = scenario_.read_period;
+  auto is_read = [period](int i) { return i % period == period - 1; };
   return run_metered(
       [&counter, is_read](Ctx& ctx, int i) -> std::uint64_t {
         if (is_read(i)) return counter.read(ctx);
@@ -205,6 +232,8 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
   RENAMELIB_ENSURE(!scenario_.crashes.enabled() ||
                        scenario_.crashes.crash_step_max >= 1,
                    "crash plan needs crash_step_max >= 1");
+  RENAMELIB_ENSURE(scenario_.think_max >= 0 && scenario_.burst_max >= 1,
+                   "arrival shaping needs think_max >= 0 and burst_max >= 1");
   // Appends the finishing process's totals; only reached by processes that
   // complete their body (crashed ones stop at the throw).
   auto with_totals = [&](Ctx& ctx) {

@@ -45,6 +45,17 @@ enum class Sched {
   kObstruction,  ///< runs one process solo as long as possible
 };
 
+/// Arrival shaping between a process's consecutive operations. Thinking is
+/// modeled as reads of a harness-owned scratch register, so on the simulated
+/// backend every think step is a scheduling point the adversary can exploit
+/// (pure local delays would be invisible to it) and on hardware it is a real
+/// cache-coherent pause. Think steps are charged to the process totals but
+/// not to any operation's metered cost.
+enum class Arrival {
+  kSteady,  ///< think before every operation
+  kBursty,  ///< run a burst of back-to-back ops, then think once
+};
+
 /// Crash-injection plan layered over the Sched strategy (simulated backend
 /// only — the hardware backend cannot kill a thread mid-protocol). Victims
 /// and crash points are derived deterministically from Scenario::seed: each
@@ -79,6 +90,20 @@ struct Scenario {
   /// O(1) in the op count — validation then goes through object-side
   /// invariants (e.g. IRenaming::holders) instead of Run::values().
   bool keep_op_samples = true;
+  /// Think-time/arrival shaping (workload realism knobs, used heavily by the
+  /// generated scenarios in src/fuzz). 0 disables thinking entirely (the
+  /// default — existing scenarios are unchanged). When > 0, a process draws
+  /// think in [0, think_max] scratch-register reads before an operation
+  /// (kSteady) or before each burst (kBursty; burst lengths drawn from
+  /// [1, burst_max]).
+  int think_max = 0;
+  /// Arrival pattern; only meaningful when think_max > 0.
+  Arrival arrival = Arrival::kSteady;
+  /// kBursty: operations per burst are drawn from [1, burst_max].
+  int burst_max = 4;
+  /// Readable-counter mix: every read_period-th operation is a read() (3 =
+  /// the historical 2:1 inc/read mix; 1 = reads only). Must be >= 1.
+  int read_period = 3;
   /// Hardware backend: record one wall-clock latency sample every N ops
   /// (1 = every op, the default). For batch-amortized objects whose fast
   /// path is a few nanoseconds (the lease wrapper), the two clock reads per

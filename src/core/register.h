@@ -14,6 +14,7 @@
 
 #include "core/assert.h"
 #include "core/ctx.h"
+#include "fuzz/coverage.h"
 
 namespace renamelib {
 
@@ -48,6 +49,12 @@ class Register {
     bool ok = value_.compare_exchange_strong(expected, desired,
                                              std::memory_order_seq_cst);
     ctx.after_shared_op();
+    if (!ok) {
+      // Coverage: a lost CAS race, keyed by the protocol phase it happened
+      // in (contention-path coverage for the fuzzer; free when disabled).
+      fuzz::cov_hit(fuzz::CovSite::kCasFail,
+                    fuzz::Coverage::hash_str(ctx.label()));
+    }
     return ok;
   }
 

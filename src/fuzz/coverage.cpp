@@ -1,0 +1,58 @@
+#include "fuzz/coverage.h"
+
+namespace renamelib::fuzz {
+
+std::atomic<bool> Coverage::enabled_{false};
+
+Coverage::Coverage()
+    : map_(std::make_unique<std::atomic<std::uint32_t>[]>(kMapSize)) {
+  for (std::size_t i = 0; i < kMapSize; ++i) {
+    map_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+Coverage& Coverage::instance() {
+  static Coverage cov;
+  return cov;
+}
+
+void Coverage::reset() {
+  for (std::size_t i = 0; i < kMapSize; ++i) {
+    map_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// AFL-style count bucket: 1, 2, 3, 4–7, 8–15, 16–31, 32–127, 128+.
+std::uint8_t bucket_of(std::uint32_t count) noexcept {
+  if (count <= 3) return static_cast<std::uint8_t>(count);
+  if (count < 8) return 4;
+  if (count < 16) return 5;
+  if (count < 32) return 6;
+  if (count < 128) return 7;
+  return 8;
+}
+
+}  // namespace
+
+std::vector<std::pair<std::uint32_t, std::uint8_t>> Coverage::observe() const {
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> out;
+  for (std::size_t i = 0; i < kMapSize; ++i) {
+    const std::uint32_t c = map_[i].load(std::memory_order_relaxed);
+    if (c != 0) out.emplace_back(static_cast<std::uint32_t>(i), bucket_of(c));
+  }
+  return out;
+}
+
+std::uint64_t Coverage::fingerprint() const {
+  // XOR of per-cell mixes: order-insensitive, so equal coverage sets compare
+  // equal no matter the scan order.
+  std::uint64_t fp = 0x5FD1E0A7C2F3B681ULL;
+  for (const auto& [cell, bucket] : observe()) {
+    fp ^= mix((static_cast<std::uint64_t>(cell) << 8) | bucket);
+  }
+  return fp;
+}
+
+}  // namespace renamelib::fuzz

@@ -1,0 +1,753 @@
+#include "fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iomanip>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "api/registry.h"
+#include "api/workload.h"
+#include "core/ctx.h"
+#include "fuzz/coverage.h"
+#include "sim/explore.h"
+#include "sim/linearizability.h"
+
+namespace renamelib::fuzz {
+namespace {
+
+constexpr std::uint64_t kNoLimit = ~0ULL;
+
+/// Exhaustive exploration must stay cheap per case: the sanitizer caps the
+/// geometry at 3 procs x 2 ops, and these caps bound the enumeration even if
+/// a hand-edited corpus case sneaks something larger in.
+constexpr std::size_t kExploreMaxDepth = 48;
+constexpr std::uint64_t kExploreMaxExecutions = 2000;
+
+/// The broker aborts (by contract) on pid >= procs; a corpus case that was
+/// hand-edited into that geometry must fail with a catchable error instead.
+void guard_lease_procs(const api::Spec& spec, int nproc) {
+  if (spec.name() == "lease" &&
+      spec.get_u64("procs", 128) < static_cast<std::uint64_t>(nproc)) {
+    throw std::invalid_argument(
+        "fuzz case: lease procs= is below the scenario's nproc");
+  }
+  for (const auto& [key, value] : spec.options()) {
+    if (value.is_spec()) guard_lease_procs(value.spec(), nproc);
+  }
+}
+
+/// Elimination may orphan one in-flight ticket per crashed process (see
+/// tests/api_conformance_test.cpp): that is declared slack, not a bug.
+std::uint64_t elim_slack(const api::Spec& spec, std::size_t crashed) {
+  return spec.print().find("elim=1") != std::string::npos ? crashed : 0;
+}
+
+/// Largest op count a counter spec can absorb without *any* layer
+/// saturating. Saturation legitimately duplicates values (the paper's
+/// saturating sequential spec), so the harness must stay clear of it for the
+/// uniqueness oracles to be meaningful. Composite specs are walked
+/// structurally: a lease mints at most ceil(A/quota) + nproc inner tickets,
+/// a diffracting tree routes at most ceil(A/2^depth) + nproc ops to one
+/// leaf; everything else is judged by its own constructed capacity().
+std::uint64_t safe_counter_ops(const api::Registry& reg, const api::Spec& spec,
+                               int nproc, std::size_t crashes) {
+  const auto p = static_cast<std::uint64_t>(nproc);
+  if (spec.name() == "lease") {
+    const std::uint64_t quota = spec.get_u64("quota", 64);
+    const api::Spec inner = spec.get_spec("inner", "atomic_fai");
+    const std::uint64_t tickets = safe_counter_ops(reg, inner, nproc, crashes);
+    if (tickets == kNoLimit) return kNoLimit;
+    return tickets < p + 2 ? 0 : (tickets - p - 1) * quota;
+  }
+  if (spec.name() == "difftree") {
+    const std::uint64_t leaves = 1ULL << spec.get_u64("depth", 3);
+    const api::Spec leaf = spec.get_spec("leaf", "atomic_fai");
+    const std::uint64_t per_leaf = safe_counter_ops(reg, leaf, nproc, crashes);
+    if (per_leaf == kNoLimit) return kNoLimit;
+    return per_leaf < p + 2 ? 0 : (per_leaf - p - 1) * leaves;
+  }
+  const std::uint64_t cap = reg.make_counter(spec)->capacity();
+  if (cap == api::ICounter::kUnbounded) return kNoLimit;
+  const std::uint64_t margin = 1 + crashes;
+  return cap <= margin ? 0 : cap - margin;
+}
+
+/// Strict upper bound on the values an escrow-leased dispenser may hand out
+/// for `planned` started ops: every value lies in a minted quota-sized
+/// range, and at most ceil(planned/quota) + nproc ranges are ever minted
+/// (pool reuse and seizes only recycle existing ranges). Recursing through
+/// nested leases keeps the bound sound for lease-over-lease specs, which the
+/// flat `attempted + nproc * quota` conformance bound is not.
+std::uint64_t escrow_value_bound(const api::Spec& spec, std::uint64_t planned,
+                                 int nproc, std::uint64_t slack) {
+  if (spec.name() == "lease") {
+    const std::uint64_t quota = spec.get_u64("quota", 64);
+    const api::Spec inner = spec.get_spec("inner", "atomic_fai");
+    const std::uint64_t tickets =
+        planned / quota + 1 + static_cast<std::uint64_t>(nproc);
+    return escrow_value_bound(inner, tickets, nproc, slack) * quota;
+  }
+  if (spec.name() == "difftree") {
+    // value = leaf_rank * leaves + leaf_idx, so the composed bound is the
+    // leaf's rank bound scaled by the fan-out; each leaf absorbs at most
+    // ceil(planned/leaves) + nproc ops.
+    const std::uint64_t leaves = 1ULL << spec.get_u64("depth", 3);
+    const api::Spec leaf = spec.get_spec("leaf", "atomic_fai");
+    const std::uint64_t per_leaf =
+        planned / leaves + 1 + static_cast<std::uint64_t>(nproc);
+    return escrow_value_bound(leaf, per_leaf, nproc, slack) * leaves;
+  }
+  return planned + slack;
+}
+
+/// True when an escrow lease sits anywhere in the spec tree. A lease below
+/// the top level (a difftree leaf, say) keeps its declared entry consistency
+/// but its values are unique-but-sparse ranges all the same — density is
+/// gone for good and the composed bound above is what uniqueness keys on.
+bool has_escrow(const api::Spec& spec) {
+  if (spec.name() == "lease") return true;
+  for (const auto& [key, value] : spec.options()) {
+    if (value.is_spec() && has_escrow(value.spec())) return true;
+  }
+  return false;
+}
+
+/// Total acquires a renaming spec can absorb with `nproc` clients before
+/// some layer over-subscribes a one-shot request budget — which is an abort
+/// (caller contract on RenamingInfo::max_requests), not an oracle failure,
+/// so the harness must stay strictly inside it. Only the lease wrapper needs
+/// structural treatment: every refill pins one inner name forever and each
+/// of the p clients can hold a partially-used lease, so serving A names
+/// costs at most ceil(A/quota) + p inner acquires. max_requests alone is
+/// nproc-blind and cannot express this (e.g. lease over bit_batching:n=2
+/// advertises 128 requests but cannot seat a third client).
+std::uint64_t safe_renaming_requests(const api::Registry& reg,
+                                     const api::Spec& spec, int nproc) {
+  if (spec.name() != "lease") {
+    const int budget = reg.find_renaming(spec.name())->max_requests(spec);
+    return budget <= 0 ? 0 : static_cast<std::uint64_t>(budget);
+  }
+  const auto p = static_cast<std::uint64_t>(nproc);
+  const std::uint64_t quota = spec.get_u64("quota", 64);
+  const api::Spec inner = spec.get_spec("inner", "longlived");
+  const std::uint64_t tickets = safe_renaming_requests(reg, inner, nproc);
+  return tickets < p + 2 ? 0 : (tickets - p - 1) * quota;
+}
+
+/// The counter facet's value oracle, shared by the workload and explore
+/// paths: escrow entries get the quota bound, everything else density once
+/// quiescent, or uniqueness within the started-op bound under crashes.
+OracleResult judge_counter_values(const api::Spec& spec,
+                                  api::Consistency consistency,
+                                  const std::vector<std::uint64_t>& values,
+                                  std::uint64_t planned, int nproc,
+                                  std::size_t crashed) {
+  const std::uint64_t slack = elim_slack(spec, crashed);
+  if (consistency == api::Consistency::kEscrow) {
+    const std::uint64_t quota = spec.get_u64("quota", 64);
+    const std::uint64_t bound = escrow_value_bound(spec, planned, nproc, slack);
+    // check_escrow_bound reconstructs attempted + nproc * quota; feed it the
+    // attempted that makes that expression our (nesting-sound) bound.
+    return check_escrow_bound(
+        values, bound - static_cast<std::uint64_t>(nproc) * quota, nproc,
+        quota);
+  }
+  if (has_escrow(spec)) {
+    // Escrow below the top level (e.g. difftree over a lease leaf): the
+    // entry's declared consistency still says dense/linearizable, but the
+    // leaf hands out sparse quota ranges — only uniqueness within the
+    // composed bound survives the nesting.
+    return check_unique_bounded(
+        values, escrow_value_bound(spec, planned, nproc, slack));
+  }
+  if (crashed > 0) return check_unique_bounded(values, planned + slack);
+  return check_dense_prefix(values);
+}
+
+void add_result(CaseResult& r, OracleResult oracle) {
+  if (!oracle.ok) {
+    r.ok = false;
+    r.failures.push_back(std::move(oracle));
+  }
+}
+
+std::string schedule_text(const std::vector<int>& schedule) {
+  std::string out;
+  for (const int pid : schedule) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(pid);
+  }
+  return out;
+}
+
+/// Scenario for the clamped geometry (the case's own scenario with the
+/// harness-derived proc/op counts substituted in).
+api::Scenario clamped_scenario(const FuzzCase& c, int nproc, int ops,
+                               std::size_t crashes) {
+  api::Scenario s = c.scenario();
+  s.nproc = nproc;
+  s.ops_per_proc = ops;
+  s.crashes.max_crashes = crashes;
+  return s;
+}
+
+CaseResult run_counter_case(const api::Registry& reg, const api::Spec& spec,
+                            const FuzzCase& c,
+                            std::vector<std::uint64_t>& values_out) {
+  const api::CounterInfo* info = reg.find_counter(spec.name());
+  CaseResult r;
+
+  // Walk nproc down until the spec can absorb at least one op per process
+  // without saturating anywhere.
+  int nproc = c.nproc;
+  std::size_t crashes = c.max_crashes;
+  std::uint64_t safe = 0;
+  for (; nproc >= 1; --nproc) {
+    crashes = std::min(crashes,
+                       static_cast<std::size_t>(nproc > 1 ? nproc - 1 : 0));
+    safe = safe_counter_ops(reg, spec, nproc, crashes);
+    if (safe >= static_cast<std::uint64_t>(nproc)) break;
+  }
+  if (nproc < 1) return r;  // ran=false: nothing this spec can execute
+  const int ops = static_cast<int>(std::min<std::uint64_t>(
+      c.ops_per_proc, safe / static_cast<std::uint64_t>(nproc)));
+  const std::uint64_t planned =
+      static_cast<std::uint64_t>(nproc) * static_cast<std::uint64_t>(ops);
+  r.ran = true;
+  r.attempted = planned;
+
+  if (c.work == Work::kExplore) {
+    auto values = std::make_shared<std::vector<std::uint64_t>>();
+    OracleResult verdict = OracleResult::pass("explore");
+    const auto make_body = [&reg, &spec, values, ops] {
+      values->clear();
+      std::shared_ptr<api::ICounter> counter = reg.make_counter(spec);
+      return std::function<void(Ctx&)>([counter, values, ops](Ctx& ctx) {
+        for (int i = 0; i < ops; ++i) values->push_back(counter->next(ctx));
+      });
+    };
+    const auto invariant = [&](const sim::SimResult&) {
+      const OracleResult v = judge_counter_values(
+          spec, info->consistency, *values, planned, nproc, /*crashed=*/0);
+      if (!v.ok) verdict = v;
+      return v.ok;
+    };
+    const sim::ExploreResult res = sim::explore_schedules(
+        nproc, make_body, invariant,
+        {c.seed, kExploreMaxDepth, kExploreMaxExecutions});
+    if (res.invariant_violated) {
+      verdict.detail +=
+          " [schedule " + schedule_text(res.counterexample) + "]";
+      add_result(r, verdict);
+    }
+    values_out = *values;
+    return r;
+  }
+
+  const auto counter = reg.make_counter(spec);
+  api::Scenario s = clamped_scenario(c, nproc, ops, crashes);
+  // Nested escrow disqualifies the FAI spec the same way top-level kEscrow
+  // does: handed-out values are sparse ranges, not successive ranks.
+  const bool check_wg = info->consistency == api::Consistency::kLinearizable &&
+                        crashes == 0 && planned <= 64 && !has_escrow(spec);
+  s.record_history = check_wg;
+  const api::Run run = api::Workload(s).run(*counter);
+  r.crashed_procs = run.crashed_procs;
+  values_out = run.values();
+
+  add_result(r, judge_counter_values(spec, info->consistency, values_out,
+                                     planned, nproc, run.crashed_procs));
+  if (check_wg) {
+    const std::uint64_t m = counter->capacity() == api::ICounter::kUnbounded
+                                ? (1ULL << 40)
+                                : counter->capacity();
+    sim::BoundedFaiSpec fai(m);
+    if (!sim::is_linearizable(run.history, fai)) {
+      add_result(r, OracleResult::fail(
+                        "wing_gong",
+                        "history is not linearizable as a bounded FAI"));
+    }
+  }
+  return r;
+}
+
+CaseResult run_renaming_case(const api::Registry& reg, const api::Spec& spec,
+                             const FuzzCase& c,
+                             std::vector<std::uint64_t>& values_out) {
+  const api::RenamingInfo* info = reg.find_renaming(spec.name());
+  const int max_requests = info->max_requests(spec);
+  CaseResult r;
+  if (max_requests < 1) return r;
+
+  // Lease wrappers consume whole inner tickets per client; shed clients
+  // until the structural acquire budget can seat everyone, or skip the case
+  // if even one client would over-subscribe the inner.
+  int nproc_cap = c.nproc;
+  std::uint64_t safe = kNoLimit;
+  if (spec.name() == "lease") {
+    while (nproc_cap > 0) {
+      safe = safe_renaming_requests(reg, spec, nproc_cap);
+      if (safe >= static_cast<std::uint64_t>(nproc_cap)) break;
+      --nproc_cap;
+    }
+    if (nproc_cap == 0) return r;
+  }
+
+  if (c.work == Work::kChurn && info->reusable) {
+    // Acquire-release cycles: concurrent holders never exceed nproc, so
+    // nproc (not the op count) is what max_requests and name_bound key on.
+    // Mints are still bounded by total acquires, so the lease acquire
+    // budget caps the op count even though releases recycle outer names.
+    const int nproc = std::min(nproc_cap, max_requests);
+    const int ops =
+        safe == kNoLimit
+            ? c.ops_per_proc
+            : std::max(1, static_cast<int>(std::min<std::uint64_t>(
+                              c.ops_per_proc,
+                              safe / static_cast<std::uint64_t>(nproc))));
+    const std::size_t crashes = std::min(
+        c.max_crashes, static_cast<std::size_t>(nproc > 1 ? nproc - 1 : 0));
+    const std::uint64_t bound = info->name_bound(nproc, spec);
+    std::shared_ptr<api::IRenaming> obj = reg.make_renaming(spec);
+    r.ran = true;
+    r.attempted = static_cast<std::uint64_t>(nproc) * ops;
+    const api::Scenario s = clamped_scenario(c, nproc, ops, crashes);
+    const api::Run run = api::Workload(s).run_ops([&obj](Ctx& ctx) {
+      const std::uint64_t name = obj->acquire(ctx);
+      obj->release(ctx, name);
+      return name;
+    });
+    r.crashed_procs = run.crashed_procs;
+    values_out = run.values();
+    for (const std::uint64_t name : values_out) {
+      if (name < 1 || name > bound) {
+        add_result(r, OracleResult::fail(
+                          "churn_name_range",
+                          "name " + std::to_string(name) + " outside [1, " +
+                              std::to_string(bound) + "] for " +
+                              std::to_string(nproc) + " concurrent holders"));
+        break;
+      }
+    }
+    // A process killed between acquire and release leaks at most its one
+    // in-flight name; with no crashes quiescence means zero holders.
+    add_result(r, check_holders(obj->holders(), 0, run.crashed_procs));
+    return r;
+  }
+
+  // Hold-all (and explore): every acquire counts against the request budget.
+  int nproc = nproc_cap;
+  int ops = c.ops_per_proc;
+  if (nproc > max_requests) {
+    nproc = max_requests;
+    ops = 1;
+  } else {
+    ops = std::max(1, std::min(ops, max_requests / nproc));
+  }
+  if (safe != kNoLimit) {
+    ops = std::max(1, static_cast<int>(std::min<std::uint64_t>(
+                          ops, safe / static_cast<std::uint64_t>(nproc))));
+  }
+  const std::uint64_t planned =
+      static_cast<std::uint64_t>(nproc) * static_cast<std::uint64_t>(ops);
+  const std::uint64_t bound =
+      info->name_bound(static_cast<int>(planned), spec);
+  r.ran = true;
+  r.attempted = planned;
+
+  if (c.work == Work::kExplore) {
+    auto names = std::make_shared<std::vector<std::uint64_t>>();
+    OracleResult verdict = OracleResult::pass("explore");
+    const auto make_body = [&reg, &spec, names, ops] {
+      names->clear();
+      std::shared_ptr<api::IRenaming> obj = reg.make_renaming(spec);
+      return std::function<void(Ctx&)>([obj, names, ops](Ctx& ctx) {
+        for (int i = 0; i < ops; ++i) names->push_back(obj->acquire(ctx));
+      });
+    };
+    const auto invariant = [&](const sim::SimResult&) {
+      const OracleResult v = check_renaming_names(*names, bound);
+      if (!v.ok) verdict = v;
+      return v.ok;
+    };
+    const sim::ExploreResult res = sim::explore_schedules(
+        nproc, make_body, invariant,
+        {c.seed, kExploreMaxDepth, kExploreMaxExecutions});
+    if (res.invariant_violated) {
+      verdict.detail +=
+          " [schedule " + schedule_text(res.counterexample) + "]";
+      add_result(r, verdict);
+    }
+    values_out = *names;
+    return r;
+  }
+
+  const std::size_t crashes = std::min(
+      c.max_crashes, static_cast<std::size_t>(nproc > 1 ? nproc - 1 : 0));
+  std::shared_ptr<api::IRenaming> obj = reg.make_renaming(spec);
+  const api::Scenario s = clamped_scenario(c, nproc, ops, crashes);
+  const api::Run run = api::Workload(s).run(*obj);
+  r.crashed_procs = run.crashed_procs;
+  values_out = run.values();
+
+  add_result(r, check_renaming_names(values_out, bound));
+  // Completed acquires are held for good; crashed processes add at most
+  // their in-flight acquire each, so holders lands in [completed, planned].
+  add_result(r,
+             check_holders(obj->holders(), run.ops.size(), planned));
+  return r;
+}
+
+CaseResult run_readable_case(const api::Registry& reg, const api::Spec& spec,
+                             const FuzzCase& c,
+                             std::vector<std::uint64_t>& values_out) {
+  const api::ReadableInfo* info = reg.find_readable(spec.name());
+  const auto obj = reg.make_readable(spec);
+  CaseResult r;
+
+  const int period = std::max(1, c.read_period);
+  const auto incs_of = [period](int nproc, int ops) {
+    return static_cast<std::uint64_t>(nproc) *
+           static_cast<std::uint64_t>(ops - ops / period);
+  };
+  int nproc = std::min(c.nproc, obj->max_procs());
+  int ops = c.ops_per_proc;
+  if (nproc < 1) return r;
+  if (obj->capacity() != api::IReadableCounter::kUnbounded) {
+    // Reads stay < capacity(); keep the increment total clear of it.
+    while (ops > 1 && incs_of(nproc, ops) >= obj->capacity()) --ops;
+    while (nproc > 1 && incs_of(nproc, ops) >= obj->capacity()) --nproc;
+    if (incs_of(nproc, ops) >= obj->capacity()) return r;
+  }
+  const std::size_t crashes = std::min(
+      c.max_crashes, static_cast<std::size_t>(nproc > 1 ? nproc - 1 : 0));
+  const std::uint64_t planned =
+      static_cast<std::uint64_t>(nproc) * static_cast<std::uint64_t>(ops);
+  const std::uint64_t planned_incs = incs_of(nproc, ops);
+  r.ran = true;
+  r.attempted = planned;
+
+  api::Scenario s = clamped_scenario(c, nproc, ops, crashes);
+  // Nested escrow disqualifies the FAI spec the same way top-level kEscrow
+  // does: handed-out values are sparse ranges, not successive ranks.
+  const bool check_wg = info->consistency == api::Consistency::kLinearizable &&
+                        crashes == 0 && planned <= 64 && !has_escrow(spec);
+  s.record_history = check_wg;
+  const api::Run run = api::Workload(s).run(*obj);
+  r.crashed_procs = run.crashed_procs;
+  values_out = run.values_of("read");
+
+  add_result(r, check_readable_reads(run.ops, planned_incs));
+  const std::uint64_t completed_incs = run.values_of("inc").size();
+  Ctx quiet(0, Rng::derive(c.seed, 0x51E5CE));
+  add_result(r, check_quiescent_read(obj->read(quiet), completed_incs,
+                                     planned_incs, run.crashed_procs > 0));
+  if (check_wg) {
+    sim::CounterSpec counter_spec;
+    if (!sim::is_linearizable(run.history, counter_spec)) {
+      add_result(r, OracleResult::fail(
+                        "wing_gong",
+                        "inc/read history is not linearizable as a counter"));
+    }
+  }
+  return r;
+}
+
+std::string hex8(std::uint64_t h) {
+  std::ostringstream out;
+  out << std::hex << std::setw(8) << std::setfill('0') << (h & 0xFFFFFFFFULL);
+  return out.str();
+}
+
+std::string entry_key(const FuzzCase& c) {
+  return std::string(api::facet_name(c.facet)) + "/" +
+         api::Spec::parse(c.spec).name();
+}
+
+}  // namespace
+
+CaseResult run_case(const FuzzCase& c, const ExtraOracle& extra) {
+  const api::Registry& reg = api::Registry::global();
+  const api::Spec spec = api::Spec::parse(c.spec);
+  reg.validate(c.facet, spec);
+  if (c.nproc < 1 || c.ops_per_proc < 1 || c.read_period < 1 ||
+      c.burst_max < 1 || c.think_max < 0) {
+    throw std::invalid_argument("fuzz case: non-positive scenario geometry");
+  }
+  guard_lease_procs(spec, c.nproc);
+
+  Coverage::instance().reset();
+  Coverage::set_enabled(true);
+  CaseResult r;
+  std::vector<std::uint64_t> values;
+  try {
+    switch (c.facet) {
+      case api::Facet::kCounter:
+        r = run_counter_case(reg, spec, c, values);
+        break;
+      case api::Facet::kRenaming:
+        r = run_renaming_case(reg, spec, c, values);
+        break;
+      case api::Facet::kReadable:
+        r = run_readable_case(reg, spec, c, values);
+        break;
+    }
+  } catch (...) {
+    Coverage::set_enabled(false);
+    throw;
+  }
+  Coverage::set_enabled(false);
+  r.coverage_fingerprint = Coverage::instance().fingerprint();
+
+  if (extra && r.ran) {
+    OracleResult er = extra(c, values);
+    if (!er.ok) {
+      r.ok = false;
+      r.failures.push_back(std::move(er));
+    }
+  }
+  return r;
+}
+
+Fuzzer::Fuzzer(FuzzOptions options)
+    : options_(std::move(options)),
+      generator_(api::Registry::global()),
+      rng_(options_.seed),
+      seen_(Coverage::kMapSize, 0) {}
+
+CaseResult Fuzzer::run_tracked(const FuzzCase& c, std::size_t& new_features) {
+  new_features = 0;
+  if (std::getenv("RENAMELIB_FUZZ_TRACE") != nullptr) {
+    std::fprintf(stderr, "fuzz-trace: %s\n", serialize_case(c).c_str());
+    std::fflush(stderr);
+  }
+  CaseResult r;
+  try {
+    r = run_case(c, options_.extra_oracle);
+  } catch (const std::exception& e) {
+    r.ran = true;
+    r.ok = false;
+    r.failures.push_back(OracleResult::fail("harness", e.what()));
+    return r;
+  }
+  if (!r.ran) return r;
+  for (const auto& [cell, bucket] : Coverage::instance().observe()) {
+    if (bucket > seen_[cell]) {
+      seen_[cell] = bucket;
+      ++new_features;
+    }
+  }
+  fingerprint_ = Coverage::mix(fingerprint_ ^ r.coverage_fingerprint);
+  return r;
+}
+
+FuzzCase Fuzzer::shrink(const FuzzCase& c, int budget) const {
+  const auto fails = [&](const FuzzCase& candidate) {
+    try {
+      const CaseResult r = run_case(candidate, options_.extra_oracle);
+      return r.ran && !r.ok;
+    } catch (const std::exception&) {
+      return true;  // a case that errors out still reproduces a defect
+    }
+  };
+  if (budget <= 0) return c;
+  --budget;
+  if (!fails(c)) return c;
+
+  // Candidate reductions, most aggressive first. Each is re-sanitized (the
+  // sanitizer is idempotent), so a candidate is always a runnable case.
+  const auto candidates = [this](const FuzzCase& cur) {
+    std::vector<FuzzCase> out;
+    const auto push = [&](FuzzCase cand) {
+      generator_.sanitize(cand);
+      out.push_back(std::move(cand));
+    };
+    FuzzCase t = cur;
+    if (cur.nproc > 1) {
+      t = cur; t.nproc = 1; push(t);
+      t = cur; t.nproc = cur.nproc / 2; push(t);
+      t = cur; t.nproc = cur.nproc - 1; push(t);
+    }
+    if (cur.ops_per_proc > 1) {
+      t = cur; t.ops_per_proc = 1; push(t);
+      t = cur; t.ops_per_proc = cur.ops_per_proc / 2; push(t);
+      t = cur; t.ops_per_proc = cur.ops_per_proc - 1; push(t);
+    }
+    if (cur.max_crashes > 0) {
+      t = cur; t.max_crashes = 0; push(t);
+      t = cur; t.max_crashes = cur.max_crashes / 2; push(t);
+      t = cur; t.crash_step_max = 1; push(t);
+    }
+    if (cur.think_max > 0) {
+      t = cur; t.think_max = 0; t.arrival = api::Arrival::kSteady; push(t);
+    }
+    if (cur.burst_max > 1) { t = cur; t.burst_max = 1; push(t); }
+    if (cur.facet == api::Facet::kReadable && cur.read_period > 1) {
+      t = cur; t.read_period = cur.read_period - 1; push(t);
+    }
+    // Spec reductions: drop each option; walk integers down.
+    try {
+      const api::Spec spec = api::Spec::parse(cur.spec);
+      for (const auto& [key, value] : spec.options()) {
+        api::Spec dropped(spec.name());
+        for (const auto& [k, v] : spec.options()) {
+          if (k != key) dropped.set(k, v);
+        }
+        t = cur; t.spec = dropped.print(); push(t);
+        if (!value.is_spec()) {
+          std::uint64_t v = 0;
+          try {
+            v = std::stoull(value.scalar());
+          } catch (const std::exception&) {
+            continue;  // enum/bool scalars: dropping was the only reduction
+          }
+          for (const std::uint64_t smaller : {v / 2, std::uint64_t{1}}) {
+            if (smaller == 0 || smaller >= v) continue;
+            api::Spec walked(spec.name());
+            for (const auto& [k, w] : spec.options()) {
+              walked.set(k, k == key
+                                ? api::SpecValue(std::to_string(smaller))
+                                : w);
+            }
+            t = cur; t.spec = walked.print(); push(t);
+          }
+        }
+      }
+    } catch (const std::exception&) {
+    }
+    return out;
+  };
+
+  FuzzCase current = c;
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    const std::string current_text = serialize_case(current);
+    for (const FuzzCase& cand : candidates(current)) {
+      if (serialize_case(cand) == current_text) continue;
+      if (budget-- <= 0) break;
+      if (fails(cand)) {
+        current = cand;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+void Fuzzer::record_failure(const FuzzCase& c, const CaseResult& r,
+                            FuzzSummary& summary) {
+  ++summary.failures;
+  FuzzCase shrunk = shrink(c, options_.shrink_budget);
+  std::string note;
+  if (!r.failures.empty()) {
+    note = r.failures.front().oracle + ": " + r.failures.front().detail;
+  }
+  // Re-run the minimized case for the *minimized* failure message (shrinking
+  // can shift which oracle trips first).
+  try {
+    const CaseResult rr = run_case(shrunk, options_.extra_oracle);
+    if (!rr.ok && !rr.failures.empty()) {
+      note = rr.failures.front().oracle + ": " + rr.failures.front().detail;
+    }
+  } catch (const std::exception& e) {
+    note = std::string("harness: ") + e.what();
+  }
+  if (note.size() > 240) note.resize(240);
+  shrunk.note = note;
+
+  std::string filename = std::string(api::facet_name(shrunk.facet)) + "-" +
+                         api::Spec::parse(shrunk.spec).name() + "-" +
+                         hex8(case_hash(shrunk)) + ".json";
+  std::string where = "(not written)";
+  if (!options_.out_dir.empty() && summary.failure_files.size() < 16) {
+    std::filesystem::create_directories(options_.out_dir);
+    const std::string path = options_.out_dir + "/" + filename;
+    write_case_file(shrunk, path);
+    summary.failure_files.push_back(path);
+    where = path;
+  }
+  summary.failure_notes.push_back(where + ": spec=" + shrunk.spec + " — " +
+                                  note);
+}
+
+FuzzSummary Fuzzer::run() {
+  FuzzSummary summary;
+  summary.entries_total = generator_.catalog().size();
+  std::set<std::string> covered;
+  std::size_t features_total = 0;
+
+  const auto account = [&](const FuzzCase& c, const CaseResult& r,
+                           std::size_t new_features) {
+    ++summary.iterations;
+    if (!r.ran) {
+      ++summary.skipped;
+      return;
+    }
+    try {
+      covered.insert(entry_key(c));
+    } catch (const std::exception&) {
+    }
+    features_total += new_features;
+    if (new_features > 0) {
+      ++summary.interesting;
+      queue_.push_back(c);
+    }
+    if (!r.ok) record_failure(c, r, summary);
+  };
+
+  // Phase A: every registered entry runs at least once. A generated case can
+  // legitimately be un-runnable (a capacity-2 spec cannot serve 4 procs);
+  // retry with fresh draws, then fall back to the entry's default spec under
+  // a minimal scenario, which always runs.
+  for (const auto& entry : generator_.catalog()) {
+    bool ran = false;
+    for (int attempt = 0; attempt < 4 && !ran; ++attempt) {
+      const FuzzCase c = generator_.case_for_entry(entry, rng_);
+      std::size_t fresh = 0;
+      const CaseResult r = run_tracked(c, fresh);
+      account(c, r, fresh);
+      ran = r.ran;
+    }
+    if (!ran) {
+      FuzzCase fallback;
+      fallback.facet = entry.facet;
+      fallback.spec = entry.name;
+      fallback.nproc = 2;
+      fallback.ops_per_proc = 1;
+      fallback.sched = api::Sched::kRoundRobin;
+      fallback.seed = rng_.next();
+      generator_.sanitize(fallback);
+      std::size_t fresh = 0;
+      const CaseResult r = run_tracked(fallback, fresh);
+      account(fallback, r, fresh);
+    }
+  }
+
+  // Phase B: coverage-guided mutation over the remaining budget.
+  while (summary.iterations < options_.iterations) {
+    const bool from_queue = !queue_.empty() && rng_.below(10) < 7;
+    const FuzzCase c =
+        from_queue
+            ? generator_.mutate(queue_[rng_.below(queue_.size())], rng_)
+            : generator_.random_case(rng_);
+    std::size_t fresh = 0;
+    const CaseResult r = run_tracked(c, fresh);
+    account(c, r, fresh);
+  }
+
+  summary.entries_covered = covered.size();
+  summary.coverage_features = features_total;
+  summary.fingerprint = fingerprint_;
+  return summary;
+}
+
+}  // namespace renamelib::fuzz

@@ -5,6 +5,7 @@
 
 #include "core/assert.h"
 #include "core/sched_gate.h"
+#include "fuzz/coverage.h"
 
 namespace renamelib::sim {
 
@@ -61,10 +62,21 @@ SimResult run_simulation(int nproc, const std::function<void(Ctx&)>& body,
       }
       gates[p]->finish(crashed);
     });
+    // Serialize the ungated prologue: wait for this process to reach its
+    // first gate (or finish) before spawning the next. Bodies may cross
+    // meta-level raw atomics before their first gated step (initial-id
+    // dispensers, pool hints — zero-step by design), and once the scheduler
+    // loop runs, local code only ever executes between two gates of the one
+    // granted process. The startup window is the sole place where two
+    // processes' local code overlaps, so without this barrier those races
+    // are decided by OS thread-spawn timing instead of the adversary's
+    // grant order — executions with identical schedules could diverge.
+    gates[p]->wait_ready();
   }
 
   // Scheduler loop (runs on the calling thread). One decision per iteration.
   std::vector<ProcView> views(nproc);
+  int prev_granted = -1;  // coverage: who ran before this decision
   for (;;) {
     // Wait for every live process to reach a stable point: pending at its
     // gate, done, or crashed. Processes running local code will arrive.
@@ -97,12 +109,29 @@ SimResult run_simulation(int nproc, const std::function<void(Ctx&)>& body,
       RENAMELIB_ENSURE(!views[d.pid].done && !views[d.pid].crashed,
                        "adversary crashed a dead process");
       if (options.record_trace) result.trace.record_crash(d.pid);
+      fuzz::cov_hit(fuzz::CovSite::kSchedCrash,
+                    static_cast<std::uint64_t>(d.pid));
       gates[d.pid]->kill();
       continue;
     }
 
     RENAMELIB_ENSURE(views[d.pid].pending, "adversary scheduled a non-pending process");
     if (options.record_trace) result.trace.record_step(d.pid, views[d.pid].info);
+    if (fuzz::Coverage::enabled()) {
+      // Scheduler decision-point coverage: the context-switch edge
+      // (prev pid -> pid), the shared-step kind, and the protocol phase.
+      // Pids, kinds, and label *contents* only — never pointers, so the
+      // feature reproduces across process runs (see fuzz/coverage.h).
+      const StepInfo& info = views[d.pid].info;
+      const std::uint64_t edge =
+          (static_cast<std::uint64_t>(prev_granted + 1) << 32) |
+          (static_cast<std::uint64_t>(d.pid) << 8) |
+          static_cast<std::uint64_t>(info.kind);
+      fuzz::Coverage::instance().hit(
+          fuzz::CovSite::kSchedPoint,
+          fuzz::Coverage::mix(edge) ^ fuzz::Coverage::hash_str(info.label));
+    }
+    prev_granted = d.pid;
     ++result.total_granted_steps;
     gates[d.pid]->grant_and_wait();
   }

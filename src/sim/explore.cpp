@@ -1,5 +1,6 @@
 #include "sim/explore.h"
 
+#include <cstdio>
 #include <optional>
 
 #include "core/assert.h"
@@ -32,9 +33,21 @@ class ProbeAdversary final : public Adversary {
   Decision pick(const std::vector<ProcView>& views) override {
     if (cursor_ < prefix_.size()) {
       const int pid = prefix_[cursor_++];
-      RENAMELIB_ENSURE(pid >= 0 && pid < static_cast<int>(views.size()) &&
-                           views[pid].pending,
-                       "explore(): prefix no longer valid — nondeterminism?");
+      if (!(pid >= 0 && pid < static_cast<int>(views.size()) &&
+            views[pid].pending)) {
+        std::fprintf(stderr,
+                     "explore(): prefix [index %zu of %zu, pid %d] invalid; "
+                     "pending now:",
+                     cursor_ - 1, prefix_.size(), pid);
+        for (const auto& v : views) {
+          if (v.pending) std::fprintf(stderr, " %d", v.pid);
+        }
+        std::fprintf(stderr, "; prefix:");
+        for (const int p : prefix_) std::fprintf(stderr, " %d", p);
+        std::fprintf(stderr, "\n");
+        RENAMELIB_ENSURE(false,
+                         "explore(): prefix no longer valid — nondeterminism?");
+      }
       return Decision::step(pid);
     }
     if (cursor_ == prefix_.size() && !branch_recorded_) {

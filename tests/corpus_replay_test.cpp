@@ -1,0 +1,58 @@
+// Replays every committed fuzz repro in tests/corpus/ verbatim through the
+// same run_case the fuzzer used when it shrank them (docs/FUZZING.md). A
+// repro that stops parsing, stops running, or starts failing means either a
+// regression of the bug it pinned or a corpus-format break — both are
+// exactly what this gate exists to catch. The directory is compiled in as
+// RENAMELIB_CORPUS_DIR so the test runs from any build directory.
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz/corpus.h"
+#include "fuzz/fuzzer.h"
+
+#ifndef RENAMELIB_CORPUS_DIR
+#error "RENAMELIB_CORPUS_DIR must point at tests/corpus (see CMakeLists.txt)"
+#endif
+
+namespace renamelib::fuzz {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(RENAMELIB_CORPUS_DIR)) {
+    if (entry.path().extension() == ".json") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(CorpusReplay, CorpusIsSeeded) {
+  // The corpus ships with committed regression repros; an empty directory
+  // means the checkout (or the compiled-in path) is broken.
+  EXPECT_GE(corpus_files().size(), 3u);
+}
+
+TEST(CorpusReplay, EveryCommittedReproReplaysClean) {
+  for (const auto& path : corpus_files()) {
+    SCOPED_TRACE(path);
+    const FuzzCase c = load_case_file(path);
+    EXPECT_FALSE(c.note.empty())
+        << "corpus cases must say what they regressed";
+    const CaseResult r = run_case(c);
+    ASSERT_TRUE(r.ran) << "committed repro geometry must be runnable";
+    EXPECT_TRUE(r.ok) << (r.failures.empty()
+                              ? std::string("?")
+                              : r.failures.front().oracle + ": " +
+                                    r.failures.front().detail);
+  }
+}
+
+}  // namespace
+}  // namespace renamelib::fuzz

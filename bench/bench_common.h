@@ -22,6 +22,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <iostream>
@@ -42,6 +43,13 @@ namespace renamelib::bench {
 
 /// True after parse_args saw --smoke: benches shrink their presets.
 inline bool g_smoke = false;
+
+/// Repeat count from --repeat=N (default 1). Benches that measure through
+/// run_counter_median run each configuration N times and report the repeat
+/// with the median throughput, plus the across-repeat coefficient of
+/// variation — one real measurement with an honest noise estimate, instead
+/// of a synthetic average.
+inline int g_repeat = 1;
 
 /// Output path of --json=FILE ("" when not given).
 inline std::string g_json_path;
@@ -68,8 +76,17 @@ inline void parse_args(int argc, char** argv) {
         std::cerr << "--json needs a file path\n";
         std::exit(2);
       }
+    } else if (std::strncmp(argv[i], "--repeat=", 9) == 0) {
+      char* end = nullptr;
+      const long n = std::strtol(argv[i] + 9, &end, 10);
+      if (end == argv[i] + 9 || *end != '\0' || n < 1 || n > 1000) {
+        std::cerr << "--repeat needs an integer in [1, 1000]\n";
+        std::exit(2);
+      }
+      g_repeat = static_cast<int>(n);
     } else {
-      std::cerr << "usage: " << argv[0] << " [--smoke] [--json=FILE]\n"
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--json=FILE] [--repeat=N]\n"
                 << "unknown flag '" << argv[i] << "'\n";
       std::exit(2);
     }
@@ -81,7 +98,8 @@ inline void parse_args(int argc, char** argv) {
 /// wall-clock latency ("ns", Run::latency); simulated runs report the
 /// paper-model per-op step distribution ("steps").
 inline void report_run(std::string name, std::string spec,
-                       const api::Scenario& s, const api::Run& run) {
+                       const api::Scenario& s, const api::Run& run,
+                       int repeats = 1, double cv = 0) {
   api::ReportRun r;
   r.name = std::move(name);
   r.spec = std::move(spec);
@@ -89,6 +107,8 @@ inline void report_run(std::string name, std::string spec,
   r.threads = s.nproc;
   r.ops = run.metrics.ops;
   r.ops_per_sec = run.metrics.ops_per_sec();
+  r.repeats = repeats;
+  r.cv = cv;
   if (s.backend == api::Backend::kHardware) {
     r.unit = "ns";
     r.latency = run.latency;
@@ -97,6 +117,45 @@ inline void report_run(std::string name, std::string spec,
     r.latency = stats::LatencySnapshot::of(run.op_steps());
   }
   g_report.runs.push_back(std::move(r));
+}
+
+/// Runs `spec` under `s` --repeat times (per-repeat derived seeds, a fresh
+/// object each time) and reports the repeat whose throughput is the median
+/// of the N, with the across-repeat ops/sec coefficient of variation. The
+/// returned run is the reported (median) one — validations a bench performs
+/// on it apply to exactly the numbers that land in the report.
+inline api::Run run_counter_median(const std::string& name,
+                                   const std::string& spec, api::Scenario s) {
+  std::vector<api::Run> runs;
+  std::vector<double> tps;
+  runs.reserve(static_cast<std::size_t>(g_repeat));
+  for (int rep = 0; rep < g_repeat; ++rep) {
+    api::Scenario rs = s;
+    rs.seed = s.seed + static_cast<std::uint64_t>(rep) * 7919;
+    runs.push_back(api::Workload::run_counter_spec(spec, rs));
+    tps.push_back(runs.back().metrics.ops_per_sec());
+  }
+  std::vector<std::size_t> order(runs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return tps[a] < tps[b]; });
+  // Even N: the lower-middle repeat, so the report always carries a real
+  // measurement.
+  const std::size_t mid = order[(order.size() - 1) / 2];
+  double cv = 0;
+  if (runs.size() > 1) {
+    double mean = 0;
+    for (const double t : tps) mean += t;
+    mean /= static_cast<double>(tps.size());
+    if (mean > 0) {
+      double var = 0;
+      for (const double t : tps) var += (t - mean) * (t - mean);
+      var /= static_cast<double>(tps.size());
+      cv = std::sqrt(var) / mean;
+    }
+  }
+  report_run(name, spec, s, runs[mid], static_cast<int>(runs.size()), cv);
+  return std::move(runs[mid]);
 }
 
 /// Appends one report run from a raw sample vector (per-process step counts
@@ -191,12 +250,19 @@ inline api::Scenario sim_scenario(int k, int ops, std::uint64_t seed) {
 /// A hardware-backend api::Scenario: k real threads, `ops` operations each.
 /// The resulting Run carries wall-clock throughput (Metrics::ops_per_sec)
 /// and the tail-faithful per-op latency recording (Run::latency).
+/// The latency sample period scales with the op count (~256 samples per
+/// process, every op below that), so long throughput runs are not dominated
+/// by the two clock reads per sampled op while short runs keep exact
+/// recordings. Scenario::latency_sample_period applies uniformly in the
+/// hardware loop; benches needing every-op sampling on long runs can
+/// override the field after calling this.
 inline api::Scenario hw_scenario(int k, int ops, std::uint64_t seed) {
   api::Scenario s;
   s.nproc = k;
   s.ops_per_proc = ops;
   s.backend = api::Backend::kHardware;
   s.seed = seed;
+  s.latency_sample_period = std::max(1, ops / 256);
   return s;
 }
 

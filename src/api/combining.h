@@ -1,0 +1,128 @@
+/// \file
+/// \brief Facet adapters over the flat-combining funnel (src/combining).
+///
+/// Same shape as api/leases.h: forward the facet operations, declare the
+/// honest semantics, expose the native object via impl(). Both adapters wrap
+/// *any* registered inner object of their own facet — the funnel's mint hook
+/// is one ranged inner crossing per combine sweep:
+///
+///   * CombinedCounterAdapter — next() publishes a one-value request;
+///     next_range() publishes batched wants so the whole batch rides one
+///     publication. Values are unique (they all come from the inner mint)
+///     but NOT a dense prefix: a reclaimed handoff can park minted values in
+///     the spill pool and a crashed combiner orphans its in-flight work
+///     list, so the adapter declares Consistency::kEscrow and the oracles
+///     check uniqueness plus the combining slack (inner values after at most
+///     2x the requested mints — see combining_funnel.h) instead of density.
+///     CombiningFunnel::drain() recovers the spill at quiescence, which is
+///     how bench_combining validates exact density on both backends.
+///   * CombinedRenamingAdapter — acquire() maps combined values into names
+///     >= 1. One-shot (release is a no-op): the funnel recycles reclaimed
+///     values through its spill pool, not released names.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "api/counter.h"
+#include "api/renaming.h"
+#include "combining/combining_funnel.h"
+
+namespace renamelib::api {
+
+/// Flat-combined dispenser: batched publication slots over any inner
+/// ICounter.
+class CombinedCounterAdapter final : public ICounter {
+ public:
+  /// Builds a funnel minting value runs via `inner->next_range()`.
+  CombinedCounterAdapter(combining::CombiningFunnel::Options options,
+                         std::unique_ptr<ICounter> inner)
+      : inner_(std::move(inner)),
+        funnel_(
+            options,
+            [this](Ctx& ctx, std::uint64_t k, std::vector<ValueRange>& out) {
+              inner_->next_range(ctx, k, out);
+            },
+            [this](Ctx& ctx) { return inner_->next(ctx); }) {}
+
+  /// Publishes a one-value request (combined, or pass-through on timeout).
+  std::uint64_t next(Ctx& ctx) override { return funnel_.get_one(ctx); }
+
+  /// Batched fast path: the whole want rides one publication per funnel
+  /// round; partial answers loop.
+  void next_range(Ctx& ctx, std::uint64_t k,
+                  std::vector<ValueRange>& out) override {
+    std::uint64_t got = 0;
+    while (got < k) got += funnel_.get(ctx, k - got, out);
+  }
+
+  /// The inner dispenser's bound: every handed value was minted by it.
+  std::uint64_t capacity() const override { return inner_->capacity(); }
+
+  /// Unique, combining-slack-bounded, not dense (see file comment).
+  Consistency consistency() const override { return Consistency::kEscrow; }
+
+  /// The native funnel (stats() and drain() live here).
+  combining::CombiningFunnel& impl() { return funnel_; }
+
+  /// The wrapped inner dispenser.
+  ICounter& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<ICounter> inner_;
+  combining::CombiningFunnel funnel_;
+};
+
+/// Flat-combined renaming: one-shot names minted in combined batches from
+/// any inner renaming (acquire() - 1 is the funnel's value stream).
+class CombinedRenamingAdapter final : public IRenaming {
+ public:
+  /// Builds a funnel minting name ranks via `inner->acquire() - 1`. Inner
+  /// renamings have no ranged operation, so a combined sweep still crosses
+  /// once per name — the win is the batched publication front-end.
+  CombinedRenamingAdapter(combining::CombiningFunnel::Options options,
+                          std::unique_ptr<IRenaming> inner)
+      : inner_(std::move(inner)),
+        funnel_(
+            options,
+            [this](Ctx& ctx, std::uint64_t k, std::vector<ValueRange>& out) {
+              for (std::uint64_t i = 0; i < k; ++i) {
+                out.push_back(ValueRange{inner_->acquire(ctx) - 1, 1, 1});
+              }
+            },
+            [this](Ctx& ctx) { return inner_->acquire(ctx) - 1; }) {}
+
+  /// Names are combined values + 1 (>= 1 like every renaming).
+  std::uint64_t acquire(Ctx& ctx) override {
+    const std::uint64_t name = funnel_.get_one(ctx) + 1;
+    acquired_.fetch_add(1, std::memory_order_relaxed);
+    return name;
+  }
+
+  /// One-shot: names are permanent (the funnel's recycling is for values it
+  /// minted but never handed out, not for released names).
+  void release(Ctx&, std::uint64_t) override {}
+
+  bool reusable() const override { return false; }
+
+  /// All-time acquire count (the one-shot holders() convention).
+  std::uint64_t holders() const override {
+    return acquired_.load(std::memory_order_relaxed);
+  }
+
+  /// The native funnel (stats() and drain() live here).
+  combining::CombiningFunnel& impl() { return funnel_; }
+
+  /// The wrapped inner renaming.
+  IRenaming& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<IRenaming> inner_;
+  combining::CombiningFunnel funnel_;
+  std::atomic<std::uint64_t> acquired_{0};  // meta-level diagnostic
+};
+
+}  // namespace renamelib::api

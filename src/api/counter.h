@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "core/ctx.h"
 
@@ -39,6 +40,25 @@ enum class Consistency {
 /// Human-readable label for a Consistency level ("linearizable", ...).
 const char* consistency_name(Consistency c);
 
+/// An arithmetic run of counter values: base, base+stride, ...,
+/// base+(count-1)*stride. The unit of batched minting: one striped take of k
+/// tickets lands on a stride-S run per touched stripe, one atomic fetch&add
+/// of k is a single stride-1 run.
+struct ValueRange {
+  std::uint64_t base = 0;
+  std::uint64_t stride = 1;
+  std::uint64_t count = 0;
+
+  /// The i-th value of the run (i < count).
+  std::uint64_t at(std::uint64_t i) const { return base + i * stride; }
+  /// Total values carried by `ranges`.
+  static std::uint64_t total(const std::vector<ValueRange>& ranges) {
+    std::uint64_t sum = 0;
+    for (const auto& r : ranges) sum += r.count;
+    return sum;
+  }
+};
+
 /// Abstract counter: one next() operation, one declared consistency level,
 /// an optional saturation bound. Implemented by the adapters in
 /// api/counters.h and api/sharded_counters.h; constructed from spec strings
@@ -53,6 +73,20 @@ class ICounter {
   /// Returns this operation's counter value (0, 1, 2, ...). Thread-safe;
   /// every shared step is charged to `ctx`.
   virtual std::uint64_t next(Ctx& ctx) = 0;
+
+  /// Batched mint: appends `k` of this counter's values to `out` as
+  /// arithmetic runs (ValueRange). Values obey exactly the same uniqueness /
+  /// density contract as k separate next() calls — the default is literally
+  /// that loop. Implementations whose geometry admits a cheaper ranged mint
+  /// (one fetch&add of k, a striped multi-ticket take, a lease window chunk)
+  /// override it; that amortized path is what the combining layer and the
+  /// Workload's Scenario::batch knob drive.
+  virtual void next_range(Ctx& ctx, std::uint64_t k,
+                          std::vector<ValueRange>& out) {
+    for (std::uint64_t i = 0; i < k; ++i) {
+      out.push_back(ValueRange{next(ctx), 1, 1});
+    }
+  }
 
   /// Saturation bound: values are < capacity(); kUnbounded if none. Bounded
   /// objects keep returning capacity()-1 once exhausted (the paper's

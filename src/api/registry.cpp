@@ -6,6 +6,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "api/combining.h"
 #include "api/counters.h"
 #include "api/leases.h"
 #include "api/readables.h"
@@ -377,6 +378,29 @@ lease::LeaseBroker::Options lease_options(const Spec& p) {
   return o;
 }
 
+/// Funnel geometry shared by both `combine` facet entries (the `inner`
+/// schema differs per facet and is appended at the registration site).
+std::vector<OptionSchema> combine_schemas() {
+  return {
+      OptionSchema::u64("slots", 16, 1, 4096,
+                        "cache-line-padded publication slots (pid mod slots)"),
+      OptionSchema::u64("spin", 64, 1, 65536,
+                        "bounded publication-wait loads before withdrawing "
+                        "to a direct inner mint"),
+      OptionSchema::u64("max_combine", 64, 1, 4096,
+                        "cap on additional demand a combiner claims from "
+                        "other slots per sweep (its own published want is "
+                        "always served in full)")};
+}
+
+combining::CombiningFunnel::Options combine_options(const Spec& p) {
+  combining::CombiningFunnel::Options o;
+  o.slots = static_cast<std::size_t>(p.get_u64("slots", 16));
+  o.spin = static_cast<int>(p.get_u64("spin", 64));
+  o.max_combine = p.get_u64("max_combine", 64);
+  return o;
+}
+
 void register_builtins(Registry& r) {
   // ------------------------------------------------------------ renamings
   r.add_renaming(RenamingInfo{
@@ -526,6 +550,41 @@ void register_builtins(Registry& r) {
               lease_options(p), Registry::global().make_renaming(inner));
         }});
   }
+  {
+    auto options = combine_schemas();
+    options.push_back(OptionSchema::spec(
+        "inner", "linear_probe", Facet::kRenaming,
+        "renaming whose acquires serve each combined sweep"));
+    r.add_renaming(RenamingInfo{
+        .name = "combine",
+        .family = Family::kSharded,
+        .summary = "flat-combining front-end over any renaming: batched "
+                   "name requests through publication slots, one combiner "
+                   "acquiring for the whole sweep (inner= nested)",
+        // Every request triggers at most two inner acquires on its behalf
+        // (one combined, one direct after a timeout), so the every-execution
+        // bound is the inner's at twice the request count — never
+        // adaptive-tight.
+        .adaptive = false,
+        .options = std::move(options),
+        .name_bound = [](int k, const Spec& p) {
+          const Spec inner = p.get_spec("inner", "linear_probe");
+          const auto* info = Registry::global().find_renaming(inner.name());
+          const int doubled =
+              k > std::numeric_limits<int>::max() / 2 ? k : 2 * k;
+          return info->name_bound(doubled, inner);
+        },
+        .max_requests = [](const Spec& p) {
+          const Spec inner = p.get_spec("inner", "linear_probe");
+          const auto* info = Registry::global().find_renaming(inner.name());
+          return info->max_requests(inner) / 2;
+        },
+        .make = [](const Spec& p) -> std::unique_ptr<IRenaming> {
+          const Spec inner = p.get_spec("inner", "linear_probe");
+          return std::make_unique<CombinedRenamingAdapter>(
+              combine_options(p), Registry::global().make_renaming(inner));
+        }});
+  }
 
   // ------------------------------------------------------------- counters
   r.add_counter(CounterInfo{
@@ -669,6 +728,29 @@ void register_builtins(Registry& r) {
           const Spec inner = p.get_spec("inner", "atomic_fai");
           return std::make_unique<LeasedCounterAdapter>(
               lease_options(p), Registry::global().make_counter(inner));
+        }});
+  }
+  {
+    auto options = combine_schemas();
+    options.push_back(OptionSchema::spec(
+        "inner", "atomic_fai", Facet::kCounter,
+        "dispenser whose ranged mint serves each combined sweep"));
+    r.add_counter(CounterInfo{
+        .name = "combine",
+        .family = Family::kSharded,
+        .summary = "flat-combining front-end: padded publication slots, "
+                   "CAS-elected combiner, one ranged inner crossing per "
+                   "sweep, batched wants (inner= is a nested spec)",
+        // Values are unique (all minted by the inner) but reclaimed handoffs
+        // and crashed combiners withhold minted values from the handed set,
+        // so the honest level is the escrow one: after requests totalling T
+        // values the inner has minted at most 2T (combining_funnel.h).
+        .consistency = Consistency::kEscrow,
+        .options = std::move(options),
+        .make = [](const Spec& p) -> std::unique_ptr<ICounter> {
+          const Spec inner = p.get_spec("inner", "atomic_fai");
+          return std::make_unique<CombinedCounterAdapter>(
+              combine_options(p), Registry::global().make_counter(inner));
         }});
   }
 

@@ -21,7 +21,7 @@
 ///     {
 ///       "name": "shootout", "spec": "striped:stripes=16",
 ///       "backend": "hardware", "threads": 8, "ops": 2048,
-///       "ops_per_sec": 1.2e6, "unit": "ns",
+///       "ops_per_sec": 1.2e6, "repeats": 5, "cv": 0.03, "unit": "ns",
 ///       "latency": {
 ///         "count": 2048, "sum": ..., "sum_sq": ..., "min": ..., "max": ...,
 ///         "mean": ..., "p50": ..., "p90": ..., "p99": ..., "p999": ...,
@@ -33,7 +33,11 @@
 /// \endverbatim
 /// `unit` says what the latency values measure: "ns" (hardware wall clock)
 /// or "steps" (paper cost model, simulated backend). `mean`/`p*` are derived
-/// from `count`..`buckets` and ignored on parse.
+/// from `count`..`buckets` and ignored on parse. `repeats`/`cv` describe
+/// median-of-N measurement (bench --repeat=N): the run's numbers are the
+/// median repeat's, `cv` the across-repeat throughput coefficient of
+/// variation. Both are optional on parse (defaults 1 / 0) so pre-repeat
+/// reports stay readable.
 #pragma once
 
 #include <cstdint>
@@ -56,6 +60,14 @@ struct ReportRun {
   int threads = 0;      ///< process/thread count of the scenario
   std::uint64_t ops = 0;       ///< completed operations
   double ops_per_sec = 0;      ///< wall-clock throughput (0 when unmeasured)
+  /// How many repeats produced this run (bench --repeat=N). When > 1,
+  /// `ops_per_sec` and `latency` come from the repeat with the *median*
+  /// throughput — the run is one real measurement, not a synthetic average.
+  int repeats = 1;
+  /// Coefficient of variation (stddev/mean) of ops_per_sec across the
+  /// repeats; 0 when repeats == 1 or throughput was unmeasured. Readers use
+  /// it to judge how much of a diff is noise.
+  double cv = 0;
   std::string unit = "ns";     ///< latency unit: "ns" or "steps"
   stats::LatencySnapshot latency;  ///< tail-faithful latency recording
 };

@@ -28,6 +28,17 @@ class StripedCounterAdapter final : public ICounter {
   /// Forwards to StripedCounter::next() (dispenser mode).
   std::uint64_t next(Ctx& ctx) override { return counter_.next(ctx); }
 
+  /// Ranged mint via StripedCounter::next_batch: min(k, stripes) + 1
+  /// crossings for k values, dense prefix preserved.
+  void next_range(Ctx& ctx, std::uint64_t k,
+                  std::vector<ValueRange>& out) override {
+    std::vector<sharded::StripedCounter::Run> batch;
+    counter_.next_batch(ctx, k, batch);
+    for (const auto& run : batch) {
+      out.push_back(ValueRange{run.base, run.stride, run.count});
+    }
+  }
+
   /// Dense prefix at quiescence only; see the class comment.
   Consistency consistency() const override { return Consistency::kQuiescent; }
 

@@ -107,6 +107,9 @@ Run Workload::run_metered(
   // is adversary-schedulable (simulated) or a real coherent load (hardware).
   Register<std::uint64_t> scratch;
 
+  // Sample kinds are only materialized when something records them.
+  const bool need_kind = scenario_.record_history || scenario_.keep_op_samples;
+
   auto body = [&](Ctx& ctx) {
     Metrics local;
     std::vector<OpSample> local_ops;
@@ -114,6 +117,10 @@ Run Workload::run_metered(
       local_ops.reserve(static_cast<std::size_t>(scenario_.ops_per_proc));
     }
     int burst_left = 0;
+    // Countdown instead of `i % period`: a per-op integer division is
+    // measurable against nanosecond-scale batched operations. Starts at 1 so
+    // op 0 is sampled, matching the old modulo phase.
+    int until_sample = 1;
     for (int i = 0; i < scenario_.ops_per_proc; ++i) {
       if (scenario_.think_max > 0) {
         // Think before every op (steady) or before each burst (bursty).
@@ -134,12 +141,13 @@ Run Workload::run_metered(
           for (std::uint64_t t = 0; t < think; ++t) scratch.load(ctx);
         }
       }
-      const char* kind = kind_of(i);
+      const char* kind = need_kind ? kind_of(i) : "";
       const std::uint64_t token = recorder ? recorder->invoke() : 0;
       OpMeter meter(ctx);
       // Latency sampling every Nth op keeps the clock reads off the fast
       // path of nanosecond-scale objects (see Scenario::latency_sample_period).
-      const bool sampled = latency && i % sample_period == 0;
+      const bool sampled = latency && --until_sample == 0;
+      if (sampled) until_sample = sample_period;
       const auto t0 = sampled ? clock::now() : clock::time_point{};
       const std::uint64_t v = op(ctx, i);
       if (sampled) {
@@ -184,8 +192,49 @@ Run Workload::run_ops(const std::function<std::uint64_t(Ctx&)>& op) const {
 }
 
 Run Workload::run(ICounter& counter) const {
-  return run_metered([&counter](Ctx& ctx, int) { return counter.next(ctx); },
-                     [](int) { return "fai"; });
+  if (scenario_.batch <= 1) {
+    return run_metered([&counter](Ctx& ctx, int) { return counter.next(ctx); },
+                       [](int) { return "fai"; });
+  }
+  // Batched mode: each process keeps a private buffer of pending value runs,
+  // refilled through the counter's ranged mint whenever it runs dry. The
+  // buffers are harness state (padded so neighbours don't share a line), not
+  // protocol state — a crashed process simply orphans its unserved values.
+  struct alignas(64) Pending {
+    std::vector<ValueRange> runs;
+    std::size_t run_ix = 0;
+    std::uint64_t offset = 0;
+  };
+  auto pending = std::make_shared<std::vector<Pending>>(
+      static_cast<std::size_t>(scenario_.nproc));
+  const auto batch = static_cast<std::uint64_t>(scenario_.batch);
+  const int ops = scenario_.ops_per_proc;
+  return run_metered(
+      [&counter, pending, slots = pending->data(), batch,
+       ops](Ctx& ctx, int i) -> std::uint64_t {
+        auto& p = slots[static_cast<std::size_t>(ctx.pid())];
+        while (p.run_ix < p.runs.size() &&
+               p.offset >= p.runs[p.run_ix].count) {
+          ++p.run_ix;
+          p.offset = 0;
+        }
+        if (p.run_ix >= p.runs.size()) {
+          p.runs.clear();
+          p.run_ix = 0;
+          p.offset = 0;
+          const auto remaining = static_cast<std::uint64_t>(ops - i);
+          counter.next_range(ctx, std::min(batch, remaining), p.runs);
+          while (p.run_ix < p.runs.size() && p.runs[p.run_ix].count == 0) {
+            ++p.run_ix;
+          }
+          RENAMELIB_ENSURE(p.run_ix < p.runs.size(),
+                           "ranged mint returned no values");
+        }
+        const std::uint64_t v = p.runs[p.run_ix].at(p.offset);
+        ++p.offset;
+        return v;
+      },
+      [](int) { return "fai"; });
 }
 
 Run Workload::run(IRenaming& obj) const {
@@ -234,6 +283,7 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
                    "crash plan needs crash_step_max >= 1");
   RENAMELIB_ENSURE(scenario_.think_max >= 0 && scenario_.burst_max >= 1,
                    "arrival shaping needs think_max >= 0 and burst_max >= 1");
+  RENAMELIB_ENSURE(scenario_.batch >= 1, "scenario needs batch >= 1");
   // Appends the finishing process's totals; only reached by processes that
   // complete their body (crashed ones stop at the throw).
   auto with_totals = [&](Ctx& ctx) {

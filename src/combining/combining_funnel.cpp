@@ -1,0 +1,412 @@
+#include "combining/combining_funnel.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "core/assert.h"
+#include "fuzz/coverage.h"
+
+namespace renamelib::combining {
+
+namespace {
+
+/// How much longer a CLAIMED waiter watches the handoff than a PENDING one
+/// watches the sweep: once claimed, the combiner has already minted for us,
+/// so patience is cheap and reclaiming wastes a minted value.
+constexpr int kHandoffMultiplier = 8;
+
+}  // namespace
+
+CombiningFunnel::CombiningFunnel(Options options, Mint mint, MintOne mint_one)
+    : options_(options), mint_(std::move(mint)), mint_one_(std::move(mint_one)) {
+  RENAMELIB_ENSURE(options_.slots >= 1, "combining funnel needs slots >= 1");
+  RENAMELIB_ENSURE(options_.spin >= 1, "combining funnel needs spin >= 1");
+  RENAMELIB_ENSURE(options_.max_combine >= 1,
+                   "combining funnel needs max_combine >= 1");
+  RENAMELIB_ENSURE(options_.max_combine <= kFieldMax,
+                   "max_combine exceeds the request word's want field");
+  slots_ = std::make_unique<Slot[]>(options_.slots);
+  // The spill pool holds ranges minted for reclaimed waiters. Reclaims are
+  // rare (bounded handoff races), so a few entries per slot keeps drops —
+  // the only orphaning path — out of healthy executions.
+  pool_size_ = std::max<std::size_t>(options_.slots * 4, 64);
+  pool_ = std::make_unique<PoolEntry[]>(pool_size_);
+}
+
+bool CombiningFunnel::try_lock(Ctx& ctx, int pid) {
+  std::uint64_t expected = 0;
+  return lock_.compare_exchange(ctx, expected,
+                                static_cast<std::uint64_t>(pid) + 1);
+}
+
+void CombiningFunnel::unlock(Ctx& ctx) { lock_.store(ctx, 0); }
+
+std::uint64_t CombiningFunnel::peel(std::vector<api::ValueRange>& work,
+                                    std::uint64_t want, std::size_t max_runs,
+                                    std::vector<api::ValueRange>& got) {
+  std::uint64_t peeled = 0;
+  std::size_t runs = 0;
+  while (peeled < want && runs < max_runs && !work.empty()) {
+    api::ValueRange& r = work.back();
+    const std::uint64_t take = std::min(r.count, want - peeled);
+    got.push_back(api::ValueRange{r.base, r.stride, take});
+    r.base += take * r.stride;
+    r.count -= take;
+    if (r.count == 0) work.pop_back();
+    peeled += take;
+    ++runs;
+  }
+  return peeled;
+}
+
+std::uint64_t CombiningFunnel::pool_pull(Ctx& ctx, std::uint64_t want,
+                                         std::vector<api::ValueRange>& work) {
+  LabelScope scope(ctx, "combine/refill");
+  // One load answers the common case: nothing parked, nothing to scan.
+  if (pool_hint_.load(ctx) == 0) return 0;
+  std::uint64_t have = 0;
+  for (std::size_t i = 0; i < pool_size_ && have < want; ++i) {
+    std::uint64_t state = pool_[i].state.load(ctx);
+    if (state != 2) continue;
+    if (!pool_[i].state.compare_exchange(ctx, state, 1)) continue;
+    api::ValueRange r;
+    r.base = pool_[i].base.load(ctx);
+    r.stride = pool_[i].stride.load(ctx);
+    r.count = pool_[i].count.load(ctx);
+    pool_[i].state.store(ctx, 0);
+    pool_hint_.fetch_add(ctx, ~std::uint64_t{0});
+    work.push_back(r);
+    have += r.count;
+    counters_.pool_served_values.fetch_add(r.count, std::memory_order_relaxed);
+  }
+  return have;
+}
+
+void CombiningFunnel::pool_park(Ctx& ctx, std::vector<api::ValueRange>& work) {
+  LabelScope scope(ctx, "combine/spill");
+  std::size_t cursor = 0;
+  for (const api::ValueRange& r : work) {
+    if (r.count == 0) continue;
+    bool parked = false;
+    for (; cursor < pool_size_ && !parked; ++cursor) {
+      std::uint64_t state = pool_[cursor].state.load(ctx);
+      if (state != 0) continue;
+      if (!pool_[cursor].state.compare_exchange(ctx, state, 1)) continue;
+      pool_[cursor].base.store(ctx, r.base);
+      pool_[cursor].stride.store(ctx, r.stride);
+      pool_[cursor].count.store(ctx, r.count);
+      pool_[cursor].state.store(ctx, 2);
+      pool_hint_.fetch_add(ctx, 1);
+      parked = true;
+      counters_.spilled_values.fetch_add(r.count, std::memory_order_relaxed);
+      fuzz::cov_hit(fuzz::CovSite::kCombineSpill, r.count);
+    }
+    if (!parked) {
+      // Pool exhausted: these values are orphaned (the escrow slack the
+      // oracles allow for). Counted, never silent.
+      counters_.dropped_values.fetch_add(r.count, std::memory_order_relaxed);
+      fuzz::cov_hit(fuzz::CovSite::kCombineDrop, r.count);
+    }
+  }
+  work.clear();
+}
+
+std::uint64_t CombiningFunnel::drain(Ctx& ctx,
+                                     std::vector<api::ValueRange>& out) {
+  LabelScope scope(ctx, "combine/drain");
+  std::uint64_t drained = 0;
+  for (std::size_t i = 0; i < pool_size_; ++i) {
+    std::uint64_t state = pool_[i].state.load(ctx);
+    if (state != 2) continue;
+    if (!pool_[i].state.compare_exchange(ctx, state, 1)) continue;
+    api::ValueRange r;
+    r.base = pool_[i].base.load(ctx);
+    r.stride = pool_[i].stride.load(ctx);
+    r.count = pool_[i].count.load(ctx);
+    pool_[i].state.store(ctx, 0);
+    pool_hint_.fetch_add(ctx, ~std::uint64_t{0});
+    out.push_back(r);
+    drained += r.count;
+  }
+  return drained;
+}
+
+std::uint64_t CombiningFunnel::direct(Ctx& ctx, std::uint64_t k,
+                                      std::vector<api::ValueRange>& out) {
+  LabelScope scope(ctx, "combine/direct");
+  counters_.direct_mints.fetch_add(1, std::memory_order_relaxed);
+  if (k == 1) {
+    out.push_back(api::ValueRange{mint_one_(ctx), 1, 1});
+    return 1;
+  }
+  mint_(ctx, k, out);
+  return k;
+}
+
+std::uint64_t CombiningFunnel::combine(Ctx& ctx, std::size_t own_slot,
+                                       std::uint64_t own_want,
+                                       std::uint64_t own_seq,
+                                       std::vector<api::ValueRange>& out) {
+  counters_.combines.fetch_add(1, std::memory_order_relaxed);
+  LabelScope scope(ctx, "combine/sweep");
+  Slot& own = slots_[own_slot];
+  std::uint64_t expected = pack(kPending, own_want, own_seq);
+  if (!own.word.compare_exchange(ctx, expected,
+                                 pack(kClaimed, own_want, own_seq))) {
+    // A previous combiner answered this publication before releasing the
+    // lock; the answer is sitting in our slot. Nothing to sweep on its
+    // behalf — consume and go.
+    RENAMELIB_ENSURE(
+        state_of(expected) == kDelivered && seq_of(expected) == own_seq,
+        "combiner lock acquired but own publication neither pending nor "
+        "delivered");
+    const std::uint64_t got =
+        consume(ctx, own_slot, own_seq, field_of(expected), out);
+    unlock(ctx);
+    return got;
+  }
+
+  // Sweep: claim every pending publication the budget admits. Own want is
+  // always served, so the budget floor is own_want.
+  const std::uint64_t budget = std::max(options_.max_combine, own_want);
+  std::uint64_t total_want = own_want;
+  std::vector<Claim> claims;
+  for (std::size_t j = 1; j < options_.slots; ++j) {
+    const std::size_t s = (own_slot + j) % options_.slots;
+    std::uint64_t w = slots_[s].word.load(ctx);
+    if (state_of(w) != kPending) continue;
+    const std::uint64_t want = field_of(w);
+    if (total_want + want > budget) continue;
+    if (slots_[s].word.compare_exchange(ctx, w,
+                                        pack(kClaimed, want, seq_of(w)))) {
+      claims.push_back(Claim{s, want, seq_of(w)});
+      total_want += want;
+      fuzz::cov_hit(fuzz::CovSite::kCombineSweep,
+                    (static_cast<std::uint64_t>(s) << 20) | want);
+    }
+  }
+
+  // One crossing for the whole batch: recycled spill ranges first, a single
+  // ranged mint for the shortfall.
+  std::vector<api::ValueRange> work;
+  const std::uint64_t have = pool_pull(ctx, total_want, work);
+  if (have < total_want) mint_(ctx, total_want - have, work);
+
+  // Serve the claimed waiters first (the elimination-leader discipline:
+  // partner before self), then take the own share; a lost decisive CAS
+  // returns the peeled values to the work list.
+  std::vector<api::ValueRange> share;
+  for (const Claim& c : claims) {
+    share.clear();
+    const std::uint64_t peeled = peel(work, c.want, kAnswerRuns, share);
+    Slot& slot = slots_[c.slot];
+    LabelScope deliver(ctx, "combine/deliver");
+    for (std::size_t r = 0; r < share.size(); ++r) {
+      slot.run_base[r].store(ctx, share[r].base);
+      slot.run_stride[r].store(ctx, share[r].stride);
+      slot.run_count[r].store(ctx, share[r].count);
+    }
+    std::uint64_t exp = pack(kClaimed, c.want, c.seq);
+    if (slot.word.compare_exchange(
+            ctx, exp, pack(kDelivered, share.size(), c.seq))) {
+      counters_.combined_requests.fetch_add(1, std::memory_order_relaxed);
+      counters_.combined_values.fetch_add(peeled, std::memory_order_relaxed);
+      fuzz::cov_hit(fuzz::CovSite::kCombineDeliver, c.slot);
+    } else {
+      // The waiter reclaimed its slot mid-handoff; its values stay in hand
+      // and are re-distributed or parked, never lost.
+      for (const api::ValueRange& r : share) work.push_back(r);
+    }
+  }
+
+  // Own share goes straight to the caller — no answer registers needed.
+  const std::uint64_t got = peel(work, own_want, ~std::size_t{0}, out);
+  own.word.store(ctx, pack(kEmpty, 0, own_seq));
+  counters_.combined_requests.fetch_add(1, std::memory_order_relaxed);
+  counters_.combined_values.fetch_add(got, std::memory_order_relaxed);
+  pool_park(ctx, work);
+  unlock(ctx);
+  return got;
+}
+
+CombiningFunnel::WaitOutcome CombiningFunnel::await(Ctx& ctx, std::size_t s,
+                                                    std::uint64_t want,
+                                                    std::uint64_t seq,
+                                                    std::uint64_t& field) {
+  LabelScope scope(ctx, "combine/wait");
+  Slot& slot = slots_[s];
+  const bool hardware = ctx.gate() == nullptr;
+  bool claimed = false;
+  // Phase 1: watch the publication; periodically stand for election so a
+  // solo process (or the first arrival) combines for itself.
+  for (int i = 0; i < options_.spin; ++i) {
+    if (!claimed && (i & 7) == 0 && try_lock(ctx, ctx.pid())) {
+      return WaitOutcome::kElected;
+    }
+    const std::uint64_t w = slot.word.load(ctx);
+    if (seq_of(w) == seq) {
+      if (state_of(w) == kDelivered) {
+        field = field_of(w);
+        return WaitOutcome::kDelivered;
+      }
+      if (state_of(w) == kClaimed) {
+        claimed = true;
+        break;
+      }
+    }
+    // Oversubscribed hardware: hand the core to the combiner instead of
+    // burning the timeslice (meta-level, zero steps).
+    if (hardware) std::this_thread::yield();
+  }
+  if (!claimed) {
+    std::uint64_t expected = pack(kPending, want, seq);
+    if (slot.word.compare_exchange(ctx, expected, pack(kEmpty, 0, seq))) {
+      counters_.withdraws.fetch_add(1, std::memory_order_relaxed);
+      fuzz::cov_hit(fuzz::CovSite::kCombineWithdraw, s);
+      return WaitOutcome::kWithdrawn;
+    }
+    if (state_of(expected) == kDelivered && seq_of(expected) == seq) {
+      field = field_of(expected);
+      return WaitOutcome::kDelivered;
+    }
+  }
+  // Phase 2: claimed — the combiner already minted for us, so watch the
+  // handoff longer before reclaiming (reclaimed values are re-minted work).
+  for (int i = 0; i < options_.spin * kHandoffMultiplier; ++i) {
+    const std::uint64_t w = slot.word.load(ctx);
+    if (state_of(w) == kDelivered && seq_of(w) == seq) {
+      field = field_of(w);
+      return WaitOutcome::kDelivered;
+    }
+    if (hardware) std::this_thread::yield();
+  }
+  std::uint64_t expected = pack(kClaimed, want, seq);
+  if (slot.word.compare_exchange(ctx, expected, pack(kEmpty, 0, seq))) {
+    counters_.reclaims.fetch_add(1, std::memory_order_relaxed);
+    fuzz::cov_hit(fuzz::CovSite::kCombineReclaim, s);
+    return WaitOutcome::kReclaimed;
+  }
+  RENAMELIB_ENSURE(
+      state_of(expected) == kDelivered && seq_of(expected) == seq,
+      "claimed publication neither delivered nor reclaimable");
+  field = field_of(expected);
+  return WaitOutcome::kDelivered;
+}
+
+std::uint64_t CombiningFunnel::consume(Ctx& ctx, std::size_t s,
+                                       std::uint64_t seq, std::uint64_t nruns,
+                                       std::vector<api::ValueRange>& out) {
+  Slot& slot = slots_[s];
+  std::uint64_t got = 0;
+  for (std::uint64_t r = 0; r < nruns; ++r) {
+    api::ValueRange run;
+    run.base = slot.run_base[r].load(ctx);
+    run.stride = slot.run_stride[r].load(ctx);
+    run.count = slot.run_count[r].load(ctx);
+    out.push_back(run);
+    got += run.count;
+  }
+  slot.word.store(ctx, pack(kEmpty, 0, seq));
+  return got;
+}
+
+std::uint64_t CombiningFunnel::get(Ctx& ctx, std::uint64_t k,
+                                   std::vector<api::ValueRange>& out) {
+  if (k == 0) return 0;
+  // The published want is the full request (field-width permitting), not
+  // capped at max_combine: a batched caller's own demand is always served
+  // in one sweep (combine()'s budget floors at own_want), so one
+  // publication round covers one whole next_range batch. max_combine only
+  // bounds how much *additional* demand a combiner claims from others.
+  const std::uint64_t want = std::min(k, kFieldMax);
+  const std::size_t s =
+      static_cast<std::size_t>(ctx.pid()) % options_.slots;
+  std::uint64_t w;
+  {
+    LabelScope scope(ctx, "combine/publish");
+    w = slots_[s].word.load(ctx);
+    if (state_of(w) != kEmpty ||
+        !slots_[s].word.compare_exchange(
+            ctx, w, pack(kPending, want, (seq_of(w) + 1) & kSeqMask))) {
+      // Slot busy (shared by another pid, or poisoned by a crashed waiter's
+      // unconsumed answer): pass through.
+      return direct(ctx, k, out);
+    }
+  }
+  const std::uint64_t seq = (seq_of(w) + 1) & kSeqMask;
+  std::uint64_t field = 0;
+  switch (await(ctx, s, want, seq, field)) {
+    case WaitOutcome::kElected: {
+      const std::uint64_t got = combine(ctx, s, want, seq, out);
+      return got > 0 ? got : direct(ctx, k, out);
+    }
+    case WaitOutcome::kDelivered: {
+      const std::uint64_t got = consume(ctx, s, seq, field, out);
+      return got > 0 ? got : direct(ctx, k, out);
+    }
+    case WaitOutcome::kWithdrawn:
+    case WaitOutcome::kReclaimed:
+      return direct(ctx, k, out);
+  }
+  return direct(ctx, k, out);  // unreachable
+}
+
+std::uint64_t CombiningFunnel::get_one(Ctx& ctx) {
+  const std::size_t s =
+      static_cast<std::size_t>(ctx.pid()) % options_.slots;
+  std::uint64_t w;
+  {
+    LabelScope scope(ctx, "combine/publish");
+    w = slots_[s].word.load(ctx);
+    if (state_of(w) != kEmpty ||
+        !slots_[s].word.compare_exchange(
+            ctx, w, pack(kPending, 1, (seq_of(w) + 1) & kSeqMask))) {
+      counters_.direct_mints.fetch_add(1, std::memory_order_relaxed);
+      LabelScope direct_scope(ctx, "combine/direct");
+      return mint_one_(ctx);
+    }
+  }
+  const std::uint64_t seq = (seq_of(w) + 1) & kSeqMask;
+  std::uint64_t field = 0;
+  switch (await(ctx, s, 1, seq, field)) {
+    case WaitOutcome::kElected: {
+      // The elected path allocates; it amortizes over the whole sweep.
+      std::vector<api::ValueRange> got;
+      if (combine(ctx, s, 1, seq, got) > 0) return got.front().base;
+      break;
+    }
+    case WaitOutcome::kDelivered: {
+      if (field > 0) {
+        const std::uint64_t value = slots_[s].run_base[0].load(ctx);
+        slots_[s].word.store(ctx, pack(kEmpty, 0, seq));
+        return value;
+      }
+      slots_[s].word.store(ctx, pack(kEmpty, 0, seq));
+      break;
+    }
+    case WaitOutcome::kWithdrawn:
+    case WaitOutcome::kReclaimed:
+      break;
+  }
+  counters_.direct_mints.fetch_add(1, std::memory_order_relaxed);
+  LabelScope direct_scope(ctx, "combine/direct");
+  return mint_one_(ctx);
+}
+
+CombiningFunnel::Stats CombiningFunnel::stats() const {
+  Stats s;
+  s.combines = counters_.combines.load(std::memory_order_relaxed);
+  s.combined_requests =
+      counters_.combined_requests.load(std::memory_order_relaxed);
+  s.combined_values = counters_.combined_values.load(std::memory_order_relaxed);
+  s.direct_mints = counters_.direct_mints.load(std::memory_order_relaxed);
+  s.withdraws = counters_.withdraws.load(std::memory_order_relaxed);
+  s.reclaims = counters_.reclaims.load(std::memory_order_relaxed);
+  s.spilled_values = counters_.spilled_values.load(std::memory_order_relaxed);
+  s.pool_served_values =
+      counters_.pool_served_values.load(std::memory_order_relaxed);
+  s.dropped_values = counters_.dropped_values.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace renamelib::combining

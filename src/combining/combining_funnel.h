@@ -1,0 +1,254 @@
+// Flat-combining funnel: publication slots + combiner election over any
+// ranged value dispenser.
+//
+// The classic latency-for-throughput trade (Hendler/Incze/Shavit flat
+// combining; Aspnes' combining trees) applied to renamelib's dispensers:
+// instead of every operation crossing to the shared object, a thread
+// *publishes* its request (want k values) into a cache-line-padded
+// publication slot, one thread elects itself combiner via a CAS'd lock,
+// sweeps the slots, mints the summed demand from the inner dispenser in a
+// single ranged crossing, and distributes the resulting value runs back
+// through the slots. Dispensers stay dense: every waiter receives distinct
+// values from the combined range, because the inner mint is the only value
+// source.
+//
+// Publication-slot state machine (one packed 64-bit word per slot —
+// state | field | seq):
+//
+//             publish CAS                 sweep CAS (combiner, lock held)
+//   EMPTY ------------------> PENDING ------------------------------> CLAIMED
+//     ^                          |                                       |
+//     |   withdraw CAS (waiter   |            answer regs written, then  |
+//     +--------------------------+            decisive CAS               |
+//     ^                                                                  v
+//     +<------------------- consume store <--------------------- DELIVERED
+//     ^                                                                  |
+//     +<------- reclaim CAS (waiter timed out of the handoff) <----------+
+//
+// `seq` (48 bits, bumped once per publication) makes every decisive CAS
+// tag-checked: a slow combiner's delivery to a publication the waiter
+// already reclaimed fails cleanly instead of ABA-ing into a later request.
+// The answer registers themselves need no tags because they are only ever
+// written by the lock-holding combiner and only read after the decisive CAS
+// of the *same* publication succeeded — the combiner lock orders all answer
+// writes, the decisive CAS publishes them.
+//
+// Every wait is bounded, so the funnel degrades instead of blocking:
+//   * a PENDING waiter that spins out withdraws and mints directly from the
+//     inner (obstruction-free pass-through);
+//   * a CLAIMED waiter that spins out of the handoff reclaims its slot and
+//     mints directly — the values the combiner minted for it return to the
+//     combiner's work list and are re-distributed or parked in the spill
+//     pool, never silently lost;
+//   * a combiner that crashes holding the lock (simulated backend) merely
+//     degrades the funnel to pass-through: every later request times out of
+//     PENDING and goes direct. Crash-orphaned values are bounded by the
+//     in-flight work list: <= max(max_combine, the crashed combiner's own
+//     published want) per crashed combiner.
+//
+// Escrow accounting (what the conformance/fuzz oracles check): every request
+// for k values triggers at most one combiner-side mint of <= k and at most
+// one direct mint of <= k on its behalf, so after requests totalling T
+// values the inner has minted M <= 2T, every handed value came from the
+// inner's first M values, and the undelivered difference lives in the spill
+// pool (drain() recovers it at quiescence) except for pool-overflow drops,
+// which stats() counts. At hardware-backend quiescence with zero drops,
+// handed ∪ drained is exactly the inner's minted set — the dense-prefix
+// validation bench_combining performs on both backends.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "api/counter.h"
+#include "core/ctx.h"
+#include "core/register.h"
+
+namespace renamelib::combining {
+
+/// Flat-combining front-end over a ranged mint hook.
+class CombiningFunnel {
+ public:
+  struct Options {
+    std::size_t slots = 16;         ///< publication slots (pid mod slots)
+    int spin = 64;                  ///< bounded publication-wait loads
+    /// Caps the *additional* demand a combiner claims from other slots per
+    /// sweep. The combiner's own published want is always served in full
+    /// (batched callers publish their whole next_range request), so one
+    /// sweep mints at most max(max_combine, own want) values.
+    std::uint64_t max_combine = 64;
+  };
+
+  /// Ranged mint: append `k` fresh values from the inner dispenser to `out`.
+  using Mint =
+      std::function<void(Ctx&, std::uint64_t, std::vector<api::ValueRange>&)>;
+  /// Single-value mint (the allocation-free direct/fast path).
+  using MintOne = std::function<std::uint64_t(Ctx&)>;
+
+  /// Meta-level diagnostics (relaxed counters, zero protocol steps).
+  struct Stats {
+    std::uint64_t combines = 0;        ///< sweeps performed (lock sessions)
+    std::uint64_t combined_requests = 0; ///< publications answered by a combiner
+    std::uint64_t combined_values = 0;  ///< values handed through slot answers
+    std::uint64_t direct_mints = 0;    ///< pass-through requests (busy slot,
+                                       ///< withdraw, or reclaim)
+    std::uint64_t withdraws = 0;       ///< PENDING timeouts
+    std::uint64_t reclaims = 0;        ///< CLAIMED handoff timeouts
+    std::uint64_t spilled_values = 0;  ///< values parked in the spill pool
+    std::uint64_t pool_served_values = 0; ///< values re-served from the pool
+    std::uint64_t dropped_values = 0;  ///< values orphaned (pool overflow)
+  };
+
+  CombiningFunnel(Options options, Mint mint, MintOne mint_one);
+
+  /// Obtains between 1 and `k` values (k >= 1), appended to `out` as runs;
+  /// returns how many were obtained. Partial answers are normal (a combiner
+  /// hands at most kAnswerRuns runs per publication) — callers loop.
+  std::uint64_t get(Ctx& ctx, std::uint64_t k,
+                    std::vector<api::ValueRange>& out);
+
+  /// Allocation-free single-value request (the ICounter::next fast path).
+  std::uint64_t get_one(Ctx& ctx);
+
+  /// Drains the spill pool into `out` (values minted for reclaimed waiters
+  /// that no later combiner re-served). Quiescent-time accounting: benches
+  /// call it after joining all threads to validate exact density. Returns
+  /// the number of values drained.
+  std::uint64_t drain(Ctx& ctx, std::vector<api::ValueRange>& out);
+
+  Stats stats() const;
+
+  std::size_t slots() const noexcept { return options_.slots; }
+  std::uint64_t max_combine() const noexcept { return options_.max_combine; }
+
+  /// Quiescent-time peek: true iff some process holds the combiner lock —
+  /// at quiescence that means a combiner died mid-sweep and the funnel has
+  /// degraded to pass-through. Meta-level (zero protocol steps).
+  bool lock_held() const noexcept { return lock_.peek() != 0; }
+
+  /// Answer runs a combiner can hand through one slot; a want spanning more
+  /// runs than this is answered partially.
+  static constexpr std::size_t kAnswerRuns = 6;
+
+ private:
+  // ---- packed request word: [63:62] state | [61:48] field | [47:0] seq ----
+  enum : std::uint64_t { kEmpty = 0, kPending = 1, kClaimed = 2, kDelivered = 3 };
+  static constexpr std::uint64_t kFieldMax = (1ULL << 14) - 1;
+  static constexpr std::uint64_t kSeqMask = (1ULL << 48) - 1;
+
+  static std::uint64_t pack(std::uint64_t state, std::uint64_t field,
+                            std::uint64_t seq) noexcept {
+    return (state << 62) | ((field & kFieldMax) << 48) | (seq & kSeqMask);
+  }
+  static std::uint64_t state_of(std::uint64_t w) noexcept { return w >> 62; }
+  static std::uint64_t field_of(std::uint64_t w) noexcept {
+    return (w >> 48) & kFieldMax;
+  }
+  static std::uint64_t seq_of(std::uint64_t w) noexcept { return w & kSeqMask; }
+
+  /// One publication slot. The answer registers carry up to kAnswerRuns
+  /// (base, stride, count) runs; they are protected by the combiner lock +
+  /// decisive CAS, not by their own tags (see file comment).
+  struct alignas(64) Slot {
+    Register<std::uint64_t> word{0};
+    Register<std::uint64_t> run_base[kAnswerRuns];
+    Register<std::uint64_t> run_stride[kAnswerRuns];
+    Register<std::uint64_t> run_count[kAnswerRuns];
+  };
+
+  /// Spill-pool entry: a parked value run. state 0 = free, 1 = busy
+  /// (transfer in progress), 2 = full.
+  struct alignas(64) PoolEntry {
+    Register<std::uint64_t> state{0};
+    Register<std::uint64_t> base{0};
+    Register<std::uint64_t> stride{1};
+    Register<std::uint64_t> count{0};
+  };
+
+  /// A claimed publication the combiner owes an answer to.
+  struct Claim {
+    std::size_t slot = 0;
+    std::uint64_t want = 0;
+    std::uint64_t seq = 0;
+  };
+
+  /// How one published request resolved.
+  enum class WaitOutcome {
+    kDelivered,  ///< answer in the slot's registers (`field` = run count)
+    kWithdrawn,  ///< timed out of PENDING; slot returned to EMPTY
+    kReclaimed,  ///< timed out of the CLAIMED handoff; slot returned to EMPTY
+    kElected,    ///< caller holds the combiner lock; run combine()
+  };
+
+  /// Bounded watch of the published request at slot `s` (see file comment).
+  /// On kDelivered, `field` carries the answer's run count.
+  WaitOutcome await(Ctx& ctx, std::size_t s, std::uint64_t want,
+                    std::uint64_t seq, std::uint64_t& field);
+
+  /// Reads a delivered answer (`nruns` runs) out of slot `s` into `out` and
+  /// returns the slot to EMPTY. Returns the values consumed.
+  std::uint64_t consume(Ctx& ctx, std::size_t s, std::uint64_t seq,
+                        std::uint64_t nruns, std::vector<api::ValueRange>& out);
+
+  /// Runs one combine session (combiner lock held on entry, released on
+  /// exit). Serves the caller's own claimed publication directly into `out`
+  /// (no answer registers) and returns the values obtained for it.
+  std::uint64_t combine(Ctx& ctx, std::size_t own_slot, std::uint64_t own_want,
+                        std::uint64_t own_seq,
+                        std::vector<api::ValueRange>& out);
+
+  /// Peels up to `want` values off the back of `work` into `got` (at most
+  /// `max_runs` runs); returns values peeled.
+  static std::uint64_t peel(std::vector<api::ValueRange>& work,
+                            std::uint64_t want, std::size_t max_runs,
+                            std::vector<api::ValueRange>& got);
+
+  /// Pulls up to `want` values out of the spill pool into `work`.
+  std::uint64_t pool_pull(Ctx& ctx, std::uint64_t want,
+                          std::vector<api::ValueRange>& work);
+  /// Parks every run of `work` in the spill pool; overflow drops (counted).
+  void pool_park(Ctx& ctx, std::vector<api::ValueRange>& work);
+
+  /// Direct pass-through mint of up to `k` values.
+  std::uint64_t direct(Ctx& ctx, std::uint64_t k,
+                       std::vector<api::ValueRange>& out);
+
+  /// True iff the caller grabbed the combiner lock.
+  bool try_lock(Ctx& ctx, int pid);
+  void unlock(Ctx& ctx);
+
+  Options options_;
+  Mint mint_;
+  MintOne mint_one_;
+  std::unique_ptr<Slot[]> slots_;
+  std::size_t pool_size_;
+  std::unique_ptr<PoolEntry[]> pool_;
+  /// Advisory count of full pool entries: pool_pull checks it with one load
+  /// and skips the whole pool scan when it reads 0 — the overwhelmingly
+  /// common case, which would otherwise cost pool_size_ padded-line loads
+  /// per combine session. Skew is harmless: an undercount (a process parked
+  /// an entry but crashed before the increment) only delays recycling until
+  /// drain(); an overcount only wastes one scan. Never protocol-decisive.
+  Register<std::uint64_t> pool_hint_{0};
+  Register<std::uint64_t> lock_{0};  ///< 0 = free, else holder pid + 1
+
+  // Meta-level stats (diagnostics only; never protocol state).
+  struct Counters {
+    std::atomic<std::uint64_t> combines{0};
+    std::atomic<std::uint64_t> combined_requests{0};
+    std::atomic<std::uint64_t> combined_values{0};
+    std::atomic<std::uint64_t> direct_mints{0};
+    std::atomic<std::uint64_t> withdraws{0};
+    std::atomic<std::uint64_t> reclaims{0};
+    std::atomic<std::uint64_t> spilled_values{0};
+    std::atomic<std::uint64_t> pool_served_values{0};
+    std::atomic<std::uint64_t> dropped_values{0};
+  };
+  mutable Counters counters_;
+};
+
+}  // namespace renamelib::combining

@@ -49,6 +49,12 @@ enum class CovSite : std::uint32_t {
   kLeaseRefillPool = 8,  ///< lease refill served from the escrow pool
   kLeaseSeize = 9,       ///< reclaim scan seized a stale lease (slot pid)
   kLeaseDrop = 10,       ///< seized range dropped (escrow pool full)
+  kCombineSweep = 11,    ///< combiner claimed a pending slot (slot, want)
+  kCombineDeliver = 12,  ///< combined answer delivered to a waiter (slot)
+  kCombineWithdraw = 13, ///< waiter timed out of PENDING and went direct
+  kCombineReclaim = 14,  ///< waiter reclaimed its CLAIMED slot (combiner lost)
+  kCombineSpill = 15,    ///< undeliverable values parked in the spill pool
+  kCombineDrop = 16,     ///< spill pool full: values orphaned (slot)
 };
 
 /// The process-wide coverage map. All methods are thread-safe; reset() and

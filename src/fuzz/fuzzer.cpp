@@ -59,6 +59,14 @@ std::uint64_t elim_slack(const api::Spec& spec, std::size_t crashed) {
 std::uint64_t safe_counter_ops(const api::Registry& reg, const api::Spec& spec,
                                int nproc, std::size_t crashes) {
   const auto p = static_cast<std::uint64_t>(nproc);
+  if (spec.name() == "combine") {
+    // Every request for k values costs the inner at most 2k mints (one
+    // combined, one direct after a timeout), so half the inner's safe op
+    // count is combinable demand.
+    const api::Spec inner = spec.get_spec("inner", "atomic_fai");
+    const std::uint64_t inner_ops = safe_counter_ops(reg, inner, nproc, crashes);
+    return inner_ops == kNoLimit ? kNoLimit : inner_ops / 2;
+  }
   if (spec.name() == "lease") {
     const std::uint64_t quota = spec.get_u64("quota", 64);
     const api::Spec inner = spec.get_spec("inner", "atomic_fai");
@@ -87,6 +95,13 @@ std::uint64_t safe_counter_ops(const api::Registry& reg, const api::Spec& spec,
 /// flat `attempted + nproc * quota` conformance bound is not.
 std::uint64_t escrow_value_bound(const api::Spec& spec, std::uint64_t planned,
                                  int nproc, std::uint64_t slack) {
+  if (spec.name() == "combine") {
+    // The inner mints at most 2*planned values on the funnel's behalf
+    // (combined + direct, see safe_counter_ops); every handed value comes
+    // from that minted set.
+    const api::Spec inner = spec.get_spec("inner", "atomic_fai");
+    return escrow_value_bound(inner, 2 * planned, nproc, slack);
+  }
   if (spec.name() == "lease") {
     const std::uint64_t quota = spec.get_u64("quota", 64);
     const api::Spec inner = spec.get_spec("inner", "atomic_fai");
@@ -112,7 +127,7 @@ std::uint64_t escrow_value_bound(const api::Spec& spec, std::uint64_t planned,
 /// but its values are unique-but-sparse ranges all the same — density is
 /// gone for good and the composed bound above is what uniqueness keys on.
 bool has_escrow(const api::Spec& spec) {
-  if (spec.name() == "lease") return true;
+  if (spec.name() == "lease" || spec.name() == "combine") return true;
   for (const auto& [key, value] : spec.options()) {
     if (value.is_spec() && has_escrow(value.spec())) return true;
   }
@@ -130,6 +145,11 @@ bool has_escrow(const api::Spec& spec) {
 /// advertises 128 requests but cannot seat a third client).
 std::uint64_t safe_renaming_requests(const api::Registry& reg,
                                      const api::Spec& spec, int nproc) {
+  if (spec.name() == "combine") {
+    // As on the counter facet: at most two inner acquires per served name.
+    const api::Spec inner = spec.get_spec("inner", "linear_probe");
+    return safe_renaming_requests(reg, inner, nproc) / 2;
+  }
   if (spec.name() != "lease") {
     const int budget = reg.find_renaming(spec.name())->max_requests(spec);
     return budget <= 0 ? 0 : static_cast<std::uint64_t>(budget);
@@ -150,6 +170,13 @@ OracleResult judge_counter_values(const api::Spec& spec,
                                   std::uint64_t planned, int nproc,
                                   std::size_t crashed) {
   const std::uint64_t slack = elim_slack(spec, crashed);
+  if (consistency == api::Consistency::kEscrow && spec.name() == "combine") {
+    // The combining front-end has no per-pid quota ranges; its escrow
+    // promise is uniqueness within the doubled-demand bound (timeouts fall
+    // through to direct mints, the spill pool withholds reclaimed runs).
+    return check_unique_bounded(
+        values, escrow_value_bound(spec, planned, nproc, slack));
+  }
   if (consistency == api::Consistency::kEscrow) {
     const std::uint64_t quota = spec.get_u64("quota", 64);
     const std::uint64_t bound = escrow_value_bound(spec, planned, nproc, slack);
@@ -291,7 +318,7 @@ CaseResult run_renaming_case(const api::Registry& reg, const api::Spec& spec,
   // if even one client would over-subscribe the inner.
   int nproc_cap = c.nproc;
   std::uint64_t safe = kNoLimit;
-  if (spec.name() == "lease") {
+  if (spec.name() == "lease" || spec.name() == "combine") {
     while (nproc_cap > 0) {
       safe = safe_renaming_requests(reg, spec, nproc_cap);
       if (safe >= static_cast<std::uint64_t>(nproc_cap)) break;

@@ -193,17 +193,22 @@ api::Spec Generator::repair_spec(const api::Spec& spec, api::Facet facet,
                                  int nproc) const {
   api::Spec out(spec.name());
   const bool is_lease = spec.name() == "lease";
+  // Both escrow-style wrappers nest a same-facet inner whose budget their
+  // demand multiplies: the lease by quota-sized refills, the combining
+  // funnel by its doubled (combined + direct) mint accounting.
+  const bool nests = is_lease || spec.name() == "combine";
   for (const auto& [key, value] : spec.options()) {
     if (value.is_spec()) {
       const api::Facet inner_facet =
-          facet == api::Facet::kRenaming && is_lease ? api::Facet::kRenaming
-                                                     : api::Facet::kCounter;
+          facet == api::Facet::kRenaming && nests ? api::Facet::kRenaming
+                                                  : api::Facet::kCounter;
       api::Spec inner = repair_spec(value.spec(), inner_facet, nproc);
       // A bounded inner dispenser under a lease must not saturate mid-run:
-      // the broker mints roughly attempted/quota + nproc tickets, and a
-      // saturated mint pins the saturating value (duplicates by design). A
-      // roomy m keeps every generated geometry within the escrow oracle.
-      if (is_lease && inner.name() == "bounded_fai" &&
+      // the broker mints roughly attempted/quota + nproc tickets (the funnel
+      // up to twice the attempted values), and a saturated mint pins the
+      // saturating value (duplicates by design). A roomy m keeps every
+      // generated geometry within the escrow oracle.
+      if (nests && inner.name() == "bounded_fai" &&
           inner.get_u64("m", 1024) < 1024) {
         api::Spec roomy(inner.name());
         for (const auto& [ik, iv] : inner.options()) {
@@ -217,7 +222,7 @@ api::Spec Generator::repair_spec(const api::Spec& spec, api::Facet facet,
       // forever, so a tiny request budget (bit_batching:n=2, a small
       // linear_probe/longlived cap) cannot even seat one ticket per client.
       // Lift the budget knob to a roomy floor (all three schemas admit it).
-      if (is_lease && inner_facet == api::Facet::kRenaming) {
+      if (nests && inner_facet == api::Facet::kRenaming) {
         const char* budget_key =
             inner.name() == "bit_batching"
                 ? "n"

@@ -34,6 +34,22 @@ std::uint64_t StripedCounter::take(Ctx& ctx, std::uint64_t ticket) {
   return rank * options_.stripes + stripe;
 }
 
+void StripedCounter::next_batch(Ctx& ctx, std::uint64_t k,
+                                std::vector<Run>& out) {
+  if (k == 0) return;
+  const std::uint64_t S = options_.stripes;
+  const std::uint64_t t0 = spray_.fetch_add(ctx, k);
+  // Tickets t0..t0+k-1 round-robin over the stripes exactly as k single
+  // takes would; one fetch&add per touched stripe consumes its share.
+  for (std::uint64_t j = 0; j < S && j < k; ++j) {
+    const std::uint64_t ticket = t0 + j;
+    const std::uint64_t stripe = ticket % S;
+    const std::uint64_t share = (k - 1 - j) / S + 1;
+    const std::uint64_t rank = slots_[stripe].count.fetch_add(ctx, share);
+    out.push_back(Run{rank * S + stripe, S, share});
+  }
+}
+
 std::uint64_t StripedCounter::next(Ctx& ctx) {
   if (elim_ != nullptr) {
     const auto collision = elim_->try_collide(ctx);

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "core/ctx.h"
 #include "core/register.h"
@@ -59,6 +60,23 @@ class StripedCounter {
   /// Dispenser mode: unique values, dense {0..T-1} at quiescence (see file
   /// comment). Sequential calls return exactly 0, 1, 2, ...
   std::uint64_t next(Ctx& ctx);
+
+  /// One value run per touched stripe: base, base + stride, ... Appended by
+  /// next_batch (dispenser mode's ranged mint).
+  struct Run {
+    std::uint64_t base = 0;
+    std::uint64_t stride = 1;
+    std::uint64_t count = 0;
+  };
+
+  /// Dispenser mode, batched: reserves k spray tickets in one crossing,
+  /// consumes each touched stripe with a single fetch&add, and appends one
+  /// stride-S run per stripe (min(k, stripes) + 1 crossings for k values
+  /// instead of 2k). The ticket multiset is identical to k single next()
+  /// calls, so the dense-prefix-at-quiescence property is untouched.
+  /// Elimination, which pairs individual ops, is bypassed — a batch is
+  /// already combined.
+  void next_batch(Ctx& ctx, std::uint64_t k, std::vector<Run>& out);
 
   std::size_t stripes() const noexcept { return options_.stripes; }
 

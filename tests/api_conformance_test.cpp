@@ -35,7 +35,9 @@
 
 #include "api/registry.h"
 #include "api/workload.h"
+#include "combining/combining_funnel.h"
 #include "renaming/validate.h"
+#include "sharded/striped_counter.h"
 #include "sim/linearizability.h"
 
 namespace renamelib::api {
@@ -413,13 +415,15 @@ std::vector<std::tuple<std::string, Mode>> sweep(
 
 // ------------------------------------------------------------- counters ---
 
-/// Default value of an entry's integer option `key` (schema-declared).
-std::uint64_t default_u64_option(const CounterInfo& info,
-                                 const std::string& key) {
+/// Per-process value slack of an escrow-family entry, read off its schema:
+/// the lease family withholds at most one `quota`-sized range per pid, the
+/// combining front-end at most one `max_combine`-sized in-flight sweep per
+/// elected combiner (of which there is at most one per pid).
+std::uint64_t escrow_slack(const CounterInfo& info) {
   for (const auto& o : info.options) {
-    if (o.key == key) return std::stoull(o.def);
+    if (o.key == "quota" || o.key == "max_combine") return std::stoull(o.def);
   }
-  ADD_FAILURE() << info.name << " declares no '" << key << "' option";
+  ADD_FAILURE() << info.name << " declares no escrow range/sweep option";
   return 0;
 }
 
@@ -473,8 +477,8 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
       // most one range per pid is in flight.
       const std::uint64_t crash_bound =
           info->consistency == Consistency::kEscrow
-              ? attempted + static_cast<std::uint64_t>(s.nproc) *
-                                default_u64_option(*info, "quota")
+              ? attempted +
+                    static_cast<std::uint64_t>(s.nproc) * escrow_slack(*info)
               : attempted;
       std::set<std::uint64_t> unique;
       for (const std::uint64_t v : run.values()) {
@@ -494,8 +498,8 @@ TEST_P(CounterConformance, DenseValuesAndLinearizability) {
       // Escrow-leased values are unique and quota-bounded, never dense: each
       // pid's partially drained lease withholds the tail of its range.
       const std::uint64_t bound =
-          attempted + static_cast<std::uint64_t>(s.nproc) *
-                          default_u64_option(*info, "quota");
+          attempted +
+          static_cast<std::uint64_t>(s.nproc) * escrow_slack(*info);
       std::set<std::uint64_t> unique;
       for (const std::uint64_t v : run.values()) {
         EXPECT_TRUE(unique.insert(v).second)
@@ -619,6 +623,129 @@ INSTANTIATE_TEST_SUITE_P(
         "difftree:depth=2,leaf=[difftree:depth=1,prism=0]",
     })),
     SpecName{});
+
+// --------------------------------------------------- combine spec sweep ---
+
+// The combining front-end over every inner family, under all three
+// schedules. Combined values are never dense in real time (the spill pool
+// withholds reclaimed runs, timeouts fall through to direct mints), so the
+// facet promise is the escrow one: uniqueness within the doubled-demand
+// bound. Every request for k values triggers at most one combiner-side mint
+// of <= k and at most one direct mint of <= k on its behalf, so the inner
+// mints at most 2T values after requests totalling T — with a lease inner,
+// the lease's own per-pid quota slack stacks on top.
+class CombineSpecConformance
+    : public ::testing::TestWithParam<std::tuple<std::string, Mode>> {};
+
+TEST_P(CombineSpecConformance, UniqueValuesWithinDoubledDemand) {
+  const auto& [spec, mode] = GetParam();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto counter = Registry::global().make_counter(spec);
+    ASSERT_EQ(counter->consistency(), Consistency::kEscrow) << spec;
+    // Crash mode: thresholds up to 12 shared steps land crashes anywhere in
+    // the publish/elect/sweep window, including mid-sweep with the combiner
+    // lock held (the dedicated CombineCrash test pins that case down).
+    const Scenario s = scenario_for(mode, 6, 4, seed + 1, /*max_crashes=*/2,
+                                    /*crash_step_max=*/12);
+    const api::Run run = Workload(s).run(*counter);
+
+    const std::size_t attempted =
+        static_cast<std::size_t>(s.nproc) * s.ops_per_proc;
+    const std::uint64_t lease_slack =
+        spec.find("lease") != std::string::npos
+            ? static_cast<std::uint64_t>(s.nproc) * 64
+            : 0u;
+    const std::uint64_t bound = 2 * attempted + lease_slack;
+
+    if (mode == Mode::kCrash) {
+      ASSERT_EQ(run.crashed_procs, 2u) << spec << " seed=" << seed;
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc) - 2);
+    } else {
+      ASSERT_EQ(run.crashed_procs, 0u);
+      ASSERT_EQ(run.finished_procs, static_cast<std::size_t>(s.nproc));
+      ASSERT_EQ(run.ops.size(), attempted);
+    }
+
+    std::set<std::uint64_t> unique;
+    for (const std::uint64_t v : run.values()) {
+      ASSERT_TRUE(unique.insert(v).second)
+          << spec << " seed=" << seed << ": duplicate value " << v;
+      ASSERT_LT(v, bound) << spec << " seed=" << seed;
+    }
+    EXPECT_EQ(run.metrics.ops, run.ops.size());
+    EXPECT_GT(run.metrics.steps, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CombineSpecConformance,
+    ::testing::ValuesIn(sweep({
+        "combine:inner=atomic_fai",
+        "combine:slots=4,spin=16,inner=[striped:stripes=8]",
+        "combine:max_combine=8,inner=[difftree:depth=2]",
+        "combine:slots=2,inner=[striped:stripes=4,elim=1]",
+        "combine:inner=[lease:inner=[striped:stripes=4]]",
+    })),
+    SpecName{});
+
+// The crash case the sweep above cannot pin down: the elected combiner dies
+// *mid-sweep*, still holding the combiner lock. At quiescence the lock is
+// observably stuck, the funnel has degraded to pass-through (later requests
+// time out of PENDING and mint directly), and the orphan bound mirrors the
+// striped-elimination one: the dead combiner strands at most its in-flight
+// work list (<= max(max_combine, its own published want) values — get_one
+// publishes want=1 here, so <= max_combine) plus the claims it never
+// answered;
+// every surviving waiter's bounded reclaim gets it a direct value, so
+// survivors always complete with unique values inside the doubled-demand
+// bound.
+TEST(CombineCrash, CombinerDeathMidSweepDegradesToPassThrough) {
+  bool saw_stuck_lock = false;
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    sharded::StripedCounter inner(sharded::StripedCounter::Options{
+        .stripes = 8});
+    combining::CombiningFunnel funnel(
+        combining::CombiningFunnel::Options{.slots = 4, .spin = 16,
+                                            .max_combine = 8},
+        [&inner](Ctx& ctx, std::uint64_t k, std::vector<ValueRange>& out) {
+          std::vector<sharded::StripedCounter::Run> batch;
+          inner.next_batch(ctx, k, batch);
+          for (const auto& run : batch) {
+            out.push_back(ValueRange{run.base, run.stride, run.count});
+          }
+        },
+        [&inner](Ctx& ctx) { return inner.next(ctx); });
+
+    Scenario s;
+    s.nproc = 6;
+    // Enough ops that every victim outlasts its crash threshold: even the
+    // cheapest (delivered) request costs several shared steps.
+    s.ops_per_proc = 8;
+    s.backend = Backend::kSimulated;
+    s.seed = seed;
+    s.crashes.max_crashes = 2;
+    s.crashes.crash_step_max = 24;  // deep enough to land inside a sweep
+    const api::Run run = Workload(s).run_ops(
+        [&funnel](Ctx& ctx) { return funnel.get_one(ctx); });
+
+    ASSERT_EQ(run.crashed_procs, 2u) << "seed=" << seed;
+    ASSERT_EQ(run.finished_procs, 4u) << "seed=" << seed;
+
+    const std::size_t attempted =
+        static_cast<std::size_t>(s.nproc) * s.ops_per_proc;
+    std::set<std::uint64_t> unique;
+    for (const std::uint64_t v : run.values()) {
+      ASSERT_TRUE(unique.insert(v).second)
+          << "seed=" << seed << ": duplicate value " << v;
+      ASSERT_LT(v, 2 * attempted) << "seed=" << seed;
+    }
+    saw_stuck_lock = saw_stuck_lock || funnel.lock_held();
+  }
+  // The seed range must actually exercise the mid-sweep death at least once;
+  // if the protocol or the crash plan shifts, re-tune crash_step_max.
+  EXPECT_TRUE(saw_stuck_lock)
+      << "no seed in range crashed an elected combiner mid-sweep";
+}
 
 // ------------------------------------------------------------ renamings ---
 
@@ -851,6 +978,28 @@ TEST(WorkloadMetrics, DroppingOpSamplesKeepsMetricsAndLatency) {
   EXPECT_EQ(run.metrics.ops, 32u);
   EXPECT_EQ(run.latency.count(), 32u);
   EXPECT_GT(run.metrics.ops_per_sec(), 0.0);
+}
+
+TEST(WorkloadMetrics, BatchedRunsServeEveryValueOfEachRangedMint) {
+  // batch > 1 routes run(ICounter&) through next_range; with ops_per_proc
+  // not divisible by batch the tail refill requests exactly the remainder,
+  // so every minted value is served and the handed set stays a dense prefix.
+  for (const Backend backend : {Backend::kSimulated, Backend::kHardware}) {
+    Scenario s;
+    s.nproc = 4;
+    s.ops_per_proc = 10;
+    s.batch = 4;
+    s.backend = backend;
+    s.seed = 5;
+    const api::Run run =
+        Workload::run_counter_spec("striped:stripes=4", s);
+    ASSERT_EQ(run.ops.size(), 40u);
+    std::vector<std::uint64_t> sorted = run.values();
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      ASSERT_EQ(sorted[i], i) << "backend=" << static_cast<int>(backend);
+    }
+  }
 }
 
 TEST(WorkloadMetrics, SimulatedRunsHaveNoWallClock) {

@@ -33,6 +33,7 @@
 #include "api/report.h"
 #include "api/workload.h"
 #include "core/ctx.h"
+#include "obs/event_bus.h"
 #include "sim/executor.h"
 #include "stats/fit.h"
 #include "stats/latency_recorder.h"
@@ -84,9 +85,14 @@ inline void parse_args(int argc, char** argv) {
         std::exit(2);
       }
       g_repeat = static_cast<int>(n);
+    } else if (std::strcmp(argv[i], "--events") == 0) {
+      // Opt-in per-run event recording (obs::EventBus): report runs gain an
+      // "events" section. Off by default so the tracked perf gates measure
+      // the disabled-hook configuration.
+      obs::EventBus::set_enabled(true);
     } else {
       std::cerr << "usage: " << argv[0]
-                << " [--smoke] [--json=FILE] [--repeat=N]\n"
+                << " [--smoke] [--json=FILE] [--repeat=N] [--events]\n"
                 << "unknown flag '" << argv[i] << "'\n";
       std::exit(2);
     }
@@ -116,6 +122,7 @@ inline void report_run(std::string name, std::string spec,
     r.unit = "steps";
     r.latency = stats::LatencySnapshot::of(run.op_steps());
   }
+  r.events = api::report_events(run.events);
   g_report.runs.push_back(std::move(r));
 }
 

@@ -2,6 +2,7 @@
 
 #include "api/spec.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
@@ -99,6 +100,16 @@ void append_latency(std::string& out, const stats::LatencySnapshot& lat,
 
 }  // namespace
 
+std::vector<std::pair<std::string, std::uint64_t>> report_events(
+    const obs::EventSnapshot& events) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const auto& [site, count] : events.nonzero()) {
+    out.emplace_back(obs::site_name(site), count);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::string BenchReport::to_json() const {
   std::string out = "{\n";
   out += "  \"schema\": ";
@@ -126,6 +137,17 @@ std::string BenchReport::to_json() const {
     append_escaped(out, r.unit);
     out += ",\n      \"latency\": ";
     append_latency(out, r.latency, "      ");
+    // Emitted only when nonempty: event-less runs (and reports written
+    // before the field existed) keep their exact old byte form.
+    if (!r.events.empty()) {
+      out += ",\n      \"events\": {";
+      for (std::size_t e = 0; e < r.events.size(); ++e) {
+        if (e > 0) out += ", ";
+        append_escaped(out, r.events[e].first);
+        out += ": " + fmt_u64(r.events[e].second);
+      }
+      out += "}";
+    }
     out += "\n    }";
   }
   out += runs.empty() ? "]\n}\n" : "\n  ]\n}\n";
@@ -448,6 +470,19 @@ BenchReport BenchReport::from_json(const std::string& json) {
     run.cv = r.find("cv") != nullptr ? get_double(r, "cv") : 0;
     run.unit = get_string(r, "unit");
     run.latency = parse_latency(r);
+    // Optional per-site event counts; absent (pre-events reports, bus-off
+    // runs) parses as empty. Key order is preserved as written, which keeps
+    // to_json(from_json(j)) byte-identical for foreign orderings too.
+    if (const JValue* ev = r.find("events"); ev != nullptr) {
+      if (ev->kind != JValue::kObject) {
+        throw std::invalid_argument(
+            "bench report JSON: 'events' must be an object");
+      }
+      for (const auto& [site, count] : ev->object) {
+        run.events.emplace_back(site,
+                                u64_token(count, "event count"));
+      }
+    }
     report.runs.push_back(std::move(run));
   }
   return report;

@@ -26,7 +26,8 @@
 ///         "count": 2048, "sum": ..., "sum_sq": ..., "min": ..., "max": ...,
 ///         "mean": ..., "p50": ..., "p90": ..., "p99": ..., "p999": ...,
 ///         "buckets": [[lower, upper, count], ...]
-///       }
+///       },
+///       "events": { "cas_fail": 17, "elim_pair": 5 }
 ///     }
 ///   ]
 /// }
@@ -37,13 +38,19 @@
 /// median-of-N measurement (bench --repeat=N): the run's numbers are the
 /// median repeat's, `cv` the across-repeat throughput coefficient of
 /// variation. Both are optional on parse (defaults 1 / 0) so pre-repeat
-/// reports stay readable.
+/// reports stay readable. `events` is the run's obs::EventBus delta, keyed
+/// by obs::site_name and carrying only nonzero counts; it is emitted only
+/// when nonempty and optional on parse (default empty), so pre-events
+/// reports — and runs recorded with the bus off — are byte-identical to the
+/// old format.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/event_bus.h"
 #include "stats/latency_recorder.h"
 
 namespace renamelib::api {
@@ -70,7 +77,18 @@ struct ReportRun {
   double cv = 0;
   std::string unit = "ns";     ///< latency unit: "ns" or "steps"
   stats::LatencySnapshot latency;  ///< tail-faithful latency recording
+  /// The run's per-site event counts (obs::EventBus delta), as (site_name,
+  /// count) pairs sorted by name with zero-count sites omitted — the sparse,
+  /// name-keyed form the JSON carries. Empty when the bus was off. Stored as
+  /// strings rather than obs::Site so a report written by a newer binary
+  /// (more sites) still round-trips through an older one.
+  std::vector<std::pair<std::string, std::uint64_t>> events;
 };
+
+/// Converts a run's event-bus delta (api::Run::events) into ReportRun::events
+/// form: nonzero sites only, named via obs::site_name, sorted by name.
+std::vector<std::pair<std::string, std::uint64_t>> report_events(
+    const obs::EventSnapshot& events);
 
 /// A bench binary's machine-readable result file (see the schema above).
 struct BenchReport {

@@ -12,6 +12,7 @@
 #include "core/assert.h"
 #include "core/register.h"
 #include "core/rng.h"
+#include "obs/emit.h"
 #include "sim/executor.h"
 
 namespace renamelib::api {
@@ -284,6 +285,12 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
   RENAMELIB_ENSURE(scenario_.think_max >= 0 && scenario_.burst_max >= 1,
                    "arrival shaping needs think_max >= 0 and burst_max >= 1");
   RENAMELIB_ENSURE(scenario_.batch >= 1, "scenario needs batch >= 1");
+  // Run-scoped event attribution: the bus is process-wide, so the run's
+  // events are the snapshot delta across the execution (exact as long as
+  // runs don't overlap, which no harness here does).
+  const bool events_on = obs::EventBus::enabled();
+  const obs::EventSnapshot events_before =
+      events_on ? obs::EventBus::instance().snapshot() : obs::EventSnapshot{};
   // Appends the finishing process's totals; only reached by processes that
   // complete their body (crashed ones stop at the throw).
   auto with_totals = [&](Ctx& ctx) {
@@ -302,6 +309,7 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
     threads.reserve(scenario_.nproc);
     for (int p = 0; p < scenario_.nproc; ++p) {
       threads.emplace_back([&, p] {
+        obs::ThreadPidScope pid_scope(p);
         Ctx ctx(p, Rng::derive(scenario_.seed, static_cast<std::uint64_t>(p)));
         with_totals(ctx);
       });
@@ -310,6 +318,9 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
     run.metrics.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    if (events_on) {
+      run.events = obs::EventBus::instance().snapshot() - events_before;
+    }
     return;
   }
 
@@ -324,6 +335,9 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
   // process maximum so the metrics reflect the whole execution.
   if (result.max_proc_steps() > run.metrics.max_proc_steps) {
     run.metrics.max_proc_steps = result.max_proc_steps();
+  }
+  if (events_on) {
+    run.events = obs::EventBus::instance().snapshot() - events_before;
   }
 }
 

@@ -25,6 +25,7 @@
 #include "api/readable.h"
 #include "api/registry.h"
 #include "api/renaming.h"
+#include "obs/event_bus.h"
 #include "sim/linearizability.h"
 #include "stats/latency_recorder.h"
 
@@ -144,6 +145,12 @@ struct Run {
   /// tail loss, O(1) memory in the op count). Empty (count 0) on the
   /// simulated backend, whose serialized grants make wall time meaningless.
   stats::LatencySnapshot latency;
+  /// Per-site event counts this run produced on the process-wide
+  /// obs::EventBus (the delta across execute(), so concurrent runs on other
+  /// threads would bleed in — benches and renamectl run one at a time). All
+  /// zero unless the bus was enabled (obs::EventBus::set_enabled) before the
+  /// run; the default-off bus keeps hot paths at one load + branch.
+  obs::EventSnapshot events;
 
   /// All completed ops' values (convenience for invariant checks).
   std::vector<std::uint64_t> values() const;

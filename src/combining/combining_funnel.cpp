@@ -4,7 +4,7 @@
 #include <thread>
 
 #include "core/assert.h"
-#include "fuzz/coverage.h"
+#include "obs/emit.h"
 
 namespace renamelib::combining {
 
@@ -99,13 +99,13 @@ void CombiningFunnel::pool_park(Ctx& ctx, std::vector<api::ValueRange>& work) {
       pool_hint_.fetch_add(ctx, 1);
       parked = true;
       counters_.spilled_values.fetch_add(r.count, std::memory_order_relaxed);
-      fuzz::cov_hit(fuzz::CovSite::kCombineSpill, r.count);
+      obs::emit(obs::Site::kCombineSpill, r.count);
     }
     if (!parked) {
       // Pool exhausted: these values are orphaned (the escrow slack the
       // oracles allow for). Counted, never silent.
       counters_.dropped_values.fetch_add(r.count, std::memory_order_relaxed);
-      fuzz::cov_hit(fuzz::CovSite::kCombineDrop, r.count);
+      obs::emit(obs::Site::kCombineDrop, r.count);
     }
   }
   work.clear();
@@ -181,8 +181,8 @@ std::uint64_t CombiningFunnel::combine(Ctx& ctx, std::size_t own_slot,
                                         pack(kClaimed, want, seq_of(w)))) {
       claims.push_back(Claim{s, want, seq_of(w)});
       total_want += want;
-      fuzz::cov_hit(fuzz::CovSite::kCombineSweep,
-                    (static_cast<std::uint64_t>(s) << 20) | want);
+      obs::emit(obs::Site::kCombineSweep,
+                (static_cast<std::uint64_t>(s) << 20) | want);
     }
   }
 
@@ -211,7 +211,7 @@ std::uint64_t CombiningFunnel::combine(Ctx& ctx, std::size_t own_slot,
             ctx, exp, pack(kDelivered, share.size(), c.seq))) {
       counters_.combined_requests.fetch_add(1, std::memory_order_relaxed);
       counters_.combined_values.fetch_add(peeled, std::memory_order_relaxed);
-      fuzz::cov_hit(fuzz::CovSite::kCombineDeliver, c.slot);
+      obs::emit(obs::Site::kCombineDeliver, c.slot);
     } else {
       // The waiter reclaimed its slot mid-handoff; its values stay in hand
       // and are re-distributed or parked, never lost.
@@ -262,7 +262,7 @@ CombiningFunnel::WaitOutcome CombiningFunnel::await(Ctx& ctx, std::size_t s,
     std::uint64_t expected = pack(kPending, want, seq);
     if (slot.word.compare_exchange(ctx, expected, pack(kEmpty, 0, seq))) {
       counters_.withdraws.fetch_add(1, std::memory_order_relaxed);
-      fuzz::cov_hit(fuzz::CovSite::kCombineWithdraw, s);
+      obs::emit(obs::Site::kCombineWithdraw, s);
       return WaitOutcome::kWithdrawn;
     }
     if (state_of(expected) == kDelivered && seq_of(expected) == seq) {
@@ -283,7 +283,7 @@ CombiningFunnel::WaitOutcome CombiningFunnel::await(Ctx& ctx, std::size_t s,
   std::uint64_t expected = pack(kClaimed, want, seq);
   if (slot.word.compare_exchange(ctx, expected, pack(kEmpty, 0, seq))) {
     counters_.reclaims.fetch_add(1, std::memory_order_relaxed);
-    fuzz::cov_hit(fuzz::CovSite::kCombineReclaim, s);
+    obs::emit(obs::Site::kCombineReclaim, s);
     return WaitOutcome::kReclaimed;
   }
   RENAMELIB_ENSURE(

@@ -14,7 +14,7 @@
 
 #include "core/assert.h"
 #include "core/ctx.h"
-#include "fuzz/coverage.h"
+#include "obs/emit.h"
 
 namespace renamelib {
 
@@ -50,10 +50,10 @@ class Register {
                                              std::memory_order_seq_cst);
     ctx.after_shared_op();
     if (!ok) {
-      // Coverage: a lost CAS race, keyed by the protocol phase it happened
-      // in (contention-path coverage for the fuzzer; free when disabled).
-      fuzz::cov_hit(fuzz::CovSite::kCasFail,
-                    fuzz::Coverage::hash_str(ctx.label()));
+      // A lost CAS race, keyed by the protocol phase it happened in — the
+      // contention signal for both the fuzzer's coverage map and the event
+      // bus's cas_fail counter (free when observation is disabled).
+      obs::emit(obs::Site::kCasFail, fuzz::Coverage::hash_str(ctx.label()));
     }
     return ok;
   }

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/assert.h"
+#include "obs/emit.h"
 #include "sortnet/odd_even_merge.h"
 
 namespace renamelib::countnet {
@@ -94,6 +95,12 @@ std::size_t CountingNetwork::traverse(Ctx& ctx, std::size_t wire) {
     if (it == list.end()) break;
     const auto& c = wiring_.comparator(*it);
     const int port = balancers_[*it].traverse(ctx);
+    // One event per balancer crossing, keyed by (balancer index, exit port):
+    // the hot-path proof of obs::emit's disabled cost, and the feature that
+    // tells the fuzzer which network paths an interleaving exercised.
+    obs::emit(obs::Site::kNetBalancer,
+              (static_cast<std::uint64_t>(*it) << 1) |
+                  static_cast<std::uint64_t>(port));
     w = (port == 0) ? c.lo : c.hi;
     next_index = *it + 1;
   }

@@ -2,8 +2,6 @@
 
 namespace renamelib::fuzz {
 
-std::atomic<bool> Coverage::enabled_{false};
-
 Coverage::Coverage()
     : map_(std::make_unique<std::atomic<std::uint32_t>[]>(kMapSize)) {
   for (std::size_t i = 0; i < kMapSize; ++i) {

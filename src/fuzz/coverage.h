@@ -33,29 +33,16 @@
 #include <utility>
 #include <vector>
 
+#include "obs/sites.h"
+
 namespace renamelib::fuzz {
 
-/// Instrumentation site identifiers. The (site, feature) pair is hashed into
+/// Instrumentation site identifiers — the shared obs::Site catalog
+/// (obs/sites.h is the single source of truth; the event bus and flight
+/// recorder consume the same ids). The (site, feature) pair is hashed into
 /// the map, so two sites never alias by construction alone — only by hash
 /// collision, which the map size keeps rare.
-enum class CovSite : std::uint32_t {
-  kSchedPoint = 1,     ///< simulated grant: (prev pid, pid, op kind, label)
-  kSchedCrash = 2,     ///< simulated crash injection: victim pid
-  kCasFail = 3,        ///< Register CAS observed a competing write (label)
-  kElimPair = 4,       ///< elimination: leader claimed a parked waiter (slot)
-  kElimPayload = 5,    ///< elimination: payload delivered to the waiter
-  kElimReclaim = 6,    ///< elimination: claimed waiter timed out and reclaimed
-  kLeaseRefillMint = 7,  ///< lease refill served by minting a fresh ticket
-  kLeaseRefillPool = 8,  ///< lease refill served from the escrow pool
-  kLeaseSeize = 9,       ///< reclaim scan seized a stale lease (slot pid)
-  kLeaseDrop = 10,       ///< seized range dropped (escrow pool full)
-  kCombineSweep = 11,    ///< combiner claimed a pending slot (slot, want)
-  kCombineDeliver = 12,  ///< combined answer delivered to a waiter (slot)
-  kCombineWithdraw = 13, ///< waiter timed out of PENDING and went direct
-  kCombineReclaim = 14,  ///< waiter reclaimed its CLAIMED slot (combiner lost)
-  kCombineSpill = 15,    ///< undeliverable values parked in the spill pool
-  kCombineDrop = 16,     ///< spill pool full: values orphaned (slot)
-};
+using CovSite = obs::Site;
 
 /// The process-wide coverage map. All methods are thread-safe; reset() and
 /// observe() must not race with an ongoing instrumented execution (the
@@ -69,15 +56,12 @@ class Coverage {
   /// The process-wide instance.
   static Coverage& instance();
 
-  /// Turns the instrumentation hooks on or off (off is the default; every
-  /// hook is a relaxed load + branch while off).
-  static void set_enabled(bool on) {
-    enabled_.store(on, std::memory_order_relaxed);
-  }
+  /// Turns the instrumentation hooks on or off (off is the default; the
+  /// switch is the obs::Gate coverage bit, so obs::emit's single mask load
+  /// covers the disabled cost of this consumer too).
+  static void set_enabled(bool on) { obs::Gate::set(obs::Gate::kCoverage, on); }
   /// True iff hooks record hits.
-  static bool enabled() {
-    return enabled_.load(std::memory_order_relaxed);
-  }
+  static bool enabled() { return obs::Gate::enabled(obs::Gate::kCoverage); }
 
   /// Zeroes every cell (start of one measured execution).
   void reset();
@@ -121,12 +105,13 @@ class Coverage {
  private:
   Coverage();
 
-  static std::atomic<bool> enabled_;
   std::unique_ptr<std::atomic<std::uint32_t>[]> map_;
 };
 
-/// Hook entry point for instrumentation sites: one relaxed load + branch
-/// when coverage is off.
+/// Coverage-only hook (legacy spelling). New instrumentation sites should
+/// call obs::emit (obs/emit.h), which fans out to the event bus and flight
+/// recorder as well; cov_hit remains for call sites that are by construction
+/// fuzzer-internal.
 inline void cov_hit(CovSite site, std::uint64_t feature) noexcept {
   if (Coverage::enabled()) Coverage::instance().hit(site, feature);
 }

@@ -16,6 +16,7 @@
 #include "api/workload.h"
 #include "core/ctx.h"
 #include "fuzz/coverage.h"
+#include "obs/flight_recorder.h"
 #include "sim/explore.h"
 #include "sim/linearizability.h"
 
@@ -512,6 +513,11 @@ CaseResult run_case(const FuzzCase& c, const ExtraOracle& extra) {
 
   Coverage::instance().reset();
   Coverage::set_enabled(true);
+  // The flight recorder rides along with every fuzzed execution, so an
+  // oracle failure (here or in fuzzctl replay) can dump the last events
+  // leading up to it without re-running anything.
+  obs::FlightRecorder::instance().reset();
+  obs::FlightRecorder::set_enabled(true);
   CaseResult r;
   std::vector<std::uint64_t> values;
   try {
@@ -528,9 +534,11 @@ CaseResult run_case(const FuzzCase& c, const ExtraOracle& extra) {
     }
   } catch (...) {
     Coverage::set_enabled(false);
+    obs::FlightRecorder::set_enabled(false);
     throw;
   }
   Coverage::set_enabled(false);
+  obs::FlightRecorder::set_enabled(false);
   r.coverage_fingerprint = Coverage::instance().fingerprint();
 
   if (extra && r.ran) {

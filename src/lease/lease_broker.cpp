@@ -1,7 +1,7 @@
 #include "lease/lease_broker.h"
 
 #include "core/assert.h"
-#include "fuzz/coverage.h"
+#include "obs/emit.h"
 
 namespace renamelib::lease {
 namespace {
@@ -123,8 +123,8 @@ void LeaseBroker::refill(Ctx& ctx, int pid, Local& local) {
     from = granted_of(entry);
     to = end_of(entry);
     local.pool_grants += 1;
-    fuzz::cov_hit(fuzz::CovSite::kLeaseRefillPool,
-                  static_cast<std::uint64_t>(pid) << 16 | (to - from));
+    obs::emit(obs::Site::kLeaseRefillPool,
+              static_cast<std::uint64_t>(pid) << 16 | (to - from));
   } else {
     ticket = mint_(ctx);
     if (options_.ticket_limit != 0 && ticket + 1 >= options_.ticket_limit) {
@@ -138,8 +138,7 @@ void LeaseBroker::refill(Ctx& ctx, int pid, Local& local) {
     from = 0;
     to = options_.quota;
     local.minted += 1;
-    fuzz::cov_hit(fuzz::CovSite::kLeaseRefillMint,
-                  static_cast<std::uint64_t>(pid));
+    obs::emit(obs::Site::kLeaseRefillMint, static_cast<std::uint64_t>(pid));
   }
   const std::uint64_t g = from + options_.window;
   const std::uint64_t capped = g > to ? to : g;
@@ -177,7 +176,7 @@ void LeaseBroker::pool_push(Ctx& ctx, std::uint64_t entry) {
   // reclaims; only reachable through seizures, never the clean path).
   pool_hint_.fetch_sub(1, std::memory_order_relaxed);
   local_[ctx.pid()].dropped_ranges += 1;
-  fuzz::cov_hit(fuzz::CovSite::kLeaseDrop, ticket_of(entry));
+  obs::emit(obs::Site::kLeaseDrop, ticket_of(entry));
 }
 
 std::size_t LeaseBroker::reclaim(Ctx& ctx) {
@@ -209,9 +208,8 @@ std::size_t LeaseBroker::reclaim(Ctx& ctx) {
     seized += 1;
     mine.reclaimed_ranges += 1;
     mine.reclaimed_positions += end_of(w) - granted_of(w);
-    fuzz::cov_hit(fuzz::CovSite::kLeaseSeize,
-                  static_cast<std::uint64_t>(q) << 16 |
-                      (end_of(w) - granted_of(w)));
+    obs::emit(obs::Site::kLeaseSeize, static_cast<std::uint64_t>(q) << 16 |
+                                          (end_of(w) - granted_of(w)));
   }
   return seized;
 }

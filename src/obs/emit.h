@@ -1,0 +1,71 @@
+/// \file
+/// \brief obs::emit — the one instrumentation entry point every runtime
+/// decision point calls, fanning out to all observation consumers.
+///
+/// A site emits once; the event bus counts it, the flight recorder logs it,
+/// and the fuzzer's coverage map features it — whichever of the three is
+/// switched on. The gate is a single relaxed mask load (obs::Gate), so with
+/// everything off the entire hook costs one load + one predictable branch,
+/// cheap enough to sit on balancer traversals and CAS-retry loops without
+/// moving the numbers the benches report (the nightly bench_combining 2x
+/// gate runs with these hooks compiled in and disabled).
+///
+/// Features must be reproducible across process runs: NEVER feed raw
+/// pointers into emit (allocation addresses vary run to run) — use pids,
+/// step kinds, slot indices, and fuzz::Coverage::hash_str() of label
+/// strings. The flight recorder additionally tags each event with the
+/// emitting process id, taken from a thread_local the harnesses set
+/// (ThreadPidScope below); scheduler-side sites pass an explicit pid.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/coverage.h"
+#include "obs/event_bus.h"
+#include "obs/flight_recorder.h"
+#include "obs/sites.h"
+
+namespace renamelib::obs {
+
+namespace detail {
+/// The pid the current thread emits under (-1: harness/scheduler thread).
+inline thread_local int t_pid = -1;
+}  // namespace detail
+
+/// RAII binding of a process id to the current OS thread, so emit() can tag
+/// flight-recorder events without threading a Ctx through every site. The
+/// workload harness and the simulated executor install one per process body.
+class ThreadPidScope {
+ public:
+  explicit ThreadPidScope(int pid) noexcept : saved_(detail::t_pid) {
+    detail::t_pid = pid;
+  }
+  ~ThreadPidScope() { detail::t_pid = saved_; }
+  ThreadPidScope(const ThreadPidScope&) = delete;
+  ThreadPidScope& operator=(const ThreadPidScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// Emits one event from `pid` (explicit-pid form: scheduler decisions and
+/// other harness-side sites that speak about a process they are not).
+inline void emit_for(Site site, std::uint64_t feature, int pid) noexcept {
+  const std::uint32_t mask = Gate::mask();
+  if (mask == 0) return;
+  if (mask & Gate::kBus) EventBus::instance().count(site);
+  if (mask & Gate::kRecorder) {
+    FlightRecorder::instance().record(site, feature, pid);
+  }
+  if (mask & Gate::kCoverage) fuzz::Coverage::instance().hit(site, feature);
+}
+
+/// Emits one event from the current thread's process (the common form for
+/// protocol-internal sites). One relaxed load + branch when all consumers
+/// are off.
+inline void emit(Site site, std::uint64_t feature) noexcept {
+  if (Gate::mask() == 0) return;
+  emit_for(site, feature, detail::t_pid);
+}
+
+}  // namespace renamelib::obs

@@ -1,0 +1,55 @@
+#include "obs/event_bus.h"
+
+namespace renamelib::obs {
+
+std::atomic<std::uint32_t> Gate::mask_{0};
+
+std::vector<std::pair<Site, std::uint64_t>> EventSnapshot::nonzero() const {
+  std::vector<std::pair<Site, std::uint64_t>> out;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (counts_[i] != 0) out.emplace_back(static_cast<Site>(i), counts_[i]);
+  }
+  return out;
+}
+
+EventBus::EventBus() : shards_(std::make_unique<Shard[]>(kShards)) {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (auto& cell : shards_[s].cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+EventBus& EventBus::instance() {
+  static EventBus bus;
+  return bus;
+}
+
+std::size_t EventBus::shard_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return mine;
+}
+
+EventSnapshot EventBus::snapshot() const {
+  EventSnapshot snap;
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    std::uint64_t total = 0;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      total += shards_[s].cells[i].load(std::memory_order_relaxed);
+    }
+    snap.set(static_cast<Site>(i), total);
+  }
+  return snap;
+}
+
+void EventBus::reset() {
+  for (std::size_t s = 0; s < kShards; ++s) {
+    for (auto& cell : shards_[s].cells) {
+      cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace renamelib::obs

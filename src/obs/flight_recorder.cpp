@@ -1,0 +1,59 @@
+#include "obs/flight_recorder.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace renamelib::obs {
+
+FlightRecorder::FlightRecorder()
+    : slots_(std::make_unique<Slot[]>(kCapacity)) {}
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder rec;
+  return rec;
+}
+
+void FlightRecorder::reset() {
+  head_.store(0, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    slots_[i].seq.store(~0ull, std::memory_order_relaxed);
+  }
+}
+
+std::vector<FlightEntry> FlightRecorder::dump() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t first = head > kCapacity ? head - kCapacity : 0;
+  std::vector<FlightEntry> out;
+  out.reserve(static_cast<std::size_t>(head - first));
+  for (std::uint64_t seq = first; seq < head; ++seq) {
+    const Slot& s = slots_[static_cast<std::size_t>(seq) & (kCapacity - 1)];
+    // Acquire pairs with record()'s release publish: a matching seq means
+    // the other fields belong to exactly this event.
+    if (s.seq.load(std::memory_order_acquire) != seq) continue;
+    FlightEntry e;
+    e.seq = seq;
+    e.site = static_cast<Site>(s.site.load(std::memory_order_relaxed));
+    e.pid = s.pid.load(std::memory_order_relaxed);
+    e.feature = s.feature.load(std::memory_order_relaxed);
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string FlightRecorder::format_tail(std::size_t max_entries) const {
+  const auto entries = dump();
+  if (entries.empty()) return "";
+  const std::size_t from =
+      entries.size() > max_entries ? entries.size() - max_entries : 0;
+  std::ostringstream out;
+  out << "flight recorder tail (" << (entries.size() - from) << " of "
+      << recorded() << " events):\n";
+  for (std::size_t i = from; i < entries.size(); ++i) {
+    const FlightEntry& e = entries[i];
+    out << "  #" << e.seq << " " << site_name(e.site) << " pid=" << e.pid
+        << " feature=0x" << std::hex << e.feature << std::dec << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace renamelib::obs

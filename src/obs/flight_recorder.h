@@ -1,0 +1,105 @@
+/// \file
+/// \brief The flight recorder: a bounded lock-free ring holding the last N
+/// runtime events, dumped post-mortem when an oracle fails.
+///
+/// When a conformance or fuzz oracle rejects an execution, the counters say
+/// *how much* happened but not *in what order*. The recorder keeps the tail
+/// of the event stream — (site, pid, feature, seq) tuples — in a fixed ring:
+/// record() claims a monotone sequence number with one relaxed fetch_add and
+/// writes its slot; the ring position is seq mod capacity, so the structure
+/// is wait-free, allocation-free, and O(capacity) memory forever.
+///
+/// Consistency model: a slot is published by storing its sequence number
+/// *last* (release). dump() accepts a slot only when the stored seq matches
+/// the expected one, so a reader racing a wrap-around sees either the old
+/// complete entry or nothing — never a torn mix. Under the simulated backend
+/// grants serialize all shared activity, making the dump exact and
+/// deterministic; under hardware it is best-effort, which is all a
+/// post-mortem needs. pid comes from the thread-local set by the harness
+/// (obs/emit.h ThreadPidScope); -1 marks harness/scheduler threads.
+///
+/// Enablement is a Gate bit (obs/sites.h): fuzz::run_case and the
+/// conformance suite switch it on, benches leave it off, and the disabled
+/// cost at every site is covered by obs::emit's single mask load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/sites.h"
+
+namespace renamelib::obs {
+
+/// One recorded event, in dump order.
+struct FlightEntry {
+  std::uint64_t seq = 0;      ///< global order (simulated: exact)
+  Site site = Site::kSchedPoint;
+  int pid = -1;               ///< emitting process; -1 = harness/scheduler
+  std::uint64_t feature = 0;  ///< the site's data-dependent payload
+};
+
+/// The process-wide ring. All methods are thread-safe; reset() must not
+/// race an ongoing instrumented execution.
+class FlightRecorder {
+ public:
+  /// Ring capacity (power of two). 512 events is several complete operations
+  /// of every protocol in the repo — enough timeline to read a failure.
+  static constexpr std::size_t kCapacity = 512;
+
+  /// The process-wide instance.
+  static FlightRecorder& instance();
+
+  /// Turns the ring on or off (Gate::kRecorder; off is the default).
+  static void set_enabled(bool on) { Gate::set(Gate::kRecorder, on); }
+  /// True iff obs::emit feeds the ring.
+  static bool enabled() { return Gate::enabled(Gate::kRecorder); }
+
+  /// Appends one event (wait-free; see the file comment for the racing-
+  /// wrap consistency rules).
+  void record(Site site, std::uint64_t feature, int pid) noexcept {
+    const std::uint64_t seq = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[static_cast<std::size_t>(seq) & (kCapacity - 1)];
+    s.seq.store(~0ull, std::memory_order_relaxed);  // invalidate while writing
+    s.site.store(static_cast<std::uint32_t>(site), std::memory_order_relaxed);
+    s.pid.store(pid, std::memory_order_relaxed);
+    s.feature.store(feature, std::memory_order_relaxed);
+    s.seq.store(seq, std::memory_order_release);  // publish
+  }
+
+  /// Events recorded since the last reset (>= entries retained).
+  std::uint64_t recorded() const noexcept {
+    return head_.load(std::memory_order_relaxed);
+  }
+
+  /// The retained tail, oldest first, skipping slots caught mid-write.
+  /// At most min(recorded(), kCapacity) entries.
+  std::vector<FlightEntry> dump() const;
+
+  /// Human-readable rendering of the last `max_entries` dump rows — the
+  /// post-mortem block fuzzctl replay and the conformance suite print under
+  /// a failing oracle. Empty string when nothing was recorded.
+  std::string format_tail(std::size_t max_entries = 64) const;
+
+  /// Forgets everything (start of one judged execution). Must not race an
+  /// instrumented execution.
+  void reset();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{~0ull};  ///< ~0 = never written/in-flight
+    std::atomic<std::uint32_t> site{0};
+    std::atomic<int> pid{-1};
+    std::atomic<std::uint64_t> feature{0};
+  };
+
+  FlightRecorder();
+
+  std::atomic<std::uint64_t> head_{0};
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace renamelib::obs

@@ -1,7 +1,7 @@
 #include "sharded/elimination.h"
 
 #include "core/assert.h"
-#include "fuzz/coverage.h"
+#include "obs/emit.h"
 
 namespace renamelib::sharded {
 namespace {
@@ -72,7 +72,7 @@ EliminationArray::Collision EliminationArray::try_collide(Ctx& ctx) {
     // Someone is parked: try to claim them.
     const std::uint64_t token = seen >> 3;
     if (st.compare_exchange(ctx, seen, claimed(token))) {
-      fuzz::cov_hit(fuzz::CovSite::kElimPair, slot);
+      obs::emit(obs::Site::kElimPair, slot);
       return Collision{Role::kLeader, slot, token, 0};
     }
   }
@@ -100,12 +100,12 @@ EliminationArray::Collision EliminationArray::finish_as_waiter(
     // against the leader's CLAIMED -> DELIVERED publish.
     std::uint64_t expected = claimed(token);
     if (st.compare_exchange(ctx, expected, reclaimed(token))) {
-      fuzz::cov_hit(fuzz::CovSite::kElimReclaim, slot);
+      obs::emit(obs::Site::kElimReclaim, slot);
       return Collision{Role::kNone, slot, token, 0};
     }
     // The CAS lost to the delivery: the value is there after all.
   }
-  fuzz::cov_hit(fuzz::CovSite::kElimPayload, slot);
+  obs::emit(obs::Site::kElimPayload, slot);
   const std::uint64_t v = ans.load(ctx);
   ans.store(ctx, kNoValue);
   // Reset ordering matters: the answer sentinel must be restored before the

@@ -5,7 +5,7 @@
 
 #include "core/assert.h"
 #include "core/sched_gate.h"
-#include "fuzz/coverage.h"
+#include "obs/emit.h"
 
 namespace renamelib::sim {
 
@@ -54,6 +54,9 @@ SimResult run_simulation(int nproc, const std::function<void(Ctx&)>& body,
   threads.reserve(nproc);
   for (int p = 0; p < nproc; ++p) {
     threads.emplace_back([&, p] {
+      // Tag this thread's obs::emit events with the simulated pid so the
+      // flight recorder's post-mortem timeline names processes, not threads.
+      obs::ThreadPidScope pid_scope(p);
       bool crashed = false;
       try {
         body(*ctxs[p]);
@@ -109,27 +112,28 @@ SimResult run_simulation(int nproc, const std::function<void(Ctx&)>& body,
       RENAMELIB_ENSURE(!views[d.pid].done && !views[d.pid].crashed,
                        "adversary crashed a dead process");
       if (options.record_trace) result.trace.record_crash(d.pid);
-      fuzz::cov_hit(fuzz::CovSite::kSchedCrash,
-                    static_cast<std::uint64_t>(d.pid));
+      obs::emit_for(obs::Site::kSchedCrash, static_cast<std::uint64_t>(d.pid),
+                    d.pid);
       gates[d.pid]->kill();
       continue;
     }
 
     RENAMELIB_ENSURE(views[d.pid].pending, "adversary scheduled a non-pending process");
     if (options.record_trace) result.trace.record_step(d.pid, views[d.pid].info);
-    if (fuzz::Coverage::enabled()) {
-      // Scheduler decision-point coverage: the context-switch edge
+    if (obs::Gate::mask() != 0) {
+      // Scheduler decision-point event: the context-switch edge
       // (prev pid -> pid), the shared-step kind, and the protocol phase.
       // Pids, kinds, and label *contents* only — never pointers, so the
-      // feature reproduces across process runs (see fuzz/coverage.h).
+      // coverage feature reproduces across process runs (see fuzz/coverage.h).
       const StepInfo& info = views[d.pid].info;
       const std::uint64_t edge =
           (static_cast<std::uint64_t>(prev_granted + 1) << 32) |
           (static_cast<std::uint64_t>(d.pid) << 8) |
           static_cast<std::uint64_t>(info.kind);
-      fuzz::Coverage::instance().hit(
-          fuzz::CovSite::kSchedPoint,
-          fuzz::Coverage::mix(edge) ^ fuzz::Coverage::hash_str(info.label));
+      obs::emit_for(
+          obs::Site::kSchedPoint,
+          fuzz::Coverage::mix(edge) ^ fuzz::Coverage::hash_str(info.label),
+          d.pid);
     }
     prev_granted = d.pid;
     ++result.total_granted_steps;

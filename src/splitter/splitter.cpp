@@ -1,6 +1,7 @@
 #include "splitter/splitter.h"
 
 #include "core/assert.h"
+#include "obs/emit.h"
 
 namespace renamelib::splitter {
 
@@ -8,13 +9,21 @@ SplitterOutcome Splitter::acquire(Ctx& ctx, std::uint64_t id) {
   RENAMELIB_ENSURE(id != 0, "splitter ids must be nonzero");
   LabelScope label{ctx, "splitter/acquire"};
 
+  // Each outcome is its own site: the stop/right/down mix is the renaming
+  // structure's contention signature, and which branch a given interleaving
+  // takes is exactly what schedule fuzzing wants to distinguish.
   door_.store(ctx, id);
-  if (closed_.load(ctx) != 0) return SplitterOutcome::kRight;
+  if (closed_.load(ctx) != 0) {
+    obs::emit(obs::Site::kSplitterRight, fuzz::Coverage::hash_str(ctx.label()));
+    return SplitterOutcome::kRight;
+  }
   closed_.store(ctx, 1);
   if (door_.load(ctx) == id) {
     owner_.store(ctx, id);
+    obs::emit(obs::Site::kSplitterStop, fuzz::Coverage::hash_str(ctx.label()));
     return SplitterOutcome::kStop;
   }
+  obs::emit(obs::Site::kSplitterDown, fuzz::Coverage::hash_str(ctx.label()));
   return SplitterOutcome::kDown;
 }
 

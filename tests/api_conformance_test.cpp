@@ -27,6 +27,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <iostream>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -36,12 +37,37 @@
 #include "api/registry.h"
 #include "api/workload.h"
 #include "combining/combining_funnel.h"
+#include "obs/flight_recorder.h"
 #include "renaming/validate.h"
 #include "sharded/striped_counter.h"
 #include "sim/linearizability.h"
 
 namespace renamelib::api {
 namespace {
+
+// Post-mortem instrumentation: the whole suite runs with the flight
+// recorder on, and a failing test prints the tail of the event stream that
+// led into it — which interleaving of grants, CAS losses, and reclaims the
+// rejected execution actually took. Fresh ring per test so the tail never
+// shows a previous test's events.
+class FlightTailOnFailure : public ::testing::EmptyTestEventListener {
+  void OnTestStart(const ::testing::TestInfo&) override {
+    obs::FlightRecorder::instance().reset();
+    obs::FlightRecorder::set_enabled(true);
+  }
+  void OnTestEnd(const ::testing::TestInfo& info) override {
+    obs::FlightRecorder::set_enabled(false);
+    if (info.result() != nullptr && info.result()->Failed()) {
+      std::cout << obs::FlightRecorder::instance().format_tail();
+    }
+  }
+};
+
+[[maybe_unused]] const int kFlightListenerInstalled = [] {
+  ::testing::UnitTest::GetInstance()->listeners().Append(
+      new FlightTailOnFailure);
+  return 0;
+}();
 
 // ------------------------------------------------------------- registry ---
 

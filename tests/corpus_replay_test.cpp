@@ -13,6 +13,7 @@
 
 #include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
+#include "obs/flight_recorder.h"
 
 #ifndef RENAMELIB_CORPUS_DIR
 #error "RENAMELIB_CORPUS_DIR must point at tests/corpus (see CMakeLists.txt)"
@@ -47,10 +48,14 @@ TEST(CorpusReplay, EveryCommittedReproReplaysClean) {
         << "corpus cases must say what they regressed";
     const CaseResult r = run_case(c);
     ASSERT_TRUE(r.ran) << "committed repro geometry must be runnable";
+    // run_case leaves the flight recorder holding this execution's event
+    // tail; on a failing oracle, print the post-mortem timeline.
     EXPECT_TRUE(r.ok) << (r.failures.empty()
                               ? std::string("?")
                               : r.failures.front().oracle + ": " +
-                                    r.failures.front().detail);
+                                    r.failures.front().detail)
+                      << "\n"
+                      << obs::FlightRecorder::instance().format_tail();
   }
 }
 

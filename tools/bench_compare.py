@@ -9,8 +9,11 @@ Usage:
 Modes:
   * compare (default): match runs by *configuration* — (bench, canonical
     spec, backend, threads, unit) — and flag regressions: throughput
-    dropping more than --max-throughput-regress, or tail latency (p99)
-    growing more than --max-p99-regress. Run *names* are labels, not
+    dropping more than --max-throughput-regress, tail latency (p99)
+    growing more than --max-p99-regress, or a per-op event rate (the
+    optional "events" section: counts of contention/failure sites like
+    cas_fail, divided by the run's ops) growing more than
+    --max-event-rate-regress. Run *names* are labels, not
     identity: a bench may relabel its tables without orphaning history, and
     a spec spelled with reordered keys still matches (specs canonicalize
     exactly like C++ api::Spec — keys sorted, nested values bracketed iff
@@ -32,7 +35,9 @@ Schema checks (renamelib.bench_report.v1):
     the repeats),
   * per latency: count/min/max/p50/p90/p99/p999 integers, sum/sum_sq/mean
     numbers, buckets a list of [lower, upper, count] with counts summing to
-    `count` and percentiles falling inside [min, max].
+    `count` and percentiles falling inside [min, max],
+  * optional per-run events: an object of site-name -> non-negative integer
+    count (obs::site_name keys; absent when the run recorded none).
 """
 
 import argparse
@@ -115,6 +120,16 @@ def validate_report(doc, where="report"):
                 _require(lat["min"] <= lat[key] <= lat["max"], rwhere,
                          f"latency '{key}'={lat[key]} outside "
                          f"[min={lat['min']}, max={lat['max']}]")
+        # Optional per-site event counts (absent when the run recorded none;
+        # the C++ parser defaults them to empty the same way).
+        if "events" in run:
+            _require(isinstance(run["events"], dict), rwhere,
+                     "'events' must be an object")
+            for site, count in run["events"].items():
+                _require(isinstance(site, str) and site, rwhere,
+                         "event keys must be non-empty site names")
+                _require(_is_uint(count), rwhere,
+                         f"event '{site}' must be a non-negative integer")
     return doc
 
 
@@ -219,7 +234,17 @@ def fmt_key(key):
     return f"{bench}/{config}{name_part} ({backend}, k={threads}, {unit}){occ_part}"
 
 
-def compare(baseline, current, max_tp_regress, max_p99_regress, out=sys.stdout):
+def _event_rates(run):
+    """Per-op rates of the run's recorded events ({} when none or ops==0)."""
+    ops = run["ops"]
+    if not ops:
+        return {}
+    return {site: count / ops
+            for site, count in run.get("events", {}).items()}
+
+
+def compare(baseline, current, max_tp_regress, max_p99_regress,
+            max_event_regress=1.0, out=sys.stdout):
     """Returns (regressions, compared, unmatched) and prints a row per pair."""
     base_runs = index_runs(baseline)
     cur_runs = index_runs(current)
@@ -256,6 +281,27 @@ def compare(baseline, current, max_tp_regress, max_p99_regress, out=sys.stdout):
                     f"{fmt_key(key)}: p99 {b['latency']['p99']} -> "
                     f"{c['latency']['p99']} {b['unit']} ({delta:+.1%}, limit "
                     f"+{max_p99_regress:.0%})")
+        # Event rates: the sites count contention and failure paths (lost
+        # CASes, reclaims, drops), so a rising per-op rate is worse. Only
+        # sites both legs recorded compare as ratios; sites new in one leg
+        # are surfaced but not thresholded (no baseline rate to ratio on).
+        b_rates, c_rates = _event_rates(b), _event_rates(c)
+        if b_rates or c_rates:
+            deltas = []
+            for site in sorted(set(b_rates) | set(c_rates)):
+                br, cr = b_rates.get(site), c_rates.get(site)
+                if br and cr:
+                    delta = cr / br - 1
+                    deltas.append(f"{site} {delta:+.1%}")
+                    if delta > max_event_regress:
+                        regressions.append(
+                            f"{fmt_key(key)}: event '{site}' rate "
+                            f"{br:.4g}/op -> {cr:.4g}/op ({delta:+.1%}, "
+                            f"limit +{max_event_regress:.0%})")
+                else:
+                    deltas.append(f"{site} "
+                                  f"{'appeared' if cr else 'vanished'}")
+            verdicts.append("events: " + ", ".join(deltas))
         print(f"  ok  {fmt_key(key)}: {', '.join(verdicts) or 'no timed axis'}",
               file=out)
     unmatched = [k for k in cur_runs if k not in base_runs]
@@ -288,7 +334,7 @@ def self_check():
     import io
 
     def diff(base, cur):
-        return compare(base, cur, 0.25, 0.25, out=io.StringIO())
+        return compare(base, cur, 0.25, 0.25, 1.0, out=io.StringIO())
 
     # Identical reports: no regression.
     regs, compared, unmatched = diff(_synthetic(), _synthetic())
@@ -360,6 +406,35 @@ def self_check():
     assert "median of 5" in out.getvalue() and "cv 3.2%" in out.getvalue(), \
         out.getvalue()
 
+    # Events: optional, validated when present, diffed as per-op rates.
+    doc = _synthetic()
+    doc["runs"][0]["events"] = {"cas_fail": 50, "elim_pair": 10}
+    validate_report(doc, where="events")
+    # Same rates: no regression, rates surfaced in the row.
+    out = io.StringIO()
+    regs, compared, _ = compare(doc, doc, 0.25, 0.25, 1.0, out=out)
+    assert not regs and compared == 1
+    assert "cas_fail +0.0%" in out.getvalue(), out.getvalue()
+    # Injected rate regression (50 -> 150 per 100 ops, beyond the 1.0
+    # doubling limit): flagged, and naming the site.
+    worse = _synthetic()
+    worse["runs"][0]["events"] = {"cas_fail": 150, "elim_pair": 10}
+    regs, _, _ = compare(doc, worse, 0.25, 0.25, 1.0, out=io.StringIO())
+    assert len(regs) == 1 and "cas_fail" in regs[0], regs
+    # Within the limit: not flagged. A site appearing only in one leg is
+    # surfaced but never thresholded.
+    better = _synthetic()
+    better["runs"][0]["events"] = {"cas_fail": 60, "lease_seize": 3}
+    out = io.StringIO()
+    regs, _, _ = compare(doc, better, 0.25, 0.25, 1.0, out=out)
+    assert not regs, regs
+    assert "lease_seize appeared" in out.getvalue(), out.getvalue()
+    assert "elim_pair vanished" in out.getvalue(), out.getvalue()
+    # An event-less baseline against an evented current: no regression
+    # (nothing to ratio against), still one comparable run.
+    regs, compared, _ = diff(_synthetic(), doc)
+    assert not regs and compared == 1, regs
+
     # Schema violations are caught.
     for mutate in (
         lambda d: d.update(schema="nope"),
@@ -373,6 +448,11 @@ def self_check():
         lambda d: d["runs"][0].__setitem__("repeats", 0),
         lambda d: d["runs"][0].__setitem__("repeats", True),
         lambda d: d["runs"][0].__setitem__("cv", -0.1),
+        # Events, when present, must be a site->count object.
+        lambda d: d["runs"][0].__setitem__("events", [1, 2]),
+        lambda d: d["runs"][0].__setitem__("events", {"cas_fail": -1}),
+        lambda d: d["runs"][0].__setitem__("events", {"cas_fail": True}),
+        lambda d: d["runs"][0].__setitem__("events", {"": 3}),
     ):
         doc = _synthetic()
         mutate(doc)
@@ -401,6 +481,11 @@ def main(argv):
     parser.add_argument("--max-p99-regress", type=float, default=0.50,
                         metavar="FRAC",
                         help="max tolerated p99 growth (default 0.50)")
+    parser.add_argument("--max-event-rate-regress", type=float, default=1.0,
+                        metavar="FRAC",
+                        help="max tolerated per-op event-rate growth for "
+                        "sites present in both reports (default 1.0, i.e. "
+                        "a doubling)")
     args = parser.parse_args(argv)
 
     if args.self_check:
@@ -426,7 +511,8 @@ def main(argv):
     print(f"comparing {args.files[0]} ({baseline['git_describe']}) -> "
           f"{args.files[1]} ({current['git_describe']})")
     regressions, compared, _ = compare(
-        baseline, current, args.max_throughput_regress, args.max_p99_regress)
+        baseline, current, args.max_throughput_regress, args.max_p99_regress,
+        args.max_event_rate_regress)
     print(f"{compared} run(s) compared, {len(regressions)} regression(s)")
     if compared == 0:
         # Nothing paired up: comparing disjoint reports would otherwise look

@@ -30,6 +30,7 @@
 #include "api/registry.h"
 #include "fuzz/corpus.h"
 #include "fuzz/fuzzer.h"
+#include "obs/flight_recorder.h"
 
 namespace {
 
@@ -198,6 +199,9 @@ int cmd_replay(const std::vector<std::string>& files) {
     for (const auto& f : r.failures) {
       std::cout << "     " << f.oracle << ": " << f.detail << "\n";
     }
+    // Post-mortem: run_case keeps the flight recorder on for the execution,
+    // so its tail is the last events leading into the oracle failure.
+    std::cout << obs::FlightRecorder::instance().format_tail();
   }
   return rc;
 }

@@ -9,9 +9,11 @@
 //
 //   renamectl list [--facet=counter|renaming|readable]
 //   renamectl describe [NAME] [--facet=...]
+//   renamectl events                      # the instrumentation-site catalog
 //   renamectl run --facet=counter --spec=striped:stripes=16 --threads=8 \
 //                 --ops=1000 --backend=hardware --json=-
 //   renamectl run --smoke --json=FILE     # deterministic all-entries matrix
+//   renamectl run --spec=... --events     # + per-site event counts/rates
 //
 // `run` executes the facet's standard workload (counters: next(); renamings:
 // hold-all acquires; readables: a 2:1 increment/read mix) under the chosen
@@ -35,6 +37,8 @@
 #include "api/report.h"
 #include "api/spec.h"
 #include "api/workload.h"
+#include "obs/event_bus.h"
+#include "obs/sites.h"
 #include "stats/latency_recorder.h"
 
 namespace {
@@ -45,17 +49,22 @@ int usage(std::ostream& out, int code) {
   out << "usage:\n"
          "  renamectl list [--facet=counter|renaming|readable]\n"
          "  renamectl describe [NAME] [--facet=...]\n"
+         "  renamectl events\n"
          "  renamectl run [--facet=F --spec=S] [--threads=N] [--ops=N]\n"
          "                [--backend=simulated|hardware]\n"
          "                [--sched=random|roundrobin|obstruction]\n"
          "                [--seed=N] [--crashes=N] [--name=LABEL]\n"
-         "                [--json=FILE|-] [--smoke]\n"
+         "                [--json=FILE|-] [--smoke] [--events]\n"
          "\n"
          "  list      entry catalog per facet (name, family, guarantees)\n"
          "  describe  typed option schemas (key, type, default, doc)\n"
+         "  events    the instrumentation-site catalog (obs/sites.h): the\n"
+         "            names --events tables and report 'events' keys use\n"
          "  run       one Workload scenario -> BenchReport JSON; --smoke\n"
          "            without --spec runs the deterministic all-entries\n"
-         "            simulated matrix (the stored baseline's generator)\n";
+         "            simulated matrix (the stored baseline's generator);\n"
+         "            --events records per-site event counts on the obs\n"
+         "            event bus and attaches them to the report runs\n";
   return code;
 }
 
@@ -197,6 +206,21 @@ int cmd_describe(Args& args) {
   return 0;
 }
 
+// -------------------------------------------------------------- events ---
+
+int cmd_events(Args& args) {
+  args.reject_unknown();
+  std::cout << "instrumentation sites (report 'events' keys; see "
+               "src/obs/sites.h):\n";
+  for (std::size_t i = 1; i < obs::kSiteCount; ++i) {
+    const auto site = static_cast<obs::Site>(i);
+    std::string line = "  " + std::string(obs::site_name(site));
+    line.append(line.size() < 22 ? 22 - line.size() : 1, ' ');
+    std::cout << line << obs::site_doc(site) << "\n";
+  }
+  return 0;
+}
+
 // ----------------------------------------------------------------- run ---
 
 /// One report run from a Workload result, exactly like the benches emit:
@@ -218,7 +242,26 @@ api::ReportRun to_report_run(std::string name, std::string spec,
     r.unit = "steps";
     r.latency = stats::LatencySnapshot::of(run.op_steps());
   }
+  r.events = api::report_events(run.events);
   return r;
+}
+
+/// The --events human table: per-site counts and per-op rates of one run.
+void print_events_table(std::ostream& out, const api::Run& run) {
+  const auto sites = run.events.nonzero();
+  if (sites.empty()) {
+    out << "  events: none recorded\n";
+    return;
+  }
+  const double ops = run.metrics.ops > 0
+                         ? static_cast<double>(run.metrics.ops)
+                         : 1.0;
+  for (const auto& [site, count] : sites) {
+    std::string line = "  " + std::string(obs::site_name(site));
+    line.append(line.size() < 22 ? 22 - line.size() : 1, ' ');
+    out << line << count << " (" << static_cast<double>(count) / ops
+        << "/op)\n";
+  }
 }
 
 /// Pre-flight for one-shot renamings: a hold-all run must fit the entry's
@@ -306,7 +349,12 @@ int cmd_run(Args& args) {
   if (ops_given && (ops < 1 || ops > (1u << 30))) {
     throw std::invalid_argument("--ops must be in [1, 2^30] per process");
   }
+  const bool events = args.flag("events");
   args.reject_unknown();
+  // Opt-in event recording: off, the obs hooks cost one relaxed load +
+  // branch and reports keep their exact pre-events byte form (which is what
+  // keeps the stored smoke baseline comparable).
+  if (events) obs::EventBus::set_enabled(true);
 
   api::BenchReport report;
   report.bench = "renamectl";
@@ -329,6 +377,7 @@ int cmd_run(Args& args) {
             << run.latency.percentile(0.99) << " ns";
     }
     human << "\n";
+    if (events) print_events_table(human, run);
   } else {
     if (!smoke) {
       throw std::invalid_argument(
@@ -345,6 +394,8 @@ int cmd_run(Args& args) {
     // default spec, simulated backend, fixed scenario — step counts depend
     // only on (seed, entry), so two runs of the same code produce identical
     // reports and bench/baselines/smoke.json stays comparable anywhere.
+    obs::EventSnapshot matrix_events;
+    api::Run matrix_totals;
     for (const api::Facet facet :
          {api::Facet::kCounter, api::Facet::kRenaming, api::Facet::kReadable}) {
       for (const auto& name : reg.list(facet)) {
@@ -352,6 +403,8 @@ int cmd_run(Args& args) {
         entry_s.ops_per_proc =
             static_cast<int>(ops != 0 ? ops : default_ops(facet));
         const api::Run run = run_one(facet, name, entry_s);
+        matrix_events.merge(run.events);
+        matrix_totals.metrics.ops += run.metrics.ops;
         // The run name carries the facet: entries registered under several
         // facets (striped, the countnets) share spec/backend/threads/unit,
         // and bench_compare disambiguates such colliding configurations by
@@ -375,6 +428,10 @@ int cmd_run(Args& args) {
     human << "smoke matrix: " << report.runs.size() << " runs ("
           << s.nproc << " procs, simulated; covers " << catalog << "/"
           << catalog << " registry entries)\n";
+    if (events) {
+      matrix_totals.events = matrix_events;
+      print_events_table(human, matrix_totals);
+    }
   }
 
   if (json.has_value()) {
@@ -402,6 +459,7 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "list") return cmd_list(args);
     if (cmd == "describe") return cmd_describe(args);
+    if (cmd == "events") return cmd_events(args);
     if (cmd == "run") return cmd_run(args);
     std::cerr << "unknown command '" << cmd << "'\n";
     return usage(std::cerr, 2);

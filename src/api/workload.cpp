@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <iterator>
 #include <memory>
 #include <mutex>
@@ -13,6 +14,8 @@
 #include "core/register.h"
 #include "core/rng.h"
 #include "obs/emit.h"
+#include "proc/proc_backend.h"
+#include "proc/shm_arena.h"
 #include "sim/executor.h"
 
 namespace renamelib::api {
@@ -85,6 +88,31 @@ std::unique_ptr<sim::Adversary> make_adversary(const Scenario& s) {
                                                std::move(crash_at), victims);
 }
 
+/// Zipf(s) sampler over ranks {1..n}: precomputed CDF, one uniform01 draw
+/// (charged as a coin flip through Ctx::rng) plus a binary search. Rank 1 is
+/// the hot value, so small think/burst lengths dominate with a heavy tail.
+class ZipfDraw {
+ public:
+  ZipfDraw(int n, double s) : cdf_(static_cast<std::size_t>(n)) {
+    double total = 0;
+    for (int k = 1; k <= n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k), s);
+      cdf_[static_cast<std::size_t>(k - 1)] = total;
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  /// Rank in [1, n].
+  std::uint64_t draw(Rng& rng) const {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::uint64_t>(it - cdf_.begin()) + 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
 }  // namespace
 
 Run Workload::run_metered(
@@ -95,18 +123,32 @@ Run Workload::run_metered(
   std::mutex mu;  // meta-level instrumentation, not part of any protocol
   std::optional<sim::HistoryRecorder> recorder;
   if (scenario_.record_history) recorder.emplace();
-  const bool timed = scenario_.backend == Backend::kHardware;
-  // Hardware backend: latency goes into a lock-free per-thread recorder and
-  // samples/metrics are buffered per process, merged once at completion — the
-  // metered loop stays free of meta-level lock contention. The simulated
-  // backend keeps per-op commits so a crashed process's already-completed
-  // ops survive in Run::ops (hardware runs cannot crash — see execute()).
+  // Hardware and proc backends are wall-clock ("timed"): latency goes into
+  // a lock-free per-thread recorder and samples/metrics are buffered per
+  // process, merged once at completion — the metered loop stays free of
+  // meta-level lock contention. (On the proc backend the per-process merge
+  // point is a mailbox publication instead of a mutex, and completed ops
+  // additionally go through a crash-surviving shm ring so a SIGKILLed
+  // victim's ops survive, mirroring what the simulated backend's per-op
+  // commits guarantee.)
+  const bool timed = scenario_.backend != Backend::kSimulated;
+  const bool proc = scenario_.backend == Backend::kProc;
   std::optional<stats::LatencyRecorder> latency;
   const int sample_period = scenario_.latency_sample_period;
   if (timed && sample_period > 0) latency.emplace(scenario_.nproc);
   // Think-time target: a harness-owned shared register, so every think step
   // is adversary-schedulable (simulated) or a real coherent load (hardware).
+  // Note: on the proc backend this register lives in the parent's heap, so
+  // each process thinks against its own copy-on-write copy — a local pause,
+  // which is all the arrival shaping needs there.
   Register<std::uint64_t> scratch;
+  // Zipf-skewed arrival draws (Scenario::zipf_s): precomputed rank CDFs,
+  // shared read-only across processes.
+  std::optional<ZipfDraw> zipf_think, zipf_burst;
+  if (scenario_.zipf_s > 0 && scenario_.think_max > 0) {
+    zipf_think.emplace(scenario_.think_max + 1, scenario_.zipf_s);
+    zipf_burst.emplace(scenario_.burst_max, scenario_.zipf_s);
+  }
 
   // Sample kinds are only materialized when something records them.
   const bool need_kind = scenario_.record_history || scenario_.keep_op_samples;
@@ -114,7 +156,7 @@ Run Workload::run_metered(
   auto body = [&](Ctx& ctx) {
     Metrics local;
     std::vector<OpSample> local_ops;
-    if (timed && scenario_.keep_op_samples) {
+    if (timed && !proc && scenario_.keep_op_samples) {
       local_ops.reserve(static_cast<std::size_t>(scenario_.ops_per_proc));
     }
     int burst_left = 0;
@@ -131,14 +173,19 @@ Run Workload::run_metered(
         if (scenario_.arrival == Arrival::kBursty) {
           pause = burst_left == 0;
           if (pause) {
-            burst_left = 1 + static_cast<int>(ctx.rng().below(
-                                 static_cast<std::uint64_t>(scenario_.burst_max)));
+            burst_left = static_cast<int>(
+                zipf_burst ? zipf_burst->draw(ctx.rng())
+                           : 1 + ctx.rng().below(static_cast<std::uint64_t>(
+                                     scenario_.burst_max)));
           }
           --burst_left;
         }
         if (pause) {
-          const auto think = ctx.rng().below(
-              static_cast<std::uint64_t>(scenario_.think_max) + 1);
+          const auto think =
+              zipf_think ? zipf_think->draw(ctx.rng()) - 1
+                         : ctx.rng().below(
+                               static_cast<std::uint64_t>(scenario_.think_max) +
+                               1);
           for (std::uint64_t t = 0; t < think; ++t) scratch.load(ctx);
         }
       }
@@ -160,7 +207,12 @@ Run Workload::run_metered(
                     .count()));
       }
       if (recorder) recorder->respond(ctx.pid(), kind, 0, v, token);
-      if (timed) {
+      if (proc) {
+        meter.commit(local);
+        // Ring publication + the worker's crash point: victims park for
+        // SIGKILL inside this call once they complete their op quota.
+        proc::Worker::current()->publish_op(v, meter.op_steps(), kind);
+      } else if (timed) {
         meter.commit(local);
         if (scenario_.keep_op_samples) {
           local_ops.push_back(OpSample{ctx.pid(), v, meter.op_steps(), kind});
@@ -173,7 +225,14 @@ Run Workload::run_metered(
         }
       }
     }
-    if (timed) {
+    if (proc) {
+      // The worker's recorder slots are its private copy-on-write pages, so
+      // its snapshot holds exactly its own samples — published whole into
+      // the mailbox Contribution for the gossip merge.
+      proc::Worker::current()->publish_done(
+          local, latency ? latency->snapshot() : stats::LatencySnapshot{},
+          ctx.steps());
+    } else if (timed) {
       std::scoped_lock lock{mu};
       run.metrics.merge(local);
       run.ops.insert(run.ops.end(), std::make_move_iterator(local_ops.begin()),
@@ -183,7 +242,11 @@ Run Workload::run_metered(
   execute(body, mu, run);
 
   if (recorder) run.history = recorder->history();
-  if (latency) run.latency = latency->snapshot();
+  // Proc backend: run.latency was already set from the gossip fold; the
+  // parent's own recorder never saw the workers' (COW-private) samples.
+  if (latency && scenario_.backend != Backend::kProc) {
+    run.latency = latency->snapshot();
+  }
   return run;
 }
 
@@ -192,7 +255,23 @@ Run Workload::run_ops(const std::function<std::uint64_t(Ctx&)>& op) const {
                      [this](int) { return scenario_.history_kind.c_str(); });
 }
 
+namespace {
+
+/// Proc-backend precondition: the object's shared state must live in the
+/// shm arena, or each forked process would silently mutate its own
+/// copy-on-write copy. The registry-spec entry points arrange this; direct
+/// run(obj) callers must construct `obj` under a proc::ArenaScope.
+void ensure_proc_placement(const Scenario& s, const void* obj) {
+  RENAMELIB_ENSURE(
+      s.backend != Backend::kProc || proc::arena_owns(obj),
+      "proc backend: the object must be constructed inside the ShmArena "
+      "(use Workload::run_*_spec, or build it under a proc::ArenaScope)");
+}
+
+}  // namespace
+
 Run Workload::run(ICounter& counter) const {
+  ensure_proc_placement(scenario_, &counter);
   if (scenario_.batch <= 1) {
     return run_metered([&counter](Ctx& ctx, int) { return counter.next(ctx); },
                        [](int) { return "fai"; });
@@ -239,11 +318,13 @@ Run Workload::run(ICounter& counter) const {
 }
 
 Run Workload::run(IRenaming& obj) const {
+  ensure_proc_placement(scenario_, &obj);
   return run_metered([&obj](Ctx& ctx, int) { return obj.acquire(ctx); },
                      [](int) { return "rename"; });
 }
 
 Run Workload::run(IReadableCounter& counter) const {
+  ensure_proc_placement(scenario_, &counter);
   RENAMELIB_ENSURE(scenario_.read_period >= 1,
                    "scenario needs read_period >= 1");
   const int period = scenario_.read_period;
@@ -258,6 +339,10 @@ Run Workload::run(IReadableCounter& counter) const {
 }
 
 Run Workload::run_body(const std::function<void(Ctx&)>& body) const {
+  RENAMELIB_ENSURE(scenario_.backend != Backend::kProc,
+                   "run_body is not supported on the proc backend (no per-op "
+                   "publication points for the mailbox protocol); use "
+                   "run_ops");
   Run run;
   std::mutex mu;
   // Proc-granular run: aggregate whole-process Ctx counters into Metrics at
@@ -277,14 +362,26 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
                        Run& run) const {
   RENAMELIB_ENSURE(scenario_.nproc > 0, "scenario needs at least one process");
   RENAMELIB_ENSURE(
-      scenario_.backend == Backend::kSimulated || !scenario_.crashes.enabled(),
-      "crash injection requires the simulated backend");
+      scenario_.backend != Backend::kHardware || !scenario_.crashes.enabled(),
+      "crash injection requires the simulated or proc backend (a hardware "
+      "thread cannot be killed mid-protocol)");
   RENAMELIB_ENSURE(!scenario_.crashes.enabled() ||
                        scenario_.crashes.crash_step_max >= 1,
                    "crash plan needs crash_step_max >= 1");
   RENAMELIB_ENSURE(scenario_.think_max >= 0 && scenario_.burst_max >= 1,
                    "arrival shaping needs think_max >= 0 and burst_max >= 1");
+  RENAMELIB_ENSURE(scenario_.zipf_s >= 0, "scenario needs zipf_s >= 0");
   RENAMELIB_ENSURE(scenario_.batch >= 1, "scenario needs batch >= 1");
+  if (scenario_.backend == Backend::kProc) {
+    RENAMELIB_ENSURE(!scenario_.record_history,
+                     "history recording is not supported on the proc backend "
+                     "(mailboxes carry mergeable snapshots, not histories)");
+    // The raw body, not with_totals: per-process totals travel through the
+    // mailbox Contributions and the gossip fold, never through a
+    // parent-side mutex (which a child could only update copy-on-write).
+    proc::run_proc(scenario_, body, run);
+    return;
+  }
   // Run-scoped event attribution: the bus is process-wide, so the run's
   // events are the snapshot delta across the execution (exact as long as
   // runs don't overlap, which no harness here does).
@@ -341,17 +438,50 @@ void Workload::execute(const std::function<void(Ctx&)>& body, std::mutex& mu,
   }
 }
 
+namespace {
+
+/// Proc-backend spec runner: creates the shm arena, places the
+/// registry-built object into it (ArenaScope routes every construction-time
+/// allocation there), runs, and destroys the object *before* the arena —
+/// the ordering the arena's wholesale deallocation requires.
+template <typename MakeFn>
+Run run_spec_in_arena(const Scenario& s, const MakeFn& make) {
+  Registry::global();  // materialize the lazy singleton outside the arena
+  proc::ShmArena arena(proc::default_arena_bytes(s), s.seed);
+  auto obj = [&] {
+    proc::ArenaScope scope(arena);
+    return make();
+  }();
+  Run run = Workload(s).run(*obj);
+  obj.reset();
+  return run;
+}
+
+}  // namespace
+
 Run Workload::run_counter_spec(const std::string& spec, const Scenario& s) {
+  if (s.backend == Backend::kProc) {
+    return run_spec_in_arena(
+        s, [&] { return Registry::global().make_counter(spec); });
+  }
   const auto counter = Registry::global().make_counter(spec);
   return Workload(s).run(*counter);
 }
 
 Run Workload::run_renaming_spec(const std::string& spec, const Scenario& s) {
+  if (s.backend == Backend::kProc) {
+    return run_spec_in_arena(
+        s, [&] { return Registry::global().make_renaming(spec); });
+  }
   const auto obj = Registry::global().make_renaming(spec);
   return Workload(s).run(*obj);
 }
 
 Run Workload::run_readable_spec(const std::string& spec, const Scenario& s) {
+  if (s.backend == Backend::kProc) {
+    return run_spec_in_arena(
+        s, [&] { return Registry::global().make_readable(spec); });
+  }
   const auto counter = Registry::global().make_readable(spec);
   return Workload(s).run(*counter);
 }

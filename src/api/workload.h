@@ -35,6 +35,12 @@ namespace renamelib::api {
 enum class Backend {
   kHardware,   ///< real threads, wall-clock interleavings
   kSimulated,  ///< deterministic adversarial scheduler (sim/)
+  /// Forked OS processes over a POSIX shared-memory arena (src/proc). The
+  /// object under test must be placement-constructed inside the arena
+  /// (proc::ArenaScope); run_*_spec does this automatically. Telemetry is
+  /// merged coordinator-free by 3-round all-to-all gossip, and crash plans
+  /// SIGKILL real processes (see proc/proc_backend.h).
+  kProc,
 };
 
 /// Adversary strategy for the simulated backend. Any strategy can
@@ -57,11 +63,15 @@ enum class Arrival {
   kBursty,  ///< run a burst of back-to-back ops, then think once
 };
 
-/// Crash-injection plan layered over the Sched strategy (simulated backend
-/// only — the hardware backend cannot kill a thread mid-protocol). Victims
-/// and crash points are derived deterministically from Scenario::seed: each
-/// victim is killed once its shared-step count reaches a threshold drawn
-/// from [1, crash_step_max], modeling the paper's t < n crash failures.
+/// Crash-injection plan layered over the Sched strategy (simulated and proc
+/// backends — the hardware backend cannot kill a thread mid-protocol).
+/// Victims and crash points are derived deterministically from
+/// Scenario::seed: on the simulated backend each victim dies once its
+/// shared-step count reaches a threshold drawn from [1, crash_step_max]; on
+/// the proc backend the same derivation stream picks victims and the
+/// threshold becomes a completed-*operation* count (folded into
+/// [1, ops_per_proc]) at which the worker process is SIGKILLed for real.
+/// Both model the paper's t < n crash failures.
 struct CrashPlan {
   std::size_t max_crashes = 0;        ///< processes to crash; 0 disables
   std::uint64_t crash_step_max = 12;  ///< crash thresholds drawn from [1, this]
@@ -102,6 +112,13 @@ struct Scenario {
   Arrival arrival = Arrival::kSteady;
   /// kBursty: operations per burst are drawn from [1, burst_max].
   int burst_max = 4;
+  /// Hot-key skew for the arrival draws. 0 (the default) keeps them
+  /// uniform. When > 0, think lengths and burst lengths are drawn
+  /// Zipf(zipf_s)-distributed over their ranges instead of uniformly —
+  /// short pauses/bursts dominate with a heavy tail of long ones, the
+  /// classic skewed-load shape. Drawn through Ctx::rng, so the draws stay
+  /// deterministic per (seed, pid) and are charged as coin flips.
+  double zipf_s = 0;
   /// Readable-counter mix: every read_period-th operation is a read() (3 =
   /// the historical 2:1 inc/read mix; 1 = reads only). Must be >= 1.
   int read_period = 3;
@@ -140,6 +157,10 @@ struct Run {
   std::vector<double> proc_steps;       ///< finished processes' total steps
   std::size_t finished_procs = 0;       ///< bodies that ran to completion
   std::size_t crashed_procs = 0;        ///< bodies killed by crash injection
+  /// Proc backend: all-to-all gossip rounds until the survivors *observed*
+  /// telemetry convergence — always <= 3 (the constant-convergence bound,
+  /// enforced by RENAMELIB_ENSURE in every worker). 0 on other backends.
+  std::size_t gossip_rounds = 0;
   /// Hardware backend: per-op wall-clock latency in nanoseconds, recorded
   /// into a lock-free per-thread stats::LatencyRecorder (log-bucketed, no
   /// tail loss, O(1) memory in the op count). Empty (count 0) on the

@@ -167,6 +167,7 @@ api::Scenario FuzzCase::scenario() const {
   s.arrival = arrival;
   s.think_max = think_max;
   s.burst_max = burst_max;
+  s.zipf_s = static_cast<double>(zipf_milli) / 1000.0;
   s.read_period = read_period;
   return s;
 }
@@ -187,6 +188,7 @@ std::string serialize_case(const FuzzCase& c) {
   out << "  \"arrival\": \"" << arrival_name(c.arrival) << "\",\n";
   out << "  \"think_max\": " << c.think_max << ",\n";
   out << "  \"burst_max\": " << c.burst_max << ",\n";
+  out << "  \"zipf_milli\": " << c.zipf_milli << ",\n";
   out << "  \"read_period\": " << c.read_period << ",\n";
   out << "  \"note\": \"" << escape(c.note) << "\"\n";
   out << "}\n";
@@ -214,6 +216,8 @@ FuzzCase parse_case(const std::string& text) {
   c.arrival = arrival_from(take_str(kv, "arrival", "steady"));
   c.think_max = static_cast<int>(take_u64(kv, "think_max", 0));
   c.burst_max = static_cast<int>(take_u64(kv, "burst_max", 4));
+  // Tolerant default: pre-zipf corpus files parse unchanged (uniform draws).
+  c.zipf_milli = take_u64(kv, "zipf_milli", 0);
   c.read_period = static_cast<int>(take_u64(kv, "read_period", 3));
   c.note = take_str(kv, "note", "");
   if (!kv.empty()) {

@@ -46,6 +46,10 @@ struct FuzzCase {
   api::Arrival arrival = api::Arrival::kSteady;
   int think_max = 0;    ///< scratch-register reads per pause, 0 disables
   int burst_max = 4;    ///< kBursty: ops per burst in [1, this]
+  /// Scenario::zipf_s in fixed-point milli units (1500 = s of 1.5), keeping
+  /// the corpus format integer-only. 0 keeps the arrival draws uniform;
+  /// meaningful only with think_max > 0 (sanitize zeroes it otherwise).
+  std::uint64_t zipf_milli = 0;
   int read_period = 3;  ///< readable facet: every Nth op reads
   std::string note;     ///< provenance (what this repro regressed), free text
 

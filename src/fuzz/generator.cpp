@@ -110,9 +110,13 @@ void Generator::random_scenario(FuzzCase& c, Rng& rng) const {
     c.think_max = 1 + static_cast<int>(rng.below(4));
     c.arrival = rng.coin() ? api::Arrival::kBursty : api::Arrival::kSteady;
     c.burst_max = 1 + static_cast<int>(rng.below(4));
+    // Half the arrival-shaped cases skew the pause draws hot-key style;
+    // s in [0.5, 2.0) covers gentle through heavily concentrated.
+    c.zipf_milli = rng.coin() ? 0 : 500 + rng.below(1500);
   } else {
     c.think_max = 0;
     c.arrival = api::Arrival::kSteady;
+    c.zipf_milli = 0;
   }
   c.read_period = 1 + static_cast<int>(rng.below(4));
   c.work = Work::kStandard;
@@ -166,6 +170,7 @@ FuzzCase Generator::mutate(const FuzzCase& c, Rng& rng) const {
         m.think_max = static_cast<int>(rng.below(5));
         m.arrival = rng.coin() ? api::Arrival::kBursty : api::Arrival::kSteady;
         m.burst_max = 1 + static_cast<int>(rng.below(4));
+        m.zipf_milli = rng.coin() ? 0 : 500 + rng.below(1500);
         break;
       case 6:
         m.read_period = 1 + static_cast<int>(rng.below(4));
@@ -268,6 +273,8 @@ void Generator::sanitize(FuzzCase& c) const {
   c.read_period = std::clamp(c.read_period, 1, 16);
   c.burst_max = std::clamp(c.burst_max, 1, 16);
   c.think_max = std::clamp(c.think_max, 0, 16);
+  // s above 4 degenerates to "always the hottest key".
+  if (c.zipf_milli > 4000) c.zipf_milli = 4000;
   if (c.nproc <= 1) c.max_crashes = 0;
   if (c.max_crashes >= static_cast<std::size_t>(c.nproc)) {
     c.max_crashes = static_cast<std::size_t>(c.nproc) - 1;
@@ -290,6 +297,9 @@ void Generator::sanitize(FuzzCase& c) const {
     c.max_crashes = 0;
     c.think_max = 0;
   }
+  // Zipf skew only shapes the think-pause draws: without pauses it is inert,
+  // so zero it (this also covers kExplore, which just zeroed think_max).
+  if (c.think_max == 0) c.zipf_milli = 0;
 
   try {
     api::Spec spec = api::Spec::parse(c.spec);

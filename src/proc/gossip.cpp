@@ -1,0 +1,232 @@
+#include "proc/gossip.h"
+
+#include <cstring>
+#include <memory>
+#include <new>
+
+#include "core/assert.h"
+
+namespace renamelib::proc {
+namespace {
+
+constexpr std::size_t kNodeStride = ((sizeof(GossipNode) + 63) / 64) * 64;
+constexpr std::size_t kEntryStride = ((sizeof(GossipEntry) + 63) / 64) * 64;
+
+std::uint64_t fnv(std::uint64_t h, std::uint64_t v) {
+  // FNV-1a over the 8 bytes of v.
+  for (int b = 0; b < 8; ++b) {
+    h ^= (v >> (8 * b)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv_double(std::uint64_t h, double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return fnv(h, bits);
+}
+
+std::uint64_t hash_contribution(std::uint64_t h, const Contribution& c) {
+  h = fnv(h, c.origin);
+  h = fnv(h, c.finished);
+  h = fnv_double(h, c.proc_steps);
+  h = fnv(h, c.end_ns);
+  h = fnv(h, c.metrics.ops);
+  h = fnv(h, c.metrics.steps);
+  h = fnv(h, c.metrics.shared_steps);
+  h = fnv(h, c.metrics.coin_flips);
+  h = fnv(h, c.metrics.max_op_steps);
+  h = fnv(h, c.metrics.max_proc_steps);
+  h = fnv(h, c.latency.count);
+  h = fnv(h, c.latency.min);
+  h = fnv(h, c.latency.max);
+  h = fnv_double(h, c.latency.sum);
+  h = fnv_double(h, c.latency.sum_sq);
+  for (std::size_t i = 0; i < stats::LatencyBuckets::kCount; ++i) {
+    // Dense histograms are mostly zero: hash (index, count) of the nonzero
+    // buckets only — position-exact, O(nonzero) work.
+    if (c.latency.buckets[i] != 0) {
+      h = fnv(h, i);
+      h = fnv(h, c.latency.buckets[i]);
+    }
+  }
+  for (std::size_t i = 0; i < obs::kSiteCount; ++i) {
+    if (c.events.counts[i] != 0) {
+      h = fnv(h, i);
+      h = fnv(h, c.events.counts[i]);
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+GossipGrid::GossipGrid(void* base, int n)
+    : base_(static_cast<char*>(base)), n_(n) {
+  RENAMELIB_ENSURE(n > 0 && n <= kMaxProcs,
+                   "gossip grid needs 1..kMaxProcs participants");
+  RENAMELIB_ENSURE((reinterpret_cast<std::uintptr_t>(base) & 63) == 0,
+                   "gossip grid storage must be 64-byte aligned");
+}
+
+std::size_t GossipGrid::bytes_for(int n) {
+  const auto un = static_cast<std::size_t>(n);
+  return un * kNodeStride + un * un * kEntryStride;
+}
+
+void GossipGrid::construct() {
+  for (int i = 0; i < n_; ++i) {
+    new (&node(i)) GossipNode();
+    for (int o = 0; o < n_; ++o) new (&entry(i, o)) GossipEntry();
+  }
+}
+
+GossipNode& GossipGrid::node(int i) {
+  return *reinterpret_cast<GossipNode*>(base_ +
+                                        static_cast<std::size_t>(i) * kNodeStride);
+}
+
+const GossipNode& GossipGrid::node(int i) const {
+  return const_cast<GossipGrid*>(this)->node(i);
+}
+
+GossipEntry& GossipGrid::entry(int i, int origin) {
+  char* entries = base_ + static_cast<std::size_t>(n_) * kNodeStride;
+  const std::size_t ix =
+      static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+      static_cast<std::size_t>(origin);
+  return *reinterpret_cast<GossipEntry*>(entries + ix * kEntryStride);
+}
+
+const GossipEntry& GossipGrid::entry(int i, int origin) const {
+  return const_cast<GossipGrid*>(this)->entry(i, origin);
+}
+
+std::uint64_t gossip_fingerprint(const GossipGrid& g, int i,
+                                 std::uint64_t participants) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  std::uint64_t known = 0;
+  for (int o = 0; o < g.n(); ++o) {
+    if ((participants >> o & 1) == 0) continue;
+    const GossipEntry& e = g.entry(i, o);
+    if (e.valid.load(std::memory_order_acquire) == 0) continue;
+    known |= 1ULL << o;
+    h = hash_contribution(h, e.c);
+  }
+  return fnv(h, known);
+}
+
+void gossip_publish(GossipGrid& g, int i, const Contribution& own) {
+  GossipEntry& e = g.entry(i, i);
+  e.c = own;
+  e.valid.store(1, std::memory_order_release);
+  GossipNode& n = g.node(i);
+  n.known.store(1ULL << i, std::memory_order_relaxed);
+  n.fingerprint.store(gossip_fingerprint(g, i, 1ULL << i),
+                      std::memory_order_relaxed);
+  n.round.store(1, std::memory_order_release);
+}
+
+void gossip_exchange(GossipGrid& g, int i, std::uint64_t participants,
+                     std::uint64_t r) {
+  std::uint64_t known = g.node(i).known.load(std::memory_order_relaxed);
+  for (int peer = 0; peer < g.n(); ++peer) {
+    if (peer == i || (participants >> peer & 1) == 0) continue;
+    for (int o = 0; o < g.n(); ++o) {
+      if ((participants >> o & 1) == 0) continue;
+      if (known >> o & 1) continue;  // copy-if-unknown: idempotent
+      const GossipEntry& src = g.entry(peer, o);
+      if (src.valid.load(std::memory_order_acquire) == 0) continue;
+      GossipEntry& dst = g.entry(i, o);
+      dst.c = src.c;
+      dst.valid.store(1, std::memory_order_release);
+      known |= 1ULL << o;
+    }
+  }
+  GossipNode& n = g.node(i);
+  n.known.store(known, std::memory_order_relaxed);
+  n.fingerprint.store(gossip_fingerprint(g, i, participants),
+                      std::memory_order_relaxed);
+  n.round.store(r, std::memory_order_release);
+}
+
+bool gossip_converged(const GossipGrid& g, std::uint64_t participants,
+                      std::uint64_t r) {
+  bool have_fp = false;
+  std::uint64_t fp = 0;
+  for (int p = 0; p < g.n(); ++p) {
+    if ((participants >> p & 1) == 0) continue;
+    const GossipNode& n = g.node(p);
+    if (n.round.load(std::memory_order_acquire) < r) return false;
+    if (n.known.load(std::memory_order_relaxed) != participants) return false;
+    const std::uint64_t f = n.fingerprint.load(std::memory_order_relaxed);
+    if (!have_fp) {
+      fp = f;
+      have_fp = true;
+    } else if (f != fp) {
+      return false;
+    }
+  }
+  return have_fp;
+}
+
+GossipFold gossip_fold(const GossipGrid& g, int i, std::uint64_t participants) {
+  GossipFold fold;
+  for (int o = 0; o < g.n(); ++o) {
+    if ((participants >> o & 1) == 0) continue;
+    const GossipEntry& e = g.entry(i, o);
+    RENAMELIB_ENSURE(e.valid.load(std::memory_order_acquire) != 0,
+                     "gossip fold on a non-converged table");
+    const Contribution& c = e.c;
+    c.metrics.merge_into(fold.metrics);
+    fold.latency.merge(c.latency.load());
+    fold.events.merge(c.events.load());
+    if (c.finished != 0) {
+      fold.proc_steps.push_back(c.proc_steps);
+      fold.finished += 1;
+    }
+    if (c.end_ns > fold.max_end_ns) fold.max_end_ns = c.end_ns;
+  }
+  return fold;
+}
+
+GossipOutcome run_gossip_inproc(const std::vector<Contribution>& contribs) {
+  const int n = static_cast<int>(contribs.size());
+  const std::size_t bytes = GossipGrid::bytes_for(n);
+  struct AlignedFree {
+    void operator()(void* p) const { ::operator delete(p, std::align_val_t(64)); }
+  };
+  std::unique_ptr<void, AlignedFree> storage(
+      ::operator new(bytes, std::align_val_t(64)));
+  GossipGrid g(storage.get(), n);
+  g.construct();
+
+  std::uint64_t participants = 0;
+  for (int i = 0; i < n; ++i) participants |= 1ULL << i;
+
+  // Phase-stepped protocol: every node completes round r before any node
+  // starts r+1 — the sequential equivalent of the shm barrier.
+  for (int i = 0; i < n; ++i) gossip_publish(g, i, contribs[static_cast<std::size_t>(i)]);
+  std::uint64_t rounds = 1;
+  bool converged = false;
+  for (std::uint64_t r = 2; r <= kMaxGossipRounds && !converged; ++r) {
+    for (int i = 0; i < n; ++i) gossip_exchange(g, i, participants, r);
+    rounds = r;
+    // The confirmation read is itself a communication round.
+    if (gossip_converged(g, participants, r)) {
+      rounds = r + 1;
+      converged = true;
+    }
+  }
+  RENAMELIB_ENSURE(converged, "in-process gossip failed to converge");
+  GossipOutcome out;
+  out.rounds = rounds;
+  for (int i = 0; i < n; ++i) {
+    g.node(i).done_rounds.store(rounds, std::memory_order_relaxed);
+    out.folds.push_back(gossip_fold(g, i, participants));
+  }
+  return out;
+}
+
+}  // namespace renamelib::proc

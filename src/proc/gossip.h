@@ -1,0 +1,136 @@
+/// \file
+/// \brief Coordinator-free telemetry merge: all-to-all gossip over the
+/// shared-memory mailboxes, converging in exactly 3 rounds.
+///
+/// Every worker finishes its run holding one Contribution — an *additive*
+/// payload (op counts, latency buckets, event counters) keyed by its pid.
+/// Additive payloads cannot be gossiped by naive re-merging: delivering the
+/// same partial twice double-counts it. The protocol therefore replicates
+/// whole per-origin entries with a copy-if-unknown rule, which *is*
+/// idempotent, and folds each origin exactly once at the end. With the
+/// all-to-all (complete-graph) exchange this pins the round count at a
+/// constant, independent of N — the "Constant Convergence Theorem" shape
+/// from SNIPPETS.md (algebraically mergeable state converges in 3 rounds):
+///
+///   round 1  publish: node i writes its own Contribution into its table
+///            and announces (round=1, known={i}, fingerprint).
+///   round 2  exchange: node i copies every entry it lacks from every
+///            peer's table. All peers published in round 1, so after this
+///            round every node's table is complete (diameter 1).
+///   round 3  confirm: node i reads every peer's round-2 announcement and
+///            observes (known == participants ∧ fingerprints agree)
+///            everywhere — the merge is known-converged, not assumed.
+///
+/// Workers RENAMELIB_ENSURE convergence within kMaxGossipRounds and record
+/// the observed count (Run::gossip_rounds); the in-process driver below lets
+/// unit tests assert the exact-3 bound for any N against a directly-summed
+/// oracle, without forking.
+///
+/// The parent never aggregates by reading workers' mailboxes: Run's
+/// aggregate metrics are folded from a *converged gossip table* (any
+/// survivor's — they are fingerprint-identical).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proc/mailbox.h"
+
+namespace renamelib::proc {
+
+/// Rounds after which a worker declares the protocol broken. The theorem
+/// says 3; the bound leaves headroom only for the ENSURE to be meaningful.
+inline constexpr std::uint64_t kMaxGossipRounds = 6;
+
+/// One node's gossip announcement: its last published round, the origin set
+/// it knows, and a fingerprint of its table (order-independent by
+/// construction — entries are hashed ascending by origin).
+struct alignas(64) GossipNode {
+  std::atomic<std::uint64_t> round{0};
+  std::atomic<std::uint64_t> known{0};  ///< bitmask of origins in my table
+  std::atomic<std::uint64_t> fingerprint{0};
+  /// Rounds this node used until it *observed* convergence (set once, at the
+  /// end; the parent asserts all nodes agree and the value is <= 3).
+  std::atomic<std::uint64_t> done_rounds{0};
+};
+
+/// One replicated per-origin entry in a node's table. `valid` is set with
+/// release ordering after the Contribution is fully copied.
+struct alignas(64) GossipEntry {
+  std::atomic<std::uint32_t> valid{0};
+  Contribution c;
+};
+
+/// View over the gossip region: N announcement nodes plus an N×N table of
+/// entries (entry(i, o) = node i's copy of origin o's Contribution). Works
+/// over a ShmArena region (the proc backend) or private memory (unit
+/// tests) — the protocol only needs the memory to be shared among the
+/// participants.
+class GossipGrid {
+ public:
+  /// Wraps `base` (at least bytes_for(n), 64-byte aligned) without owning it.
+  GossipGrid(void* base, int n);
+
+  /// Storage bytes for an N-participant grid.
+  static std::size_t bytes_for(int n);
+
+  /// Placement-constructs all nodes and entries in the wrapped storage.
+  void construct();
+
+  int n() const { return n_; }
+  GossipNode& node(int i);
+  const GossipNode& node(int i) const;
+  GossipEntry& entry(int i, int origin);
+  const GossipEntry& entry(int i, int origin) const;
+
+ private:
+  char* base_;
+  int n_;
+};
+
+/// Round 1 for node i: installs its own Contribution and announces it.
+void gossip_publish(GossipGrid& g, int i, const Contribution& own);
+
+/// Round r >= 2 for node i: copy-if-unknown from every participant's table,
+/// then announce (round=r, known, fingerprint). Idempotent per entry, so
+/// re-running a round cannot double-count the additive payloads.
+void gossip_exchange(GossipGrid& g, int i, std::uint64_t participants,
+                     std::uint64_t r);
+
+/// The confirmation read: true iff every participant has announced
+/// round >= r with a complete origin set and all fingerprints agree.
+bool gossip_converged(const GossipGrid& g, std::uint64_t participants,
+                      std::uint64_t r);
+
+/// Order-independent fingerprint of node i's table (FNV-1a over entries
+/// ascending by origin; hashes fields, not raw bytes, so padding never
+/// perturbs it).
+std::uint64_t gossip_fingerprint(const GossipGrid& g, int i,
+                                 std::uint64_t participants);
+
+/// The exact fold of one converged table: every origin's Contribution merged
+/// once through the snapshot algebra (Metrics::merge, LatencySnapshot::merge,
+/// EventSnapshot::merge).
+struct GossipFold {
+  api::Metrics metrics;
+  stats::LatencySnapshot latency;
+  obs::EventSnapshot events;
+  std::vector<double> proc_steps;  ///< per finished origin, ascending by pid
+  std::size_t finished = 0;
+  std::uint64_t max_end_ns = 0;
+};
+GossipFold gossip_fold(const GossipGrid& g, int i, std::uint64_t participants);
+
+/// In-process protocol driver for unit tests: runs the full 3-round protocol
+/// over private memory with a phase barrier between rounds (sequential node
+/// stepping — the barrier semantics, without threads), and returns the
+/// observed round count plus every node's fold. Callers assert
+/// rounds == 3 (the theorem) and fold equality against a directly-summed
+/// oracle.
+struct GossipOutcome {
+  std::uint64_t rounds = 0;
+  std::vector<GossipFold> folds;  ///< one per participant, same order
+};
+GossipOutcome run_gossip_inproc(const std::vector<Contribution>& contribs);
+
+}  // namespace renamelib::proc

@@ -1,0 +1,424 @@
+#include "proc/proc_backend.h"
+
+#include <bit>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "core/assert.h"
+#include "core/rng.h"
+#include "obs/emit.h"
+#include "proc/gossip.h"
+
+namespace renamelib::proc {
+namespace {
+
+Worker* g_worker = nullptr;
+
+std::uint64_t now_ns() {
+  timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+/// Supervision timeout: generous by default (covers sanitizer builds on
+/// loaded CI), overridable for tests via RENAMELIB_PROC_TIMEOUT_MS.
+std::uint64_t timeout_ns() {
+  if (const char* e = std::getenv("RENAMELIB_PROC_TIMEOUT_MS")) {
+    const long long ms = std::atoll(e);
+    if (ms > 0) return static_cast<std::uint64_t>(ms) * 1'000'000ULL;
+  }
+  return 120'000'000'000ULL;  // 120 s
+}
+
+void brief_sleep() {
+  timespec ts{0, 100'000};  // 100 us
+  ::nanosleep(&ts, nullptr);
+}
+
+/// Sense-reversing barrier over the control block, used for the start line
+/// (k = nproc; the releaser stamps the shared wall-clock origin) and between
+/// gossip rounds (k = survivors). A stuck barrier aborts instead of hanging
+/// the whole tree.
+void barrier_wait(Control& ctl, std::uint32_t k, bool stamp_start) {
+  const std::uint32_t sense = ctl.bar_sense.load(std::memory_order_acquire);
+  if (ctl.bar_count.fetch_add(1, std::memory_order_acq_rel) + 1 == k) {
+    if (stamp_start) ctl.start_ns.store(now_ns(), std::memory_order_relaxed);
+    ctl.bar_count.store(0, std::memory_order_relaxed);
+    ctl.bar_sense.store(sense ^ 1, std::memory_order_release);
+    return;
+  }
+  const std::uint64_t deadline = now_ns() + timeout_ns();
+  while (ctl.bar_sense.load(std::memory_order_acquire) == sense) {
+    RENAMELIB_ENSURE(now_ns() < deadline,
+                     "proc backend: barrier timed out (a sibling process "
+                     "died or wedged)");
+    brief_sleep();
+  }
+}
+
+/// Seed-derived crash plan in *operation* counts: same victim selection
+/// stream as the simulated backend (salt 0xC7A54), thresholds folded into
+/// [1, ops_per_proc] so every victim provably reaches its park point.
+std::vector<std::int64_t> derive_crash_plan(const api::Scenario& s) {
+  std::vector<std::int64_t> crash_at(static_cast<std::size_t>(s.nproc), 0);
+  if (!s.crashes.enabled()) return crash_at;
+  Rng rng(Rng::derive(s.seed, /*salt=*/0xC7A54ULL));
+  std::vector<int> pids(static_cast<std::size_t>(s.nproc));
+  for (int p = 0; p < s.nproc; ++p) pids[static_cast<std::size_t>(p)] = p;
+  for (std::size_t i = pids.size(); i > 1; --i) {
+    std::swap(pids[i - 1], pids[rng.below(i)]);
+  }
+  const std::size_t victims =
+      std::min(s.crashes.max_crashes, static_cast<std::size_t>(s.nproc));
+  RENAMELIB_ENSURE(victims < static_cast<std::size_t>(s.nproc),
+                   "proc backend needs at least one surviving process "
+                   "(max_crashes < nproc)");
+  const auto ops = static_cast<std::uint64_t>(s.ops_per_proc);
+  for (std::size_t i = 0; i < victims; ++i) {
+    const std::uint64_t draw = 1 + rng.below(s.crashes.crash_step_max);
+    crash_at[static_cast<std::size_t>(pids[i])] =
+        static_cast<std::int64_t>((draw - 1) % ops + 1);
+  }
+  return crash_at;
+}
+
+void fill_kind_table(Control& ctl, const api::Scenario& s) {
+  const char* wanted[] = {"",    s.history_kind.c_str(), "fai",
+                          "rename", "inc",               "read"};
+  for (const char* k : wanted) {
+    bool present = false;
+    for (std::uint32_t i = 0; i < ctl.nkinds; ++i) {
+      if (std::strcmp(ctl.kinds[i], k) == 0) {
+        present = true;
+        break;
+      }
+    }
+    if (present) continue;
+    RENAMELIB_ENSURE(ctl.nkinds < kMaxKinds, "kind table overflow");
+    RENAMELIB_ENSURE(std::strlen(k) < kKindLen,
+                     "operation kind name too long for the proc mailbox "
+                     "kind table");
+    std::snprintf(ctl.kinds[ctl.nkinds], kKindLen, "%s", k);
+    ++ctl.nkinds;
+  }
+}
+
+/// Worker-side epilogue: the 3-round gossip protocol (see gossip.h).
+void run_gossip_as(const Layout& lay, int pid) {
+  Control& ctl = *lay.control;
+  const std::uint64_t deadline = now_ns() + timeout_ns();
+  while (ctl.gossip_go.load(std::memory_order_acquire) == 0) {
+    RENAMELIB_ENSURE(now_ns() < deadline,
+                     "proc backend: worker timed out waiting for the gossip "
+                     "release");
+    brief_sleep();
+  }
+  const std::uint64_t participants =
+      ctl.participants.load(std::memory_order_acquire);
+  RENAMELIB_ENSURE((participants >> pid) & 1,
+                   "surviving worker missing from the participant set");
+  const auto k = static_cast<std::uint32_t>(std::popcount(participants));
+  GossipGrid grid(lay.gossip, lay.nproc);
+  gossip_publish(grid, pid, lay.mail(pid).contrib);
+  barrier_wait(ctl, k, false);
+  std::uint64_t rounds = 1;
+  bool converged = false;
+  for (std::uint64_t r = 2; r <= kMaxGossipRounds && !converged; ++r) {
+    gossip_exchange(grid, pid, participants, r);
+    barrier_wait(ctl, k, false);
+    rounds = r;
+    // All survivors read the same post-barrier state, so they reach the
+    // same verdict — the confirmation read is the protocol's final round.
+    if (gossip_converged(grid, participants, r)) {
+      rounds = r + 1;
+      converged = true;
+    }
+  }
+  RENAMELIB_ENSURE(converged, "gossip failed to converge");
+  RENAMELIB_ENSURE(rounds <= 3,
+                   "gossip exceeded the constant 3-round convergence bound");
+  grid.node(pid).done_rounds.store(rounds, std::memory_order_release);
+}
+
+[[noreturn]] void child_main(const Layout& lay, int pid,
+                             const api::Scenario& s,
+                             const std::function<void(Ctx&)>& body) {
+  try {
+    obs::ThreadPidScope pid_scope(pid);
+    Worker worker(lay, pid, lay.control->crash_at[pid]);
+    g_worker = &worker;
+    Ctx ctx(pid, Rng::derive(s.seed, static_cast<std::uint64_t>(pid)));
+    barrier_wait(*lay.control, static_cast<std::uint32_t>(s.nproc),
+                 /*stamp_start=*/true);
+    body(ctx);  // victims never return: publish_op parks them for SIGKILL
+    run_gossip_as(lay, pid);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "renamelib proc worker %d: %s\n", pid, e.what());
+    std::_Exit(70);
+  } catch (...) {
+    std::fprintf(stderr, "renamelib proc worker %d: unknown exception\n", pid);
+    std::_Exit(70);
+  }
+  // _Exit, not exit: the child shares the parent's stdio buffers and atexit
+  // list; running them here would duplicate output and tear down inherited
+  // state the parent still owns.
+  std::_Exit(0);
+}
+
+void fail_child_status(int pid, int status) {
+  char why[96];
+  if (WIFSIGNALED(status)) {
+    std::snprintf(why, sizeof(why), "killed by signal %d", WTERMSIG(status));
+  } else if (WIFEXITED(status)) {
+    std::snprintf(why, sizeof(why), "exited with status %d",
+                  WEXITSTATUS(status));
+  } else {
+    std::snprintf(why, sizeof(why), "unrecognized wait status %d", status);
+  }
+  std::fprintf(stderr, "renamelib proc backend: worker %d %s\n", pid, why);
+  RENAMELIB_ENSURE(false, "proc backend: a worker process died unexpectedly");
+}
+
+}  // namespace
+
+std::size_t default_arena_bytes(const api::Scenario& s) {
+  const int ring_ops = s.keep_op_samples ? s.ops_per_proc : 0;
+  // Generous object slack costs only address space: pages are demand-zero.
+  return Layout::bytes_for(s.nproc, ring_ops) + (32u << 20);
+}
+
+Worker* Worker::current() noexcept { return g_worker; }
+
+Worker::Worker(const Layout& layout, int pid, std::int64_t crash_at)
+    : layout_(layout), pid_(pid), crash_at_(crash_at) {
+  if (obs::EventBus::enabled()) {
+    events_at_fork_ = obs::EventBus::instance().snapshot();
+  }
+}
+
+void Worker::publish_op(std::uint64_t value, std::uint64_t steps,
+                        const char* kind) {
+  Mailbox& m = layout_.mail(pid_);
+  if (layout_.ring_ops > 0) {
+    const std::uint64_t ix = m.published_ops.load(std::memory_order_relaxed);
+    RENAMELIB_ENSURE(ix < static_cast<std::uint64_t>(layout_.ring_ops),
+                     "proc op ring overflow");
+    if (kind != last_kind_) {
+      const Control& ctl = *layout_.control;
+      std::uint32_t found = kMaxKinds;
+      for (std::uint32_t i = 0; i < ctl.nkinds; ++i) {
+        if (std::strcmp(ctl.kinds[i], kind) == 0) {
+          found = i;
+          break;
+        }
+      }
+      RENAMELIB_ENSURE(found < kMaxKinds,
+                       "operation kind missing from the proc kind table");
+      last_kind_ = kind;
+      last_kind_ix_ = found;
+    }
+    OpSlot& slot = layout_.ring(pid_)[ix];
+    slot.value = value;
+    slot.steps = steps;
+    slot.kind = last_kind_ix_;
+    // Slot first, then the release-increment: an announced slot is fully
+    // written even if this process is SIGKILLed on the next instruction.
+    m.published_ops.store(ix + 1, std::memory_order_release);
+  }
+  ++ops_done_;
+  if (crash_at_ > 0 && ops_done_ == static_cast<std::uint64_t>(crash_at_)) {
+    // Crash point: completed exactly crash_at_ ops. Park visibly and wait
+    // for the parent's SIGKILL — the op boundary makes the injection
+    // deterministic while the kill itself is a real, unclean process death.
+    m.parked.store(1, std::memory_order_release);
+    for (;;) brief_sleep();
+  }
+}
+
+void Worker::publish_done(const api::Metrics& m,
+                          const stats::LatencySnapshot& lat,
+                          std::uint64_t proc_steps) {
+  Mailbox& mb = layout_.mail(pid_);
+  Contribution& c = mb.contrib;
+  c.origin = static_cast<std::uint32_t>(pid_);
+  c.finished = 1;
+  c.proc_steps = static_cast<double>(proc_steps);
+  c.end_ns = now_ns();
+  api::Metrics mm = m;
+  mm.max_proc_steps = proc_steps;  // this process's total; fold takes the max
+  c.metrics.store(mm);
+  c.latency.store(lat);
+  if (obs::EventBus::enabled()) {
+    c.events.store(obs::EventBus::instance().snapshot() - events_at_fork_);
+  }
+  mb.ready.store(1, std::memory_order_release);
+}
+
+void run_proc(const api::Scenario& s, const std::function<void(Ctx&)>& body,
+              api::Run& run) {
+  ShmArena* arena = ShmArena::current();
+  RENAMELIB_ENSURE(arena != nullptr,
+                   "proc backend requires a live ShmArena (run through "
+                   "Workload::run_*_spec, or construct the object under an "
+                   "ArenaScope)");
+  RENAMELIB_ENSURE(s.nproc <= kMaxProcs,
+                   "proc backend supports at most kMaxProcs processes");
+  const int ring_ops = s.keep_op_samples ? s.ops_per_proc : 0;
+  const Layout lay = Layout::create(*arena, s.nproc, ring_ops);
+  Control& ctl = *lay.control;
+  fill_kind_table(ctl, s);
+  const std::vector<std::int64_t> crash_at = derive_crash_plan(s);
+  std::vector<int> victims;
+  for (int p = 0; p < s.nproc; ++p) {
+    ctl.crash_at[p] = crash_at[static_cast<std::size_t>(p)];
+    if (crash_at[static_cast<std::size_t>(p)] > 0) victims.push_back(p);
+  }
+
+  // Flush before fork so buffered output is not duplicated into children.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  std::vector<pid_t> pids(static_cast<std::size_t>(s.nproc), -1);
+  for (int p = 0; p < s.nproc; ++p) {
+    const pid_t pid = ::fork();
+    if (pid == 0) child_main(lay, p, s, body);  // never returns
+    if (pid < 0) {
+      for (int q = 0; q < p; ++q) ::kill(pids[static_cast<std::size_t>(q)], SIGKILL);
+      RENAMELIB_ENSURE(false, "proc backend: fork failed");
+    }
+    pids[static_cast<std::size_t>(p)] = pid;
+  }
+
+  std::vector<bool> reaped(static_cast<std::size_t>(s.nproc), false);
+  // Any child transition the parent did not orchestrate is a failure; this
+  // is what turns a worker's abort/segfault into a diagnosable test failure
+  // instead of a supervision timeout.
+  auto check_unexpected = [&] {
+    for (int p = 0; p < s.nproc; ++p) {
+      if (reaped[static_cast<std::size_t>(p)]) continue;
+      int status = 0;
+      const pid_t w = ::waitpid(pids[static_cast<std::size_t>(p)], &status,
+                                WNOHANG);
+      if (w > 0) {
+        reaped[static_cast<std::size_t>(p)] = true;
+        fail_child_status(p, status);
+      }
+    }
+  };
+  const std::uint64_t deadline = now_ns() + timeout_ns();
+  auto poll = [&](const std::function<bool()>& pred, const char* what) {
+    while (!pred()) {
+      check_unexpected();
+      RENAMELIB_ENSURE(now_ns() < deadline, what);
+      brief_sleep();
+    }
+  };
+
+  // Phase 1 — real crash injection: wait for each victim to park at its
+  // seed-derived op count, then SIGKILL and reap it.
+  for (const int v : victims) {
+    Mailbox& m = lay.mail(v);
+    poll([&] { return m.parked.load(std::memory_order_acquire) != 0; },
+         "proc backend: timed out waiting for a crash victim to reach its "
+         "crash point");
+    ::kill(pids[static_cast<std::size_t>(v)], SIGKILL);
+    int status = 0;
+    pid_t w;
+    do {
+      w = ::waitpid(pids[static_cast<std::size_t>(v)], &status, 0);
+    } while (w < 0 && errno == EINTR);
+    RENAMELIB_ENSURE(w == pids[static_cast<std::size_t>(v)] &&
+                         WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+                     "proc backend: crash victim did not die by SIGKILL");
+    reaped[static_cast<std::size_t>(v)] = true;
+  }
+
+  // Phase 2 — survivors publish their Contributions.
+  std::uint64_t participants = 0;
+  for (int p = 0; p < s.nproc; ++p) {
+    if (crash_at[static_cast<std::size_t>(p)] > 0) continue;
+    participants |= 1ULL << p;
+    Mailbox& m = lay.mail(p);
+    poll([&] { return m.ready.load(std::memory_order_acquire) != 0; },
+         "proc backend: timed out waiting for a worker's contribution");
+  }
+
+  // Phase 3 — release the gossip: the survivor set is final.
+  ctl.participants.store(participants, std::memory_order_release);
+  ctl.gossip_go.store(1, std::memory_order_release);
+
+  // Phase 4 — reap survivors (they _exit(0) after convergence).
+  for (int p = 0; p < s.nproc; ++p) {
+    if (reaped[static_cast<std::size_t>(p)]) continue;
+    int status = 0;
+    pid_t w;
+    do {
+      w = ::waitpid(pids[static_cast<std::size_t>(p)], &status, 0);
+    } while (w < 0 && errno == EINTR);
+    reaped[static_cast<std::size_t>(p)] = true;
+    if (!(w > 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0)) {
+      fail_child_status(p, status);
+    }
+  }
+
+  // Phase 5 — verify convergence and fold ONE converged table into the Run.
+  GossipGrid grid(lay.gossip, lay.nproc);
+  RENAMELIB_ENSURE(gossip_converged(grid, participants, 2),
+                   "proc backend: gossip tables not converged after all "
+                   "survivors exited");
+  std::uint64_t rounds = 0;
+  int first_survivor = -1;
+  for (int p = 0; p < s.nproc; ++p) {
+    if ((participants >> p & 1) == 0) continue;
+    if (first_survivor < 0) first_survivor = p;
+    const std::uint64_t r =
+        grid.node(p).done_rounds.load(std::memory_order_acquire);
+    RENAMELIB_ENSURE(r != 0 && r <= 3,
+                     "proc backend: a survivor exceeded the 3-round bound");
+    RENAMELIB_ENSURE(rounds == 0 || rounds == r,
+                     "proc backend: survivors disagree on the round count");
+    rounds = r;
+  }
+  RENAMELIB_ENSURE(first_survivor >= 0, "proc backend: no survivors");
+  const GossipFold fold = gossip_fold(grid, first_survivor, participants);
+  run.metrics = fold.metrics;
+  run.latency = fold.latency;
+  run.events = fold.events;
+  run.proc_steps = fold.proc_steps;
+  run.finished_procs = fold.finished;
+  run.crashed_procs = victims.size();
+  run.gossip_rounds = rounds;
+  const std::uint64_t start_ns = ctl.start_ns.load(std::memory_order_relaxed);
+  if (fold.max_end_ns > start_ns && start_ns != 0) {
+    run.metrics.wall_seconds =
+        static_cast<double>(fold.max_end_ns - start_ns) / 1e9;
+  }
+
+  // Phase 6 — per-op samples from the crash-surviving rings (victims'
+  // completed ops included; see the file comment in proc_backend.h).
+  if (ring_ops > 0) {
+    for (int p = 0; p < s.nproc; ++p) {
+      const std::uint64_t n =
+          lay.mail(p).published_ops.load(std::memory_order_acquire);
+      const OpSlot* ring = lay.ring(p);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const OpSlot& slot = ring[i];
+        RENAMELIB_ENSURE(slot.kind < ctl.nkinds,
+                         "corrupt kind index in a proc op ring");
+        run.ops.push_back(api::OpSample{p, slot.value, slot.steps,
+                                        ctl.kinds[slot.kind]});
+      }
+    }
+  }
+}
+
+}  // namespace renamelib::proc

@@ -1,0 +1,94 @@
+/// \file
+/// \brief Backend::kProc — the multi-process execution substrate.
+///
+/// run_proc() fork()s Scenario::nproc worker processes over the current
+/// ShmArena. The shared object under test was placement-constructed into
+/// that arena (ArenaScope), so every process operates on the *same* flat
+/// atomic words — the paper's asynchronous shared-memory processes made
+/// literal, crash failures included:
+///
+///   parent                       worker p
+///   ------                       --------
+///   Layout::create(arena)
+///   derive crash plan (seed)
+///   fork() × N  ─────────────▶   start barrier (all N, stamps start_ns)
+///                                metered op loop:
+///                                  publish_op → ring[p] (crash-surviving)
+///                                  victim at crash_at[p] ops: park, spin
+///   poll parked victims
+///   kill(SIGKILL) + reap   ───▶  (victim dies mid-run, for real)
+///   poll survivors ready   ◀───  publish_done → mailbox Contribution
+///   participants + gossip_go ─▶  3-round all-to-all gossip (gossip.h)
+///   reap survivors (exit 0)◀───  _exit(0)
+///   assert convergence ≤ 3 rounds
+///   fold ONE converged table → Run
+///
+/// Aggregate metrics come exclusively from the gossip fold — the parent
+/// never sums workers' mailboxes itself. The only direct mailbox reads are
+/// the per-op sample rings (Run::ops), which necessarily include the
+/// SIGKILLed victims' completed operations: dead processes cannot gossip,
+/// but their published ops are exactly what the facet conformance
+/// predicates must see (a killed worker's acquired names stay held).
+///
+/// Survivor results feed the *unchanged* conformance predicates; the lease
+/// broker's epoch-tagged per-pid slots make a victim's escrowed range
+/// reclaimable by any live process (LeaseBroker::reclaim), which the proc
+/// crash tests assert drains holders() to zero.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "api/workload.h"
+#include "proc/mailbox.h"
+
+namespace renamelib::proc {
+
+/// Arena bytes that comfortably hold the proc layout for `s` plus a
+/// registry-built object (pages are touched lazily, so generous is cheap).
+std::size_t default_arena_bytes(const api::Scenario& s);
+
+/// Runs `body` (one call per process, pid-indexed Ctx) in s.nproc forked
+/// processes over ShmArena::current(), then fills `run` from the
+/// gossip-converged aggregate. Requires a live arena; the object the body
+/// closes over must live inside it. Crash injection per s.crashes: victims
+/// are SIGKILLed at seed-derived op counts, reaped, and counted in
+/// run.crashed_procs.
+void run_proc(const api::Scenario& s, const std::function<void(Ctx&)>& body,
+              api::Run& run);
+
+/// Worker-side publication hooks. current() is non-null exactly inside a
+/// proc-backend child; the workload's metered loop routes its per-op and
+/// end-of-run publication through it instead of the in-process mutex path.
+class Worker {
+ public:
+  /// This process's hooks, or nullptr outside a proc worker.
+  static Worker* current() noexcept;
+
+  /// Publishes one completed op into the crash-surviving ring and then, if
+  /// this worker is a crash victim that just reached its seed-derived op
+  /// count, parks forever awaiting the parent's SIGKILL (never returns in
+  /// that case).
+  void publish_op(std::uint64_t value, std::uint64_t steps, const char* kind);
+
+  /// Publishes the finished-run Contribution: metrics, the latency
+  /// snapshot, the run's event-bus delta (relative to the fork point), and
+  /// the process's total paper-model steps.
+  void publish_done(const api::Metrics& m, const stats::LatencySnapshot& lat,
+                    std::uint64_t proc_steps);
+
+  /// Constructed once per child process by the backend's child entry point
+  /// (captures the fork-time event-bus baseline); not for general use.
+  Worker(const Layout& layout, int pid, std::int64_t crash_at);
+
+ private:
+  Layout layout_;
+  int pid_;
+  std::int64_t crash_at_;  ///< ops until park-for-SIGKILL; 0 = survivor
+  std::uint64_t ops_done_ = 0;
+  obs::EventSnapshot events_at_fork_;
+  const char* last_kind_ = nullptr;  ///< memoized kind → table index
+  std::uint32_t last_kind_ix_ = 0;
+};
+
+}  // namespace renamelib::proc

@@ -1,0 +1,234 @@
+// The proc backend's telemetry algebra and gossip protocol, without forking:
+//
+//   * merge algebra — EventSnapshot / LatencySnapshot / Metrics merges are
+//     commutative, associative, and order-insensitive (the property that
+//     makes the telemetry gossip-able at all),
+//   * POD round-trips — the shared-memory mirrors (MetricsPod, LatencyPod,
+//     EventsPod) reproduce the rich types bit-for-bit, so nothing is lost
+//     crossing the process boundary,
+//   * constant convergence — run_gossip_inproc over N ∈ {1, 2, 4, 8, 16}
+//     converges in exactly 3 rounds and every node's fold equals a
+//     directly-summed oracle on every field, bucket, and event cell.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "api/metrics.h"
+#include "obs/event_bus.h"
+#include "proc/gossip.h"
+#include "proc/mailbox.h"
+#include "stats/latency_recorder.h"
+
+namespace renamelib::proc {
+namespace {
+
+/// Deterministic value scrambler (splitmix64 finalizer): the tests need
+/// varied, reproducible payloads, not randomness.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Integer-valued samples keep the double moments exact, so "bit-for-bit"
+/// below means literal operator== on sums, not a tolerance.
+stats::LatencySnapshot latency_of(std::uint64_t seed, int samples) {
+  stats::LatencySnapshot s;
+  for (int i = 0; i < samples; ++i) {
+    s.add(mix(seed + static_cast<std::uint64_t>(i)) % 1'000'000);
+  }
+  return s;
+}
+
+obs::EventSnapshot events_of(std::uint64_t seed) {
+  obs::EventSnapshot s;
+  for (std::size_t i = 0; i < obs::kSiteCount; ++i) {
+    s.set(static_cast<obs::Site>(i), mix(seed * 31 + i) % 1000);
+  }
+  return s;
+}
+
+api::Metrics metrics_of(std::uint64_t seed) {
+  api::Metrics m;
+  m.ops = mix(seed) % 500 + 1;
+  m.steps = mix(seed + 1) % 5000 + m.ops;
+  m.shared_steps = mix(seed + 2) % 2000;
+  m.coin_flips = mix(seed + 3) % 300;
+  m.max_op_steps = mix(seed + 4) % 64 + 1;
+  m.max_proc_steps = mix(seed + 5) % 9000 + 1;
+  return m;
+}
+
+Contribution contribution_of(int origin) {
+  const std::uint64_t s = 0x1000 + static_cast<std::uint64_t>(origin) * 977;
+  Contribution c;
+  c.origin = static_cast<std::uint32_t>(origin);
+  c.finished = 1;
+  c.proc_steps = static_cast<double>(mix(s + 6) % 100'000);
+  c.end_ns = mix(s + 7) % 1'000'000'000;
+  c.metrics.store(metrics_of(s));
+  c.latency.store(latency_of(s, 40 + origin));
+  c.events.store(events_of(s));
+  return c;
+}
+
+void expect_latency_eq(const stats::LatencySnapshot& a,
+                       const stats::LatencySnapshot& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.sum(), b.sum());
+  EXPECT_EQ(a.sum_sq(), b.sum_sq());
+  for (std::size_t i = 0; i < stats::LatencyBuckets::kCount; ++i) {
+    ASSERT_EQ(a.bucket(i), b.bucket(i)) << "bucket " << i;
+  }
+}
+
+void expect_metrics_eq(const api::Metrics& a, const api::Metrics& b) {
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.steps, b.steps);
+  EXPECT_EQ(a.shared_steps, b.shared_steps);
+  EXPECT_EQ(a.coin_flips, b.coin_flips);
+  EXPECT_EQ(a.max_op_steps, b.max_op_steps);
+  EXPECT_EQ(a.max_proc_steps, b.max_proc_steps);
+}
+
+TEST(MergeAlgebra, EventMergeIsCommutativeAndAssociative) {
+  const obs::EventSnapshot a = events_of(1), b = events_of(2), c = events_of(3);
+
+  obs::EventSnapshot ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+
+  obs::EventSnapshot ab_c = ab, bc = b;
+  ab_c.merge(c);
+  bc.merge(c);
+  obs::EventSnapshot a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c, a_bc);
+}
+
+TEST(MergeAlgebra, LatencyMergeIsOrderInsensitive) {
+  std::vector<stats::LatencySnapshot> parts;
+  for (int i = 0; i < 4; ++i) parts.push_back(latency_of(100 + i, 30 + i));
+
+  stats::LatencySnapshot forward, reverse, pairwise;
+  for (int i = 0; i < 4; ++i) forward.merge(parts[static_cast<std::size_t>(i)]);
+  for (int i = 3; i >= 0; --i) reverse.merge(parts[static_cast<std::size_t>(i)]);
+  stats::LatencySnapshot left = parts[0], right = parts[2];
+  left.merge(parts[1]);
+  right.merge(parts[3]);
+  pairwise = left;
+  pairwise.merge(right);
+
+  expect_latency_eq(forward, reverse);
+  expect_latency_eq(forward, pairwise);
+}
+
+TEST(MergeAlgebra, MetricsMergeIsOrderInsensitive) {
+  const api::Metrics a = metrics_of(11), b = metrics_of(12), c = metrics_of(13);
+  api::Metrics forward, reverse;
+  forward.merge(a);
+  forward.merge(b);
+  forward.merge(c);
+  reverse.merge(c);
+  reverse.merge(b);
+  reverse.merge(a);
+  expect_metrics_eq(forward, reverse);
+}
+
+TEST(MergeAlgebra, LatencyPodRoundTripIsExact) {
+  const stats::LatencySnapshot snap = latency_of(7, 200);
+  LatencyPod pod;
+  pod.store(snap);
+  expect_latency_eq(pod.load(), snap);
+}
+
+TEST(MergeAlgebra, EventsPodRoundTripIsExact) {
+  const obs::EventSnapshot snap = events_of(9);
+  EventsPod pod;
+  pod.store(snap);
+  EXPECT_EQ(pod.load(), snap);
+}
+
+TEST(MergeAlgebra, MetricsPodRoundTripsThroughMergeInto) {
+  const api::Metrics m = metrics_of(21);
+  MetricsPod pod;
+  pod.store(m);
+  api::Metrics back;
+  pod.merge_into(back);
+  expect_metrics_eq(back, m);
+}
+
+/// The acceptance bar for the gossip merger: for every N, the protocol
+/// observes convergence in exactly 3 rounds (publish, exchange, confirm) and
+/// every participant's fold equals the directly-summed oracle bit-for-bit.
+TEST(GossipConvergence, ThreeRoundsAndExactFoldForAllN) {
+  for (const int n : {1, 2, 4, 8, 16}) {
+    std::vector<Contribution> contribs;
+    for (int i = 0; i < n; ++i) contribs.push_back(contribution_of(i));
+
+    // Oracle: one direct fold in ascending-origin order, no gossip involved.
+    api::Metrics om;
+    stats::LatencySnapshot ol;
+    obs::EventSnapshot oe;
+    std::vector<double> osteps;
+    std::uint64_t oend = 0;
+    for (const Contribution& c : contribs) {
+      c.metrics.merge_into(om);
+      ol.merge(c.latency.load());
+      oe.merge(c.events.load());
+      osteps.push_back(c.proc_steps);
+      if (c.end_ns > oend) oend = c.end_ns;
+    }
+
+    const GossipOutcome out = run_gossip_inproc(contribs);
+    EXPECT_EQ(out.rounds, 3u) << "n=" << n;
+    ASSERT_EQ(out.folds.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    for (int i = 0; i < n; ++i) {
+      const GossipFold& f = out.folds[static_cast<std::size_t>(i)];
+      expect_metrics_eq(f.metrics, om);
+      expect_latency_eq(f.latency, ol);
+      EXPECT_EQ(f.events, oe) << "n=" << n << " node=" << i;
+      EXPECT_EQ(f.proc_steps, osteps) << "n=" << n << " node=" << i;
+      EXPECT_EQ(f.finished, static_cast<std::size_t>(n));
+      EXPECT_EQ(f.max_end_ns, oend);
+    }
+  }
+}
+
+/// Re-running an exchange round must not double-count the additive payloads:
+/// entry replication is copy-if-unknown, which is idempotent.
+TEST(GossipConvergence, RepeatedExchangeIsIdempotent) {
+  const int n = 4;
+  std::vector<char> storage(GossipGrid::bytes_for(n) + 64);
+  void* base = storage.data();
+  // Align the wrapped region to the 64-byte stride the grid assumes.
+  auto addr = reinterpret_cast<std::uintptr_t>(base);
+  base = reinterpret_cast<void*>((addr + 63) & ~std::uintptr_t{63});
+  GossipGrid g(base, n);
+  g.construct();
+
+  const std::uint64_t everyone = (1ULL << n) - 1;
+  std::vector<Contribution> contribs;
+  for (int i = 0; i < n; ++i) contribs.push_back(contribution_of(i));
+  for (int i = 0; i < n; ++i) {
+    gossip_publish(g, i, contribs[static_cast<std::size_t>(i)]);
+  }
+  for (int i = 0; i < n; ++i) gossip_exchange(g, i, everyone, 2);
+  const GossipFold once = gossip_fold(g, 0, everyone);
+  // A whole spurious extra round: every fold must be unchanged.
+  for (int i = 0; i < n; ++i) gossip_exchange(g, i, everyone, 3);
+  const GossipFold twice = gossip_fold(g, 0, everyone);
+
+  expect_metrics_eq(once.metrics, twice.metrics);
+  expect_latency_eq(once.latency, twice.latency);
+  EXPECT_EQ(once.events, twice.events);
+  EXPECT_EQ(once.proc_steps, twice.proc_steps);
+}
+
+}  // namespace
+}  // namespace renamelib::proc

@@ -51,7 +51,7 @@ int usage(std::ostream& out, int code) {
          "  renamectl describe [NAME] [--facet=...]\n"
          "  renamectl events\n"
          "  renamectl run [--facet=F --spec=S] [--threads=N] [--ops=N]\n"
-         "                [--backend=simulated|hardware]\n"
+         "                [--backend=simulated|hardware|proc]\n"
          "                [--sched=random|roundrobin|obstruction]\n"
          "                [--seed=N] [--crashes=N] [--name=LABEL]\n"
          "                [--json=FILE|-] [--smoke] [--events]\n"
@@ -64,7 +64,10 @@ int usage(std::ostream& out, int code) {
          "            without --spec runs the deterministic all-entries\n"
          "            simulated matrix (the stored baseline's generator);\n"
          "            --events records per-site event counts on the obs\n"
-         "            event bus and attaches them to the report runs\n";
+         "            event bus and attaches them to the report runs;\n"
+         "            --backend=proc forks --threads OS processes over a\n"
+         "            shared-memory arena (telemetry gossip-merged, and\n"
+         "            --crashes=N SIGKILLs N workers mid-run for real)\n";
   return code;
 }
 
@@ -231,11 +234,15 @@ api::ReportRun to_report_run(std::string name, std::string spec,
   api::ReportRun r;
   r.name = std::move(name);
   r.spec = std::move(spec);
-  r.backend = s.backend == api::Backend::kHardware ? "hardware" : "simulated";
+  r.backend = s.backend == api::Backend::kHardware    ? "hardware"
+              : s.backend == api::Backend::kProc      ? "proc"
+                                                      : "simulated";
   r.threads = s.nproc;
   r.ops = run.metrics.ops;
   r.ops_per_sec = run.metrics.ops_per_sec();
-  if (s.backend == api::Backend::kHardware) {
+  if (s.backend != api::Backend::kSimulated) {
+    // Hardware and proc are wall-clock backends; the proc latency section
+    // is the gossip-merged per-process recording, not a coordinator sum.
     r.unit = "ns";
     r.latency = run.latency;
   } else {
@@ -313,8 +320,11 @@ int cmd_run(Args& args) {
     s.backend = api::Backend::kHardware;
   } else if (backend == "simulated" || backend == "sim") {
     s.backend = api::Backend::kSimulated;
+  } else if (backend == "proc") {
+    s.backend = api::Backend::kProc;
   } else {
-    throw std::invalid_argument("--backend must be simulated or hardware");
+    throw std::invalid_argument(
+        "--backend must be simulated, hardware, or proc");
   }
   const auto sched = args.get("sched").value_or("random");
   if (sched == "roundrobin") {
@@ -330,8 +340,8 @@ int cmd_run(Args& args) {
       static_cast<std::size_t>(args.get_u64("crashes", 0));
   if (s.crashes.enabled() && s.backend == api::Backend::kHardware) {
     throw std::invalid_argument(
-        "--crashes requires --backend=simulated (a hardware thread cannot "
-        "be killed mid-protocol)");
+        "--crashes requires --backend=simulated or proc (a hardware thread "
+        "cannot be killed mid-protocol; a forked process can)");
   }
   const bool smoke = args.flag("smoke");
   const auto spec_arg = args.get("spec");
@@ -372,11 +382,20 @@ int cmd_run(Args& args) {
     human << api::facet_name(facet) << " " << canonical << ": "
           << run.metrics.ops << " ops, mean " << run.metrics.mean_op_steps()
           << " steps/op";
-    if (s.backend == api::Backend::kHardware) {
+    if (s.backend != api::Backend::kSimulated) {
       human << ", " << run.metrics.ops_per_sec() << " ops/sec, p99 "
             << run.latency.percentile(0.99) << " ns";
     }
+    if (s.backend == api::Backend::kProc) {
+      human << ", " << run.finished_procs << " procs finished";
+      if (run.crashed_procs > 0) {
+        human << " (" << run.crashed_procs << " killed)";
+      }
+      human << ", gossip converged in " << run.gossip_rounds << " rounds";
+    }
     human << "\n";
+    // On the proc backend both the metrics above and this table are the
+    // gossip-merged aggregate — no coordinator ever summed the workers.
     if (events) print_events_table(human, run);
   } else {
     if (!smoke) {
